@@ -1,0 +1,26 @@
+//! Comparison schemes for the MERCURY paper's §VII-D analysis (Figure 17).
+//!
+//! All three comparators are *upper-bound models*, exactly as in the
+//! paper: the authors had no access to UCNN's implementation and assumed
+//! maximum achievable savings for it, and explicitly idealized zero
+//! pruning and element-level similarity detection ("we did not consider
+//! any limitations on the amount of similarity"). This crate reproduces
+//! those bounds with measured synthetic value distributions rather than
+//! hard-coded constants:
+//!
+//! * [`ucnn`] — weight repetition after b-bit quantization (6/7/8 bits):
+//!   a dot product over `K` weights with `U` distinct quantized values
+//!   factorizes from `2K−1` operations down to `K+U−1` (group-sum adds,
+//!   one multiply per distinct weight, final adds).
+//! * [`zero_prune`] — skip every multiply-accumulate with a zero operand,
+//!   using measured post-ReLU activation sparsity and near-zero weight
+//!   fractions.
+//! * [`unlimited_similarity`] — skip every repeated `(input element,
+//!   weight element)` product, with repeats measured on quantized
+//!   synthetic activations.
+
+#![warn(missing_docs)]
+
+pub mod ucnn;
+pub mod unlimited_similarity;
+pub mod zero_prune;

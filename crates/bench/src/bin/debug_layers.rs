@@ -1,0 +1,30 @@
+//! Developer utility: prints per-model speedups (and per-layer detail for
+//! VGG-13) under the default simulation configuration.
+
+use mercury_bench::{simulate_model, ModelSimConfig};
+use mercury_models::{all_models, vgg13};
+
+fn main() {
+    let cfg = ModelSimConfig::default();
+    println!("model\tspeedup\ton\toff");
+    for spec in all_models() {
+        let report = simulate_model(&spec, &cfg);
+        let (on, off) = report.detection_counts();
+        println!("{}\t{:.3}\t{on}\t{off}", spec.name, report.speedup());
+    }
+
+    let spec = vgg13();
+    let report = simulate_model(&spec, &cfg);
+    println!("\n== VGG-13 per layer ==");
+    for (i, (l, s)) in spec.layers.iter().zip(&report.layers).enumerate() {
+        println!(
+            "{i:3} {:10} sig={:>12} comp={:>14} base={:>14} speedup={:.3} hit%={:.1}",
+            l.name(),
+            s.cycles.signature,
+            s.cycles.compute,
+            s.cycles.baseline,
+            s.cycles.speedup(),
+            100.0 * s.similarity()
+        );
+    }
+}

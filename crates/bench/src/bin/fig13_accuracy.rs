@@ -1,0 +1,79 @@
+//! **Figure 13**: validation accuracy of baseline training vs MERCURY
+//! training for the twelve evaluated models.
+//!
+//! Each architecture family trains as a reduced instance on the synthetic
+//! 80-class-style dataset (8 classes here to keep runtime in seconds),
+//! once exactly and once with MERCURY reuse perturbing the forward and
+//! backward convolutions / attention. Paper reference: 0.7% average
+//! accuracy drop; the transformer's BLEU is unchanged.
+
+use mercury_core::MercuryConfig;
+use mercury_dnn::{ExecMode, Trainer, TrainerConfig};
+use mercury_models::trainable::{build_reduced, is_sequence_model, IMAGE_SIDE, SEQ_DIM, SEQ_LEN};
+use mercury_models::all_models;
+use mercury_tensor::rng::Rng;
+use mercury_tensor::Tensor;
+use mercury_workloads::images::ImageDataset;
+use mercury_workloads::sequences::SeqDataset;
+
+const CLASSES: usize = 8;
+const EPOCHS: usize = 14;
+
+fn datasets(seq: bool, rng: &mut Rng) -> (Vec<(Tensor, usize)>, Vec<(Tensor, usize)>) {
+    if seq {
+        let ds = SeqDataset::new(CLASSES, SEQ_LEN, SEQ_DIM, 3, 0.05, rng);
+        (ds.generate(24, rng), ds.generate(8, rng))
+    } else {
+        let ds = ImageDataset::new(CLASSES, IMAGE_SIDE, 0.05, rng);
+        (ds.generate(24, rng), ds.generate(8, rng))
+    }
+}
+
+fn train_accuracy(name: &str, mode: ExecMode, seed: u64) -> f64 {
+    let mut rng = Rng::new(seed);
+    let (train, val) = datasets(is_sequence_model(name), &mut rng);
+    let net = build_reduced(name, CLASSES, mode, seed).expect("known model");
+    let mut trainer = Trainer::new(
+        net,
+        TrainerConfig {
+            learning_rate: 0.06,
+            batch_size: 8,
+            adaptive: true,
+        },
+    );
+    for _ in 0..EPOCHS {
+        trainer.train_epoch(&train, &mut rng).expect("training step");
+    }
+    trainer.evaluate(&val).expect("evaluation")
+}
+
+fn main() {
+    println!("# Figure 13: validation accuracy, baseline vs MERCURY");
+    println!("# paper: ~0.7% average drop; {CLASSES} classes, {EPOCHS} epochs, reduced models");
+    println!("model\tbaseline_acc_pct\tmercury_acc_pct\tdrop_pct");
+    let mut total_drop = 0.0;
+    let mut count = 0;
+    for model in all_models() {
+        let seed = 7_000 + count as u64;
+        let base = train_accuracy(&model.name, ExecMode::Exact, seed);
+        let merc = train_accuracy(
+            &model.name,
+            ExecMode::Mercury {
+                config: MercuryConfig::default(),
+                seed: seed ^ 0xABCD,
+            },
+            seed,
+        );
+        let drop = 100.0 * (base - merc);
+        total_drop += drop;
+        count += 1;
+        println!(
+            "{}\t{:.1}\t{:.1}\t{:+.1}",
+            model.name,
+            100.0 * base,
+            100.0 * merc,
+            drop
+        );
+    }
+    println!("# average drop: {:+.2}% (paper: +0.7%)", total_drop / count as f64);
+}

@@ -1,0 +1,12 @@
+//! **Table I**: memory type implementing each MERCURY component on the
+//! Virtex-7 FPGA.
+
+use mercury_fpga::memory_map;
+
+fn main() {
+    println!("# Table I: detailed memory types in the MERCURY design");
+    println!("memory_type\tcomponent");
+    for mapping in memory_map() {
+        println!("{}\t{}", mapping.kind, mapping.component);
+    }
+}

@@ -1,0 +1,61 @@
+//! **Tables II, III, IV**: FPGA resource usage and on-chip power of
+//! MERCURY vs the baseline, swept over MCACHE sets (Table II, 16-way) and
+//! ways (Table III, 64 sets), plus the head-to-head comparison at the
+//! default 1024-entry/16-way point (Table IV).
+
+use mercury_fpga::{baseline_power, baseline_resources, mercury_power, mercury_resources};
+
+fn main() {
+    println!("# Table II: resources & power vs #sets (16 ways)");
+    println!("cache_size\tsets\tslice_luts\tslice_registers\tblock_ram\tdsp48e1\ttotal_power_w");
+    for &sets in &[16usize, 32, 48, 64] {
+        let r = mercury_resources(sets, 16);
+        let p = mercury_power(sets, 16);
+        println!(
+            "{}\t{sets}\t{:.0}\t{:.0}\t{:.1}\t{:.0}\t{:.3}",
+            sets * 16,
+            r.slice_luts,
+            r.slice_registers,
+            r.block_ram,
+            r.dsp48e1,
+            p.total()
+        );
+    }
+
+    println!();
+    println!("# Table III: resources & power vs #ways (64 sets)");
+    println!("cache_size\tways\tslice_luts\tslice_registers\tblock_ram\tdsp48e1\ttotal_power_w");
+    for &ways in &[2usize, 4, 8, 16] {
+        let r = mercury_resources(64, ways);
+        let p = mercury_power(64, ways);
+        println!(
+            "{}\t{ways}\t{:.0}\t{:.0}\t{:.1}\t{:.0}\t{:.3}",
+            64 * ways,
+            r.slice_luts,
+            r.slice_registers,
+            r.block_ram,
+            r.dsp48e1,
+            p.total()
+        );
+    }
+
+    println!();
+    println!("# Table IV: MERCURY vs baseline (1024 entries, 16 ways)");
+    println!("method\tslice_luts\tslice_registers\tblock_ram\tdsp48e1\ttotal_power_w");
+    let br = baseline_resources();
+    let bp = baseline_power();
+    println!(
+        "Baseline\t{:.0}\t{:.0}\t{:.1}\t{:.0}\t{:.3}",
+        br.slice_luts, br.slice_registers, br.block_ram, br.dsp48e1, bp.total()
+    );
+    let mr = mercury_resources(64, 16);
+    let mp = mercury_power(64, 16);
+    println!(
+        "MERCURY\t{:.0}\t{:.0}\t{:.1}\t{:.0}\t{:.3}",
+        mr.slice_luts, mr.slice_registers, mr.block_ram, mr.dsp48e1, mp.total()
+    );
+    println!(
+        "# power ratio: {:.3}x (paper: 1.135x)",
+        mp.total() / bp.total()
+    );
+}

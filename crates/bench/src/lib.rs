@@ -1,0 +1,385 @@
+//! Experiment harness for the MERCURY reproduction.
+//!
+//! [`simulate_model`] walks a [`ModelSpec`], synthesizes per-channel
+//! input-vector streams at the model's similarity profile, probes a real
+//! MCACHE (so HIT/MAU/MNU mixes reflect set conflicts and the
+//! no-replacement policy), feeds the outcomes to the cycle-level
+//! accelerator simulator, and returns a [`RunReport`] — the machinery
+//! behind Figures 14–18.
+//!
+//! Each binary in `src/bin/` regenerates one figure or table of the paper
+//! (see `DESIGN.md` §4 for the index) and prints TSV to stdout.
+
+#![warn(missing_docs)]
+
+use mercury_accel::config::AcceleratorConfig;
+use mercury_accel::fc::{simulate_attention, simulate_fc, FcWork};
+use mercury_accel::sim::{ChannelWork, LayerSim};
+use mercury_core::stats::{LayerStats, RunReport};
+use mercury_mcache::{MCache, MCacheConfig};
+use mercury_models::{LayerSpec, ModelSpec};
+use mercury_tensor::rng::Rng;
+use mercury_workloads::stream::{OutcomeMix, VectorStream};
+
+/// Configuration of a model-level simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelSimConfig {
+    /// Simulated accelerator (dataflow, design, PE count).
+    pub accelerator: AcceleratorConfig,
+    /// MCACHE geometry.
+    pub cache: MCacheConfig,
+    /// Signature length in bits.
+    pub signature_bits: usize,
+    /// Simulate the backward pass (weight-gradient and input-gradient
+    /// convolutions) with forward-signature reuse where kernel dimensions
+    /// match (§III-C2).
+    pub include_backward: bool,
+    /// Apply per-layer stoppage: a layer whose MERCURY cycles exceed its
+    /// baseline runs with detection off (§III-D).
+    pub adaptive: bool,
+    /// Channels sampled per conv layer; cycle counts scale to the full
+    /// channel count. Higher = slower but smoother.
+    pub sampled_channels: usize,
+    /// Seed for workload synthesis.
+    pub seed: u64,
+}
+
+impl Default for ModelSimConfig {
+    fn default() -> Self {
+        ModelSimConfig {
+            accelerator: AcceleratorConfig::paper_default(),
+            cache: MCacheConfig::paper_default(),
+            signature_bits: 20,
+            include_backward: true,
+            adaptive: true,
+            sampled_channels: 4,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Scales every cycle counter in `stats` by `factor` (used to extrapolate
+/// sampled channels to the layer's full channel count).
+fn scale_stats(stats: &mut LayerStats, factor: f64) {
+    let scale = |v: u64| -> u64 { (v as f64 * factor).round() as u64 };
+    stats.hits = scale(stats.hits);
+    stats.maus = scale(stats.maus);
+    stats.mnus = scale(stats.mnus);
+    stats.unique_vectors = scale(stats.unique_vectors);
+    stats.cycles.signature = scale(stats.cycles.signature);
+    stats.cycles.compute = scale(stats.cycles.compute);
+    stats.cycles.baseline = scale(stats.cycles.baseline);
+    stats.cycles.reused_dots = scale(stats.cycles.reused_dots);
+    stats.cycles.computed_dots = scale(stats.cycles.computed_dots);
+}
+
+/// Simulates one conv layer pass (forward, or a backward convolution).
+fn simulate_conv_layer(
+    layer: &LayerSpec,
+    similarity: f64,
+    cfg: &ModelSimConfig,
+    cache: &mut MCache,
+    rng: &mut Rng,
+    signatures_precomputed: bool,
+) -> LayerStats {
+    let LayerSpec::Conv {
+        kernel,
+        in_ch,
+        out_ch,
+        depthwise,
+        name,
+        ..
+    } = layer
+    else {
+        unreachable!("simulate_conv_layer requires a conv spec");
+    };
+
+    // Pointwise (1×1) convolutions have no spatial patch: the input
+    // vector is the channel fiber at each position, and the computation
+    // is a position-batched matrix product. MERCURY treats it like the
+    // fully-connected design (§III-C3), reusing whole output fibers
+    // across similar positions.
+    if *kernel == 1 && !depthwise {
+        let fc_equiv = LayerSpec::Fc {
+            name: name.clone(),
+            inputs: *in_ch,
+            outputs: *out_ch,
+            batch: layer.vectors_per_unit(),
+        };
+        return simulate_dense_layer(
+            &fc_equiv,
+            similarity,
+            cfg,
+            cache,
+            rng,
+            signatures_precomputed,
+        );
+    }
+    let channels = layer.reuse_scopes();
+    let vectors = layer.vectors_per_unit();
+    let filters = layer.filters();
+    let sampled = cfg.sampled_channels.clamp(1, channels);
+
+    let mut sim = LayerSim::new(cfg.accelerator);
+    let mut stats = LayerStats {
+        detection_enabled: true,
+        ..LayerStats::default()
+    };
+    let stream = VectorStream::with_similarity(vectors, similarity.min(0.99), cfg.signature_bits);
+    for _ in 0..sampled {
+        let (outcomes, conflicts) = stream.probe(cache, rng);
+        let mix = OutcomeMix::from_outcomes(&outcomes);
+        stats.hits += mix.hits as u64;
+        stats.maus += mix.maus as u64;
+        stats.mnus += mix.mnus as u64;
+        // "Unique vectors" as the hardware observes them: distinct
+        // signatures resident in MCACHE (Figure 15c counts hundreds per
+        // layer against tens of thousands of patches).
+        stats.unique_vectors += mix.maus as u64;
+        let mut work = ChannelWork::new(&outcomes, filters, *kernel, cfg.signature_bits)
+            .with_insert_conflicts(conflicts);
+        if signatures_precomputed {
+            work = work.with_precomputed_signatures();
+        }
+        sim.push_channel(&work);
+    }
+    stats.cycles = sim.finish();
+    scale_stats(&mut stats, channels as f64 / sampled as f64);
+    stats
+}
+
+/// Simulates an FC or attention layer pass (also the pointwise-conv
+/// equivalent).
+fn simulate_dense_layer(
+    layer: &LayerSpec,
+    similarity: f64,
+    cfg: &ModelSimConfig,
+    cache: &mut MCache,
+    rng: &mut Rng,
+    signatures_precomputed: bool,
+) -> LayerStats {
+    let vectors = layer.vectors_per_unit();
+    let stream = VectorStream::with_similarity(vectors, similarity.min(0.99), cfg.signature_bits);
+    let (outcomes, _) = stream.probe(cache, rng);
+    let mix = OutcomeMix::from_outcomes(&outcomes);
+    let mut stats = LayerStats {
+        hits: mix.hits as u64,
+        maus: mix.maus as u64,
+        mnus: mix.mnus as u64,
+        unique_vectors: mix.maus as u64,
+        detection_enabled: true,
+        ..LayerStats::default()
+    };
+    stats.cycles = match layer {
+        LayerSpec::Fc { inputs, outputs, .. } => {
+            let mut work = FcWork::new(&outcomes, *outputs, *inputs, cfg.signature_bits);
+            if signatures_precomputed {
+                work = work.with_precomputed_signatures();
+            }
+            simulate_fc(&cfg.accelerator, &work)
+        }
+        LayerSpec::Attention { seq_len, dim, .. } => simulate_attention(
+            &cfg.accelerator,
+            &outcomes,
+            *seq_len,
+            *dim,
+            cfg.signature_bits,
+        ),
+        LayerSpec::Conv { .. } => unreachable!("dense layer expected"),
+    };
+    stats
+}
+
+/// Applies the stoppage policy: layers that lose run at baseline with
+/// detection off (a small trial overhead is already paid before stoppage
+/// triggers; it amortizes to ~0 over training and is ignored here).
+fn apply_stoppage(stats: &mut LayerStats) {
+    if stats.cycles.total() > stats.cycles.baseline {
+        stats.detection_enabled = false;
+        stats.cycles.signature = 0;
+        stats.cycles.compute = stats.cycles.baseline;
+        stats.hits = 0;
+        stats.cycles.reused_dots = 0;
+    }
+}
+
+/// Simulates a full training iteration of `spec` (forward plus, when
+/// configured, the two backward convolutions per conv layer) and returns
+/// the per-layer report.
+pub fn simulate_model(spec: &ModelSpec, cfg: &ModelSimConfig) -> RunReport {
+    let mut report = RunReport::new(spec.name.clone());
+    let mut cache = MCache::new(cfg.cache);
+    let mut rng = Rng::new(cfg.seed ^ hash_name(&spec.name));
+
+    // Kernel sizes of the *next* conv layer, for the backward
+    // signature-reuse dimension check (§III-C2).
+    let conv_kernels: Vec<(usize, usize)> = spec
+        .layers
+        .iter()
+        .map(|l| match l {
+            LayerSpec::Conv { kernel, .. } => (*kernel, *kernel),
+            _ => (0, 0),
+        })
+        .collect();
+
+    for (i, layer) in spec.layers.iter().enumerate() {
+        let similarity = spec.layer_similarity(i);
+        let mut stats = match layer {
+            LayerSpec::Conv { .. } => {
+                let mut s =
+                    simulate_conv_layer(layer, similarity, cfg, &mut cache, &mut rng, false);
+                if cfg.include_backward {
+                    // Input-gradient conv (eq. 2): signatures reusable when
+                    // the next conv layer shares this kernel size.
+                    let next_same_kernel = conv_kernels
+                        .iter()
+                        .skip(i + 1)
+                        .find(|&&k| k != (0, 0))
+                        .map(|&k| k == conv_kernels[i])
+                        .unwrap_or(false);
+                    // Gradient similarity runs slightly below input
+                    // similarity (Figure 1b vs 1a).
+                    let grad_sim = similarity * 0.9;
+                    let dx = simulate_conv_layer(
+                        layer,
+                        grad_sim,
+                        cfg,
+                        &mut cache,
+                        &mut rng,
+                        next_same_kernel,
+                    );
+                    s.accumulate(&dx);
+                    // Weight-gradient conv (eq. 1): fresh signatures.
+                    let dw =
+                        simulate_conv_layer(layer, grad_sim, cfg, &mut cache, &mut rng, false);
+                    s.accumulate(&dw);
+                }
+                s
+            }
+            _ => {
+                let mut s =
+                    simulate_dense_layer(layer, similarity, cfg, &mut cache, &mut rng, false);
+                if cfg.include_backward {
+                    // FC/attention backward reuses the forward signatures
+                    // (the inputs are the same rows).
+                    let grad = simulate_dense_layer(
+                        layer,
+                        similarity * 0.9,
+                        cfg,
+                        &mut cache,
+                        &mut rng,
+                        true,
+                    );
+                    s.accumulate(&grad);
+                }
+                s
+            }
+        };
+        if cfg.adaptive {
+            apply_stoppage(&mut stats);
+        }
+        report.push(stats);
+    }
+    report
+}
+
+fn hash_name(name: &str) -> u64 {
+    name.bytes()
+        .fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+}
+
+/// Prints a TSV header line.
+pub fn tsv_header(columns: &[&str]) {
+    println!("{}", columns.join("\t"));
+}
+
+/// Formats a float with 3 decimal places for TSV output.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercury_accel::config::{Dataflow, Design};
+    use mercury_models::{mobilenet_v2, transformer, vgg13};
+
+    fn quick_cfg() -> ModelSimConfig {
+        ModelSimConfig {
+            sampled_channels: 2,
+            ..ModelSimConfig::default()
+        }
+    }
+
+    #[test]
+    fn vgg13_simulation_shows_speedup() {
+        let report = simulate_model(&vgg13(), &quick_cfg());
+        assert_eq!(report.layers.len(), vgg13().layers.len());
+        let speedup = report.speedup();
+        assert!(
+            (1.4..2.6).contains(&speedup),
+            "VGG13 speedup {speedup} out of the paper's plausible band"
+        );
+    }
+
+    #[test]
+    fn transformer_simulation_runs() {
+        let report = simulate_model(&transformer(), &quick_cfg());
+        assert!(report.speedup() > 1.0, "transformer speedup {}", report.speedup());
+    }
+
+    #[test]
+    fn backward_increases_work() {
+        let mut cfg = quick_cfg();
+        cfg.include_backward = false;
+        let fwd = simulate_model(&vgg13(), &cfg);
+        cfg.include_backward = true;
+        let both = simulate_model(&vgg13(), &cfg);
+        assert!(both.total_cycles().baseline > fwd.total_cycles().baseline);
+    }
+
+    #[test]
+    fn adaptive_never_hurts() {
+        let mut cfg = quick_cfg();
+        cfg.adaptive = false;
+        let plain = simulate_model(&mobilenet_v2(), &cfg);
+        cfg.adaptive = true;
+        let adaptive = simulate_model(&mobilenet_v2(), &cfg);
+        assert!(adaptive.total_cycles().total() <= plain.total_cycles().total());
+        // MobileNet's depthwise layers cannot amortize signatures: some
+        // layers must be off (Figure 14a shows off-layers for MobNet-V2).
+        let (_, off) = adaptive.detection_counts();
+        assert!(off > 0, "expected some stopped layers in MobileNet-V2");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = simulate_model(&vgg13(), &quick_cfg());
+        let b = simulate_model(&vgg13(), &quick_cfg());
+        assert_eq!(a.total_cycles(), b.total_cycles());
+    }
+
+    #[test]
+    fn dataflow_ordering_matches_paper() {
+        let mut cfg = quick_cfg();
+        let speedup = |flow: Dataflow, cfg: &mut ModelSimConfig| {
+            cfg.accelerator.dataflow = flow;
+            simulate_model(&vgg13(), cfg).speedup()
+        };
+        let rs = speedup(Dataflow::RowStationary, &mut cfg);
+        let ws = speedup(Dataflow::WeightStationary, &mut cfg);
+        let is = speedup(Dataflow::InputStationary, &mut cfg);
+        assert!(rs > ws && ws > is, "rs {rs} ws {ws} is {is}");
+        assert!(is > 1.0);
+    }
+
+    #[test]
+    fn sync_design_is_not_faster_than_async() {
+        let mut cfg = quick_cfg();
+        cfg.accelerator.design = Design::Synchronous;
+        let sync = simulate_model(&vgg13(), &cfg);
+        cfg.accelerator.design = Design::Asynchronous { filter_slots: 4 };
+        let asyn = simulate_model(&vgg13(), &cfg);
+        assert!(asyn.total_cycles().total() <= sync.total_cycles().total());
+    }
+}

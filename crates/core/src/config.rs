@@ -1,0 +1,104 @@
+use mercury_accel::config::AcceleratorConfig;
+use mercury_mcache::MCacheConfig;
+
+/// Configuration of the full MERCURY system.
+///
+/// Defaults mirror the paper's evaluation setup: a 168-PE row-stationary
+/// array, a 1024-entry 16-way MCACHE, 20-bit initial signatures growing to
+/// at most 64 bits, K = 5 plateau iterations per growth step, and T = 3
+/// consecutive losing batches before a layer's similarity detection is
+/// switched off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MercuryConfig {
+    /// Simulated accelerator (PE count, dataflow, sync/async design).
+    pub accelerator: AcceleratorConfig,
+    /// MCACHE geometry.
+    pub cache: MCacheConfig,
+    /// Signature length at the start of training (the paper suggests ~20).
+    pub initial_signature_bits: usize,
+    /// Upper bound on adaptive signature growth.
+    pub max_signature_bits: usize,
+    /// `K`: consecutive no-change loss iterations before the signature
+    /// grows by one bit (§III-D).
+    pub plateau_window: usize,
+    /// Relative loss change below which two iterations count as "no
+    /// change" for the plateau detector.
+    pub plateau_tolerance: f64,
+    /// `T`: consecutive batches where signature cost exceeds baseline cost
+    /// before a layer's similarity detection is turned off (§III-D).
+    pub stoppage_window: usize,
+}
+
+impl MercuryConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when signature bounds are inverted or zero, or
+    /// windows are zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.initial_signature_bits == 0 {
+            return Err("initial signature length must be positive".to_string());
+        }
+        if self.max_signature_bits < self.initial_signature_bits {
+            return Err(format!(
+                "max signature bits {} below initial {}",
+                self.max_signature_bits, self.initial_signature_bits
+            ));
+        }
+        if self.max_signature_bits > mercury_rpq::MAX_SIGNATURE_BITS {
+            return Err(format!(
+                "max signature bits {} exceeds supported {}",
+                self.max_signature_bits,
+                mercury_rpq::MAX_SIGNATURE_BITS
+            ));
+        }
+        if self.plateau_window == 0 || self.stoppage_window == 0 {
+            return Err("adaptation windows must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for MercuryConfig {
+    fn default() -> Self {
+        MercuryConfig {
+            accelerator: AcceleratorConfig::paper_default(),
+            cache: MCacheConfig::paper_default(),
+            initial_signature_bits: 20,
+            max_signature_bits: 64,
+            plateau_window: 5,
+            plateau_tolerance: 1e-3,
+            stoppage_window: 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_paper_shaped() {
+        let c = MercuryConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.initial_signature_bits, 20);
+        assert_eq!(c.cache.entries(), 1024);
+        assert_eq!(c.accelerator.num_pes, 168);
+    }
+
+    #[test]
+    fn validation_catches_bad_bounds() {
+        let mut c = MercuryConfig::default();
+        c.max_signature_bits = 10;
+        assert!(c.validate().is_err());
+        c.max_signature_bits = 500;
+        assert!(c.validate().is_err());
+        c = MercuryConfig::default();
+        c.plateau_window = 0;
+        assert!(c.validate().is_err());
+        c = MercuryConfig::default();
+        c.initial_signature_bits = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,528 @@
+use crate::stats::LayerStats;
+use crate::{MercuryConfig, MercuryError};
+use mercury_accel::sim::{ChannelWork, LayerSim};
+use mercury_mcache::{HitKind, Hitmap, MCache, SignatureTable};
+use mercury_rpq::analysis::unique_signature_count;
+use mercury_rpq::{ProjectionMatrix, Signature, SignatureGenerator};
+use mercury_tensor::conv::{extract_patches, ConvGeometry};
+use mercury_tensor::rng::Rng;
+use mercury_tensor::{ops, Tensor, TensorError};
+use std::collections::HashMap;
+
+/// Signatures saved by a forward pass, to be reloaded during the backward
+/// pass of the previous layer (paper §III-C2: `Oᵢ = Iᵢ₊₁`, so layer `i+1`'s
+/// input signatures describe layer `i`'s output gradients' similarity
+/// structure when the kernel dimensions match).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SavedSignatures {
+    /// Kernel size `(k1, k2)` the signatures were generated for.
+    pub kernel: (usize, usize),
+    /// Signature length in bits at generation time.
+    pub bits: usize,
+    /// One signature list per channel, in patch order.
+    pub per_channel: Vec<Vec<Signature>>,
+}
+
+impl SavedSignatures {
+    /// Whether these signatures apply to a convolution with the given
+    /// kernel size and per-channel patch count.
+    pub fn compatible(&self, kernel: (usize, usize), patches_per_channel: usize) -> bool {
+        self.kernel == kernel
+            && self
+                .per_channel
+                .iter()
+                .all(|sigs| sigs.len() == patches_per_channel)
+    }
+}
+
+/// Result of a MERCURY convolution pass.
+#[derive(Debug, Clone)]
+pub struct ConvForward {
+    /// Layer output `[F, out_h, out_w]`. Where MCACHE hits occurred, the
+    /// producer vector's results stand in for the consumer's — the
+    /// approximation whose accuracy impact Figure 13 measures.
+    pub output: Tensor,
+    /// Per-pass statistics and cycle accounting.
+    pub stats: LayerStats,
+    /// Signatures generated (or reused) by this pass, for backward reuse.
+    pub signatures: SavedSignatures,
+}
+
+/// The MERCURY convolution engine: similarity detection + computation
+/// reuse for one layer at a time, with a persistent MCACHE and projection
+/// matrices shared across calls.
+///
+/// See the [crate docs](crate) for the full pipeline and an example.
+#[derive(Debug)]
+pub struct ConvEngine {
+    config: MercuryConfig,
+    cache: MCache,
+    rng: Rng,
+    /// One projection matrix per patch length, grown lazily.
+    projections: HashMap<usize, ProjectionMatrix>,
+    signature_bits: usize,
+    detection_enabled: bool,
+}
+
+impl ConvEngine {
+    /// Creates an engine with the given configuration and RNG seed (the
+    /// seed pins down the random projection matrices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails
+    /// [`MercuryConfig::validate`] — configurations are build-time
+    /// constants in every caller, so this is treated as a programming
+    /// error.
+    pub fn new(config: MercuryConfig, seed: u64) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid MercuryConfig: {msg}");
+        }
+        ConvEngine {
+            config,
+            cache: MCache::new(config.cache),
+            rng: Rng::new(seed),
+            projections: HashMap::new(),
+            signature_bits: config.initial_signature_bits,
+            detection_enabled: true,
+        }
+    }
+
+    /// Current signature length in bits.
+    pub fn signature_bits(&self) -> usize {
+        self.signature_bits
+    }
+
+    /// Grows the signature by one bit, up to the configured maximum.
+    /// Returns the new length.
+    pub fn grow_signature(&mut self) -> usize {
+        if self.signature_bits < self.config.max_signature_bits {
+            self.signature_bits += 1;
+        }
+        self.signature_bits
+    }
+
+    /// Enables or disables similarity detection (the stoppage mechanism of
+    /// §III-D). With detection off, passes run at baseline cost.
+    pub fn set_detection(&mut self, enabled: bool) {
+        self.detection_enabled = enabled;
+    }
+
+    /// Whether similarity detection is currently enabled.
+    pub fn detection_enabled(&self) -> bool {
+        self.detection_enabled
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &MercuryConfig {
+        &self.config
+    }
+
+    fn projection_for(&mut self, patch_len: usize) -> &ProjectionMatrix {
+        let bits = self.signature_bits;
+        let rng = &mut self.rng;
+        let proj = self
+            .projections
+            .entry(patch_len)
+            .or_insert_with(|| ProjectionMatrix::generate(patch_len, bits, rng));
+        if proj.num_filters() < bits {
+            proj.extend_filters(bits - proj.num_filters(), rng);
+        }
+        proj
+    }
+
+    /// Runs a MERCURY convolution: `input` `[C, H, W]` against `kernels`
+    /// `[F, C, k1, k2]`, generating fresh signatures per channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MercuryError::Tensor`] for malformed operand shapes.
+    pub fn forward(
+        &mut self,
+        input: &Tensor,
+        kernels: &Tensor,
+        stride: usize,
+        pad: usize,
+    ) -> Result<ConvForward, MercuryError> {
+        self.run(input, kernels, stride, pad, None)
+    }
+
+    /// Runs a MERCURY convolution reusing previously saved signatures
+    /// (backward-pass reuse, §III-C2). When `saved` is incompatible with
+    /// this convolution's geometry, signatures are recalculated, exactly
+    /// as the paper prescribes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MercuryError::Tensor`] for malformed operand shapes.
+    pub fn forward_reusing(
+        &mut self,
+        input: &Tensor,
+        kernels: &Tensor,
+        stride: usize,
+        pad: usize,
+        saved: &SavedSignatures,
+    ) -> Result<ConvForward, MercuryError> {
+        self.run(input, kernels, stride, pad, Some(saved))
+    }
+
+    fn run(
+        &mut self,
+        input: &Tensor,
+        kernels: &Tensor,
+        stride: usize,
+        pad: usize,
+        saved: Option<&SavedSignatures>,
+    ) -> Result<ConvForward, MercuryError> {
+        if input.rank() != 3 {
+            return Err(TensorError::RankMismatch {
+                expected: 3,
+                actual: input.rank(),
+            }
+            .into());
+        }
+        if kernels.rank() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: kernels.rank(),
+            }
+            .into());
+        }
+        let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let (f, kc, kh, kw) = (
+            kernels.shape()[0],
+            kernels.shape()[1],
+            kernels.shape()[2],
+            kernels.shape()[3],
+        );
+        if c != kc {
+            return Err(TensorError::ShapeMismatch {
+                left: input.shape().to_vec(),
+                right: kernels.shape().to_vec(),
+            }
+            .into());
+        }
+        let geom = ConvGeometry::new(h, w, kh, kw, stride, pad).map_err(MercuryError::Tensor)?;
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let patches_n = geom.num_patches();
+        let plen = geom.patch_len();
+
+        let mut output = Tensor::zeros(&[f, oh, ow]);
+        let mut stats = LayerStats {
+            detection_enabled: self.detection_enabled,
+            ..LayerStats::default()
+        };
+        let mut sim = LayerSim::new(self.config.accelerator);
+        let mut saved_out: Vec<Vec<Signature>> = Vec::with_capacity(c);
+
+        let reuse_saved = saved
+            .map(|s| s.compatible((kh, kw), patches_n) && s.bits == self.signature_bits)
+            .unwrap_or(false);
+
+        for ch in 0..c {
+            let channel = Tensor::from_vec(
+                input.data()[ch * h * w..(ch + 1) * h * w].to_vec(),
+                &[h, w],
+            )
+            .map_err(MercuryError::Tensor)?;
+            let patches = extract_patches(&channel, &geom).map_err(MercuryError::Tensor)?;
+
+            if !self.detection_enabled {
+                // Detection off: plain exact convolution at baseline cost.
+                self.accumulate_exact(&mut output, &patches, kernels, ch, f, plen);
+                let outcomes = vec![HitKind::Mnu; patches_n];
+                let work = ChannelWork::new(&outcomes, f, kh, 0);
+                sim.push_channel(&work);
+                stats.mnus += patches_n as u64;
+                stats.unique_vectors += patches_n as u64;
+                saved_out.push(Vec::new());
+                continue;
+            }
+
+            // ---- Similarity detection ------------------------------------
+            let sigs: Vec<Signature> = if reuse_saved {
+                saved.unwrap().per_channel[ch].clone()
+            } else {
+                let bits = self.signature_bits;
+                let proj = self.projection_for(plen);
+                let generator = SignatureGenerator::new(proj);
+                generator.signatures_for_patches_prefix(&patches, bits)
+            };
+
+            // New channel: MCACHE, signature table, and hitmap restart.
+            self.cache.clear();
+            self.cache.begin_insert_batch();
+            let conflicts_before = self.cache.stats().insert_conflicts;
+            let mut table = SignatureTable::with_capacity(patches_n);
+            let mut hitmap = Hitmap::with_capacity(patches_n);
+            for &sig in &sigs {
+                let outcome = self.cache.probe_insert(sig);
+                table.push(sig, outcome.entry);
+                hitmap.push(outcome.kind, outcome.entry);
+            }
+            let conflicts = self.cache.stats().insert_conflicts - conflicts_before;
+
+            // ---- Reuse-aware computation ---------------------------------
+            for fi in 0..f {
+                // Filter change: flash-clear VD bits, keep tags (§III-C1).
+                self.cache.invalidate_all_data();
+                let filt = &kernels.data()[(fi * kc + ch) * plen..(fi * kc + ch + 1) * plen];
+                for v in 0..patches_n {
+                    let row = &patches.data()[v * plen..(v + 1) * plen];
+                    let value = match hitmap.get(v).expect("hitmap covers all vectors") {
+                        HitKind::Hit => {
+                            let entry = hitmap.entry(v).expect("hit entries resolve");
+                            match self.cache.read_counted(entry, 0) {
+                                Some(cached) => cached,
+                                // Producer result unavailable (should not
+                                // happen in stream order); compute exactly.
+                                None => ops::dot(row, filt),
+                            }
+                        }
+                        HitKind::Mau => {
+                            let value = ops::dot(row, filt);
+                            let entry = hitmap.entry(v).expect("mau entries resolve");
+                            self.cache.write(entry, 0, value)?;
+                            value
+                        }
+                        HitKind::Mnu => ops::dot(row, filt),
+                    };
+                    let od = output.data_mut();
+                    od[fi * oh * ow + v] += value;
+                }
+            }
+
+            // ---- Accounting ----------------------------------------------
+            let outcomes: Vec<HitKind> = hitmap.iter().map(|(k, _)| k).collect();
+            let mut work = ChannelWork::new(&outcomes, f, kh, self.signature_bits)
+                .with_insert_conflicts(conflicts);
+            if reuse_saved {
+                work = work.with_precomputed_signatures();
+            }
+            sim.push_channel(&work);
+            let (hits, maus, mnus) = hitmap.counts();
+            stats.hits += hits as u64;
+            stats.maus += maus as u64;
+            stats.mnus += mnus as u64;
+            stats.unique_vectors += unique_signature_count(&sigs) as u64;
+            saved_out.push(sigs);
+        }
+
+        stats.cycles = sim.finish();
+        Ok(ConvForward {
+            output,
+            stats,
+            signatures: SavedSignatures {
+                kernel: (kh, kw),
+                bits: self.signature_bits,
+                per_channel: saved_out,
+            },
+        })
+    }
+
+    fn accumulate_exact(
+        &self,
+        output: &mut Tensor,
+        patches: &Tensor,
+        kernels: &Tensor,
+        ch: usize,
+        f: usize,
+        plen: usize,
+    ) {
+        let kc = kernels.shape()[1];
+        let patches_n = patches.shape()[0];
+        let spatial = output.shape()[1] * output.shape()[2];
+        let od = output.data_mut();
+        for fi in 0..f {
+            let filt = &kernels.data()[(fi * kc + ch) * plen..(fi * kc + ch + 1) * plen];
+            for v in 0..patches_n {
+                let row = &patches.data()[v * plen..(v + 1) * plen];
+                od[fi * spatial + v] += ops::dot(row, filt);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercury_tensor::conv::conv2d_multi;
+
+    fn engine(seed: u64) -> ConvEngine {
+        ConvEngine::new(MercuryConfig::default(), seed)
+    }
+
+    #[test]
+    fn output_shape_matches_reference() {
+        let mut rng = Rng::new(1);
+        let input = Tensor::randn(&[2, 7, 7], &mut rng);
+        let kernels = Tensor::randn(&[3, 2, 3, 3], &mut rng);
+        let out = engine(1).forward(&input, &kernels, 1, 0).unwrap();
+        assert_eq!(out.output.shape(), &[3, 5, 5]);
+    }
+
+    #[test]
+    fn random_input_matches_exact_convolution() {
+        // With i.i.d. random inputs, distinct patches essentially never
+        // collide at 20 bits, so MERCURY output == exact convolution.
+        let mut rng = Rng::new(2);
+        let input = Tensor::randn(&[1, 6, 6], &mut rng);
+        let kernels = Tensor::randn(&[2, 1, 3, 3], &mut rng);
+        let got = engine(2).forward(&input, &kernels, 1, 0).unwrap();
+        let want = conv2d_multi(&input, &kernels, 1, 0).unwrap();
+        for (g, w) in got.output.data().iter().zip(want.data()) {
+            assert!((g - w).abs() < 1e-4, "got {g}, want {w}");
+        }
+    }
+
+    #[test]
+    fn constant_input_reuses_almost_everything() {
+        // Every patch of a constant image is identical: one MAU per
+        // channel, the rest HITs, and the output still matches exactly.
+        // 16x16 input and 64 filters: large enough that PE-set chunks hold
+        // several vectors and the signature phase amortizes, as in real
+        // conv layers.
+        let input = Tensor::full(&[1, 16, 16], 0.5);
+        let mut rng = Rng::new(3);
+        let kernels = Tensor::randn(&[64, 1, 3, 3], &mut rng);
+        let out = engine(3).forward(&input, &kernels, 1, 0).unwrap();
+        assert_eq!(out.stats.maus, 1);
+        assert_eq!(out.stats.hits, 196 - 1);
+        assert_eq!(out.stats.unique_vectors, 1);
+        let want = conv2d_multi(&input, &kernels, 1, 0).unwrap();
+        for (g, w) in out.output.data().iter().zip(want.data()) {
+            assert!((g - w).abs() < 1e-4);
+        }
+        assert!(out.stats.cycles.speedup() > 1.0);
+    }
+
+    #[test]
+    fn hit_reuses_producer_value() {
+        // A 3x4 image with constant rows: its two 3x3 patches are
+        // identical, so the second's output must equal the first's exactly
+        // (reuse substitutes the producer's result).
+        let img = Tensor::from_vec(
+            vec![
+                1.0, 1.0, 1.0, 1.0, //
+                2.0, 2.0, 2.0, 2.0, //
+                3.0, 3.0, 3.0, 3.0,
+            ],
+            &[1, 3, 4],
+        )
+        .unwrap();
+        let mut rng = Rng::new(4);
+        let kernels = Tensor::randn(&[1, 1, 3, 3], &mut rng);
+        let out = engine(4).forward(&img, &kernels, 1, 0).unwrap();
+        assert_eq!(out.output.shape(), &[1, 1, 2]);
+        // Both patches identical → outputs identical.
+        assert_eq!(out.output.data()[0], out.output.data()[1]);
+        assert_eq!(out.stats.hits, 1);
+    }
+
+    #[test]
+    fn detection_off_is_exact_and_baseline_cost() {
+        let mut rng = Rng::new(5);
+        let input = Tensor::randn(&[2, 6, 6], &mut rng);
+        let kernels = Tensor::randn(&[2, 2, 3, 3], &mut rng);
+        let mut e = engine(5);
+        e.set_detection(false);
+        let out = e.forward(&input, &kernels, 1, 0).unwrap();
+        assert!(!out.stats.detection_enabled);
+        assert_eq!(out.stats.hits, 0);
+        assert_eq!(out.stats.cycles.signature, 0);
+        let want = conv2d_multi(&input, &kernels, 1, 0).unwrap();
+        for (g, w) in out.output.data().iter().zip(want.data()) {
+            assert!((g - w).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn saved_signatures_skip_signature_phase() {
+        let input = Tensor::full(&[1, 8, 8], 1.0);
+        let mut rng = Rng::new(6);
+        let kernels = Tensor::randn(&[2, 1, 3, 3], &mut rng);
+        let mut e = engine(6);
+        let first = e.forward(&input, &kernels, 1, 0).unwrap();
+        let second = e
+            .forward_reusing(&input, &kernels, 1, 0, &first.signatures)
+            .unwrap();
+        assert_eq!(second.stats.cycles.signature, 0);
+        assert!(second.stats.cycles.total() < first.stats.cycles.total());
+        // Outcomes identical since signatures identical.
+        assert_eq!(second.stats.hits, first.stats.hits);
+    }
+
+    #[test]
+    fn incompatible_saved_signatures_fall_back() {
+        let input = Tensor::full(&[1, 8, 8], 1.0);
+        let mut rng = Rng::new(7);
+        let kernels3 = Tensor::randn(&[1, 1, 3, 3], &mut rng);
+        let kernels5 = Tensor::randn(&[1, 1, 5, 5], &mut rng);
+        let mut e = engine(7);
+        let first = e.forward(&input, &kernels3, 1, 0).unwrap();
+        // 5x5 kernels: saved 3x3 signatures are incompatible → fresh ones.
+        let second = e
+            .forward_reusing(&input, &kernels5, 1, 0, &first.signatures)
+            .unwrap();
+        assert!(second.stats.cycles.signature > 0);
+        assert_eq!(second.signatures.kernel, (5, 5));
+    }
+
+    #[test]
+    fn grow_signature_respects_max() {
+        let mut config = MercuryConfig::default();
+        config.initial_signature_bits = 63;
+        config.max_signature_bits = 64;
+        let mut e = ConvEngine::new(config, 8);
+        assert_eq!(e.grow_signature(), 64);
+        assert_eq!(e.grow_signature(), 64); // saturates
+    }
+
+    #[test]
+    fn growing_signature_extends_projection() {
+        let input = Tensor::full(&[1, 6, 6], 2.0);
+        let mut rng = Rng::new(9);
+        let kernels = Tensor::randn(&[1, 1, 3, 3], &mut rng);
+        let mut e = engine(9);
+        let a = e.forward(&input, &kernels, 1, 0).unwrap();
+        e.grow_signature();
+        let b = e.forward(&input, &kernels, 1, 0).unwrap();
+        assert_eq!(a.signatures.bits, 20);
+        assert_eq!(b.signatures.bits, 21);
+        // Constant image still fully reuses at the longer signature.
+        assert_eq!(b.stats.hits, a.stats.hits);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let mut e = engine(10);
+        let input = Tensor::zeros(&[2, 6, 6]);
+        let bad_kernels = Tensor::zeros(&[2, 3, 3, 3]); // channel mismatch
+        assert!(e.forward(&input, &bad_kernels, 1, 0).is_err());
+        let flat = Tensor::zeros(&[6, 6]);
+        let kernels = Tensor::zeros(&[1, 1, 3, 3]);
+        assert!(e.forward(&flat, &kernels, 1, 0).is_err());
+    }
+
+    #[test]
+    fn stride_and_padding_are_honoured() {
+        let mut rng = Rng::new(11);
+        let input = Tensor::randn(&[1, 8, 8], &mut rng);
+        let kernels = Tensor::randn(&[1, 1, 3, 3], &mut rng);
+        let out = engine(11).forward(&input, &kernels, 2, 1).unwrap();
+        let want = conv2d_multi(&input, &kernels, 2, 1).unwrap();
+        assert_eq!(out.output.shape(), want.shape());
+    }
+
+    #[test]
+    fn multichannel_accumulation_matches_reference() {
+        let mut rng = Rng::new(12);
+        let input = Tensor::randn(&[3, 5, 5], &mut rng);
+        let kernels = Tensor::randn(&[2, 3, 3, 3], &mut rng);
+        let out = engine(12).forward(&input, &kernels, 1, 0).unwrap();
+        let want = conv2d_multi(&input, &kernels, 1, 0).unwrap();
+        for (g, w) in out.output.data().iter().zip(want.data()) {
+            assert!((g - w).abs() < 1e-3);
+        }
+    }
+}

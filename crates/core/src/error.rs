@@ -1,0 +1,67 @@
+use mercury_mcache::McacheError;
+use mercury_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for MERCURY engine operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MercuryError {
+    /// An underlying tensor operation failed (shape mismatch etc.).
+    Tensor(TensorError),
+    /// An underlying MCACHE operation failed.
+    Cache(McacheError),
+    /// The engine configuration is invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for MercuryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MercuryError::Tensor(e) => write!(f, "tensor error: {e}"),
+            MercuryError::Cache(e) => write!(f, "mcache error: {e}"),
+            MercuryError::InvalidConfig(msg) => write!(f, "invalid mercury configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for MercuryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MercuryError::Tensor(e) => Some(e),
+            MercuryError::Cache(e) => Some(e),
+            MercuryError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<TensorError> for MercuryError {
+    fn from(e: TensorError) -> Self {
+        MercuryError::Tensor(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<McacheError> for MercuryError {
+    fn from(e: McacheError) -> Self {
+        MercuryError::Cache(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        let e = MercuryError::from(TensorError::ZeroDim);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("tensor error"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MercuryError>();
+    }
+}

@@ -1,0 +1,477 @@
+use crate::stats::LayerStats;
+use crate::{MercuryConfig, MercuryError};
+use mercury_accel::fc::{simulate_attention, simulate_fc, FcWork};
+use mercury_mcache::{HitKind, MCache, SignatureTable};
+use mercury_rpq::analysis::unique_signature_count;
+use mercury_rpq::{ProjectionMatrix, Signature, SignatureGenerator};
+use mercury_tensor::rng::Rng;
+use mercury_tensor::{ops, Tensor, TensorError};
+use std::collections::HashMap;
+
+/// Result of a MERCURY fully-connected pass.
+#[derive(Debug, Clone)]
+pub struct FcForward {
+    /// Layer output `[N, M]`; rows of inputs that hit in MCACHE receive
+    /// their producer row's results.
+    pub output: Tensor,
+    /// Per-pass statistics and cycle accounting.
+    pub stats: LayerStats,
+    /// Per-input signatures, for backward reuse.
+    pub signatures: Vec<Signature>,
+}
+
+/// Result of a MERCURY attention pass.
+#[derive(Debug, Clone)]
+pub struct AttentionForward {
+    /// Attention output `[t, k]` (`Y = (X·Xᵀ)·X`).
+    pub output: Tensor,
+    /// Per-pass statistics and cycle accounting (both matrix products).
+    pub stats: LayerStats,
+    /// Per-sequence-position signatures.
+    pub signatures: Vec<Signature>,
+}
+
+/// The MERCURY engine for fully-connected and attention layers
+/// (§III-C3/4): one PE per input vector, block-wise weight streaming, and
+/// earlier-PE result forwarding on signature matches.
+#[derive(Debug)]
+pub struct FcEngine {
+    config: MercuryConfig,
+    cache: MCache,
+    rng: Rng,
+    projections: HashMap<usize, ProjectionMatrix>,
+    signature_bits: usize,
+    detection_enabled: bool,
+}
+
+impl FcEngine {
+    /// Creates an FC engine; the seed pins down the projection matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`MercuryConfig::validate`].
+    pub fn new(config: MercuryConfig, seed: u64) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid MercuryConfig: {msg}");
+        }
+        FcEngine {
+            config,
+            cache: MCache::new(config.cache),
+            rng: Rng::new(seed),
+            projections: HashMap::new(),
+            signature_bits: config.initial_signature_bits,
+            detection_enabled: true,
+        }
+    }
+
+    /// Current signature length in bits.
+    pub fn signature_bits(&self) -> usize {
+        self.signature_bits
+    }
+
+    /// Grows the signature by one bit up to the configured maximum;
+    /// returns the new length.
+    pub fn grow_signature(&mut self) -> usize {
+        if self.signature_bits < self.config.max_signature_bits {
+            self.signature_bits += 1;
+        }
+        self.signature_bits
+    }
+
+    /// Enables or disables similarity detection.
+    pub fn set_detection(&mut self, enabled: bool) {
+        self.detection_enabled = enabled;
+    }
+
+    /// Whether similarity detection is enabled.
+    pub fn detection_enabled(&self) -> bool {
+        self.detection_enabled
+    }
+
+    fn signatures_for_rows(&mut self, rows: &Tensor) -> Vec<Signature> {
+        let len = rows.shape()[1];
+        let bits = self.signature_bits;
+        let rng = &mut self.rng;
+        let proj = self
+            .projections
+            .entry(len)
+            .or_insert_with(|| ProjectionMatrix::generate(len, bits, rng));
+        if proj.num_filters() < bits {
+            proj.extend_filters(bits - proj.num_filters(), rng);
+        }
+        let generator = SignatureGenerator::new(proj);
+        generator.signatures_for_patches_prefix(rows, bits)
+    }
+
+    /// Runs a MERCURY fully-connected layer: `inputs` `[N, L]` times
+    /// `weights` `[L, M]`, reusing whole output rows across
+    /// similar-signature inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MercuryError::Tensor`] for malformed shapes.
+    pub fn forward(&mut self, inputs: &Tensor, weights: &Tensor) -> Result<FcForward, MercuryError> {
+        if inputs.rank() != 2 || weights.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: if inputs.rank() != 2 {
+                    inputs.rank()
+                } else {
+                    weights.rank()
+                },
+            }
+            .into());
+        }
+        let (n, l) = (inputs.shape()[0], inputs.shape()[1]);
+        let (l2, m) = (weights.shape()[0], weights.shape()[1]);
+        if l != l2 {
+            return Err(TensorError::ShapeMismatch {
+                left: inputs.shape().to_vec(),
+                right: weights.shape().to_vec(),
+            }
+            .into());
+        }
+
+        let mut output = Tensor::zeros(&[n, m]);
+        let mut stats = LayerStats {
+            detection_enabled: self.detection_enabled,
+            ..LayerStats::default()
+        };
+
+        if !self.detection_enabled {
+            let exact = ops::matmul(inputs, weights).map_err(MercuryError::Tensor)?;
+            output = exact;
+            let outcomes = vec![HitKind::Mnu; n];
+            stats.mnus = n as u64;
+            stats.unique_vectors = n as u64;
+            stats.cycles = simulate_fc(
+                &self.config.accelerator,
+                &FcWork::new(&outcomes, m, l, 0).with_precomputed_signatures(),
+            );
+            // With detection off the engine pays no signature cost and no
+            // reuse: force MERCURY total == baseline.
+            stats.cycles.signature = 0;
+            stats.cycles.compute = stats.cycles.baseline;
+            return Ok(FcForward {
+                output,
+                stats,
+                signatures: Vec::new(),
+            });
+        }
+
+        let sigs = self.signatures_for_rows(inputs);
+
+        // Fresh block of inputs: clear cache (the FC design splits MCACHE
+        // per block; one shared cache per call is equivalent for results).
+        self.cache.clear();
+        self.cache.begin_insert_batch();
+        let conflicts_before = self.cache.stats().insert_conflicts;
+        let mut table = SignatureTable::with_capacity(n);
+        let mut outcomes = Vec::with_capacity(n);
+        // Producer row per cache line (set*ways + way → input row index).
+        let ways = self.config.cache.ways;
+        let mut producer: HashMap<usize, usize> = HashMap::new();
+
+        for (i, &sig) in sigs.iter().enumerate() {
+            let out = self.cache.probe_insert(sig);
+            table.push(sig, out.entry);
+            outcomes.push(out.kind);
+            if out.kind == HitKind::Mau {
+                let id = out.entry.expect("mau resolves to an entry");
+                producer.insert(id.set * ways + id.way, i);
+            }
+        }
+        let conflicts = self.cache.stats().insert_conflicts - conflicts_before;
+
+        for i in 0..n {
+            match outcomes[i] {
+                HitKind::Hit => {
+                    let id = table.entry(i).expect("hit entries resolve");
+                    let src = producer[&(id.set * ways + id.way)];
+                    // The earlier PE forwards its per-weight results.
+                    let (src_row, dst_start) = (src * m, i * m);
+                    let row: Vec<f32> = output.data()[src_row..src_row + m].to_vec();
+                    output.data_mut()[dst_start..dst_start + m].copy_from_slice(&row);
+                    stats.hits += 1;
+                }
+                HitKind::Mau | HitKind::Mnu => {
+                    let row = &inputs.data()[i * l..(i + 1) * l];
+                    let od = output.data_mut();
+                    for j in 0..m {
+                        let mut acc = 0.0;
+                        for (k, &x) in row.iter().enumerate() {
+                            acc += x * weights.data()[k * m + j];
+                        }
+                        od[i * m + j] = acc;
+                    }
+                    if outcomes[i] == HitKind::Mau {
+                        stats.maus += 1;
+                    } else {
+                        stats.mnus += 1;
+                    }
+                }
+            }
+        }
+
+        stats.unique_vectors = unique_signature_count(&sigs) as u64;
+        let work = FcWork::new(&outcomes, m, l, self.signature_bits);
+        stats.cycles = simulate_fc(&self.config.accelerator, &work);
+        // Insertion conflicts serialize through the per-set queues like the
+        // conv path; charge them to the signature phase.
+        stats.cycles.signature +=
+            conflicts * self.config.accelerator.timing.mcache_insert_conflict_cycles;
+
+        Ok(FcForward {
+            output,
+            stats,
+            signatures: sigs,
+        })
+    }
+
+    /// Runs a MERCURY attention layer over `x` `[t, k]`: computes
+    /// `W = X·Xᵀ` then `Y = W·X`, reusing both products' rows across
+    /// similar sequence positions (§III-C4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MercuryError::Tensor`] for malformed shapes.
+    pub fn attention(&mut self, x: &Tensor) -> Result<AttentionForward, MercuryError> {
+        if x.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: x.rank(),
+            }
+            .into());
+        }
+        let (t, k) = (x.shape()[0], x.shape()[1]);
+
+        if !self.detection_enabled {
+            let xt = ops::transpose(x).map_err(MercuryError::Tensor)?;
+            let w = ops::matmul(x, &xt).map_err(MercuryError::Tensor)?;
+            let y = ops::matmul(&w, x).map_err(MercuryError::Tensor)?;
+            let outcomes = vec![HitKind::Mnu; t];
+            let mut stats = LayerStats {
+                mnus: t as u64,
+                unique_vectors: t as u64,
+                detection_enabled: false,
+                ..LayerStats::default()
+            };
+            stats.cycles = simulate_attention(&self.config.accelerator, &outcomes, t, k, 0);
+            stats.cycles.signature = 0;
+            stats.cycles.compute = stats.cycles.baseline;
+            return Ok(AttentionForward {
+                output: y,
+                stats,
+                signatures: Vec::new(),
+            });
+        }
+
+        let sigs = self.signatures_for_rows(x);
+        self.cache.clear();
+        self.cache.begin_insert_batch();
+        let mut outcomes = Vec::with_capacity(t);
+        let ways = self.config.cache.ways;
+        let mut producer: HashMap<usize, usize> = HashMap::new();
+        let mut row_source = Vec::with_capacity(t);
+        for (i, &sig) in sigs.iter().enumerate() {
+            let out = self.cache.probe_insert(sig);
+            outcomes.push(out.kind);
+            match out.kind {
+                HitKind::Hit => {
+                    let id = out.entry.expect("hit resolves");
+                    row_source.push(producer[&(id.set * ways + id.way)]);
+                }
+                HitKind::Mau => {
+                    let id = out.entry.expect("mau resolves");
+                    producer.insert(id.set * ways + id.way, i);
+                    row_source.push(i);
+                }
+                HitKind::Mnu => row_source.push(i),
+            }
+        }
+
+        // W = X·Xᵀ with row reuse.
+        let mut w = Tensor::zeros(&[t, t]);
+        for i in 0..t {
+            if row_source[i] != i {
+                let src = row_source[i];
+                let row: Vec<f32> = w.data()[src * t..src * t + t].to_vec();
+                w.data_mut()[i * t..i * t + t].copy_from_slice(&row);
+                continue;
+            }
+            let xi = &x.data()[i * k..(i + 1) * k];
+            for j in 0..t {
+                let xj = &x.data()[j * k..(j + 1) * k];
+                let v = ops::dot(xi, xj);
+                w.data_mut()[i * t + j] = v;
+            }
+        }
+
+        // Y = W·X with the same row reuse (identical xᵢ ⇒ identical rows).
+        let mut y = Tensor::zeros(&[t, k]);
+        for i in 0..t {
+            if row_source[i] != i {
+                let src = row_source[i];
+                let row: Vec<f32> = y.data()[src * k..src * k + k].to_vec();
+                y.data_mut()[i * k..i * k + k].copy_from_slice(&row);
+                continue;
+            }
+            for j in 0..k {
+                let mut acc = 0.0;
+                for p in 0..t {
+                    acc += w.data()[i * t + p] * x.data()[p * k + j];
+                }
+                y.data_mut()[i * k + j] = acc;
+            }
+        }
+
+        let mut stats = LayerStats {
+            detection_enabled: true,
+            unique_vectors: unique_signature_count(&sigs) as u64,
+            ..LayerStats::default()
+        };
+        for &o in &outcomes {
+            match o {
+                HitKind::Hit => stats.hits += 1,
+                HitKind::Mau => stats.maus += 1,
+                HitKind::Mnu => stats.mnus += 1,
+            }
+        }
+        stats.cycles =
+            simulate_attention(&self.config.accelerator, &outcomes, t, k, self.signature_bits);
+
+        Ok(AttentionForward {
+            output: y,
+            stats,
+            signatures: sigs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(seed: u64) -> FcEngine {
+        FcEngine::new(MercuryConfig::default(), seed)
+    }
+
+    fn randn(shape: &[usize], seed: u64) -> Tensor {
+        Tensor::randn(shape, &mut Rng::new(seed))
+    }
+
+    #[test]
+    fn distinct_inputs_match_exact_matmul() {
+        let inputs = randn(&[6, 16], 1);
+        let weights = randn(&[16, 8], 2);
+        let out = engine(1).forward(&inputs, &weights).unwrap();
+        let want = ops::matmul(&inputs, &weights).unwrap();
+        for (g, w) in out.output.data().iter().zip(want.data()) {
+            assert!((g - w).abs() < 1e-4);
+        }
+        assert_eq!(out.stats.hits, 0);
+    }
+
+    #[test]
+    fn duplicate_rows_reuse_whole_output_rows() {
+        // Minibatch where rows 2..6 duplicate row 0.
+        let base = randn(&[1, 12], 3);
+        let mut data = Vec::new();
+        for _ in 0..5 {
+            data.extend_from_slice(base.data());
+        }
+        let other = randn(&[1, 12], 4);
+        data.extend_from_slice(other.data());
+        let inputs = Tensor::from_vec(data, &[6, 12]).unwrap();
+        let weights = randn(&[12, 7], 5);
+
+        let out = engine(2).forward(&inputs, &weights).unwrap();
+        assert_eq!(out.stats.hits, 4);
+        assert_eq!(out.stats.maus, 2);
+        // Reused rows are bit-identical to the producer row.
+        for i in 1..5 {
+            assert_eq!(
+                &out.output.data()[0..7],
+                &out.output.data()[i * 7..i * 7 + 7]
+            );
+        }
+        // And they match the exact matmul (duplicates are exact here).
+        let want = ops::matmul(&inputs, &weights).unwrap();
+        for (g, w) in out.output.data().iter().zip(want.data()) {
+            assert!((g - w).abs() < 1e-4);
+        }
+        assert!(out.stats.cycles.speedup() > 0.0);
+    }
+
+    #[test]
+    fn detection_off_is_exact() {
+        let inputs = randn(&[4, 8], 6);
+        let weights = randn(&[8, 4], 7);
+        let mut e = engine(3);
+        e.set_detection(false);
+        let out = e.forward(&inputs, &weights).unwrap();
+        let want = ops::matmul(&inputs, &weights).unwrap();
+        assert_eq!(out.output, want);
+        assert_eq!(out.stats.cycles.total(), out.stats.cycles.baseline);
+    }
+
+    #[test]
+    fn fc_rejects_shape_mismatch() {
+        let inputs = randn(&[4, 8], 8);
+        let weights = randn(&[9, 4], 9);
+        assert!(engine(4).forward(&inputs, &weights).is_err());
+    }
+
+    #[test]
+    fn attention_matches_exact_for_distinct_rows() {
+        let x = randn(&[5, 8], 10);
+        let out = engine(5).attention(&x).unwrap();
+        let xt = ops::transpose(&x).unwrap();
+        let w = ops::matmul(&x, &xt).unwrap();
+        let want = ops::matmul(&w, &x).unwrap();
+        for (g, w) in out.output.data().iter().zip(want.data()) {
+            assert!((g - w).abs() < 1e-3);
+        }
+        assert_eq!(out.output.shape(), &[5, 8]);
+    }
+
+    #[test]
+    fn attention_reuses_duplicate_positions() {
+        let base = randn(&[1, 8], 11);
+        let mut data = Vec::new();
+        for _ in 0..4 {
+            data.extend_from_slice(base.data());
+        }
+        let x = Tensor::from_vec(data, &[4, 8]).unwrap();
+        let out = engine(6).attention(&x).unwrap();
+        assert_eq!(out.stats.hits, 3);
+        assert_eq!(out.stats.maus, 1);
+        // All output rows identical.
+        for i in 1..4 {
+            assert_eq!(&out.output.data()[0..8], &out.output.data()[i * 8..i * 8 + 8]);
+        }
+    }
+
+    #[test]
+    fn attention_detection_off_is_exact() {
+        let x = randn(&[4, 6], 12);
+        let mut e = engine(7);
+        e.set_detection(false);
+        let out = e.attention(&x).unwrap();
+        let xt = ops::transpose(&x).unwrap();
+        let want = ops::matmul(&ops::matmul(&x, &xt).unwrap(), &x).unwrap();
+        assert_eq!(out.output, want);
+    }
+
+    #[test]
+    fn signature_growth_applies_to_fc() {
+        let mut e = engine(8);
+        assert_eq!(e.signature_bits(), 20);
+        e.grow_signature();
+        assert_eq!(e.signature_bits(), 21);
+        let inputs = randn(&[3, 8], 13);
+        let weights = randn(&[8, 3], 14);
+        let out = e.forward(&inputs, &weights).unwrap();
+        assert_eq!(out.signatures[0].len(), 21);
+    }
+}

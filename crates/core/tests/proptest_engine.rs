@@ -1,0 +1,160 @@
+//! Property-based tests of the MERCURY engines' core guarantees.
+
+use mercury_core::{ConvEngine, FcEngine, MercuryConfig};
+use mercury_tensor::conv::conv2d_multi;
+use mercury_tensor::rng::Rng;
+use mercury_tensor::{ops, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// On i.i.d. random inputs the engine output matches the exact
+    /// convolution *whenever no signature hit occurred*; with hits (rare
+    /// but legitimate — overlapping patches are correlated), the deviation
+    /// stays bounded because reused producers are angularly close.
+    #[test]
+    fn random_inputs_match_exact_conv(
+        seed in 0u64..500,
+        c in 1usize..3,
+        f in 1usize..5,
+        size in 5usize..10,
+    ) {
+        let mut rng = Rng::new(seed);
+        let input = Tensor::randn(&[c, size, size], &mut rng);
+        let kernels = Tensor::randn(&[f, c, 3, 3], &mut rng);
+        let mut engine = ConvEngine::new(MercuryConfig::default(), seed ^ 0x5555);
+        let got = engine.forward(&input, &kernels, 1, 1).unwrap();
+        let want = conv2d_multi(&input, &kernels, 1, 1).unwrap();
+        if got.stats.hits == 0 {
+            for (g, w) in got.output.data().iter().zip(want.data()) {
+                prop_assert!((g - w).abs() < 1e-3, "got {g}, want {w}");
+            }
+        } else {
+            let err = got.output.sub(&want).unwrap().norm_sq().sqrt()
+                / want.norm_sq().sqrt().max(1e-6);
+            prop_assert!(err < 0.5, "relative error {err} with {} hits", got.stats.hits);
+        }
+    }
+
+    /// The outcome ledger always partitions the probes: hits + maus +
+    /// mnus == channels × patches, and every reused dot product has a
+    /// matching hit.
+    #[test]
+    fn stats_ledger_partitions_probes(
+        seed in 0u64..500,
+        c in 1usize..4,
+        f in 1usize..6,
+        size in 5usize..9,
+    ) {
+        let mut rng = Rng::new(seed);
+        let input = Tensor::randn(&[c, size, size], &mut rng);
+        let kernels = Tensor::randn(&[f, c, 3, 3], &mut rng);
+        let mut engine = ConvEngine::new(MercuryConfig::default(), seed);
+        let out = engine.forward(&input, &kernels, 1, 0).unwrap();
+        let stats = out.stats;
+        let patches = (size - 2) * (size - 2);
+        prop_assert_eq!(stats.total_vectors(), (c * patches) as u64);
+        prop_assert_eq!(
+            stats.cycles.reused_dots,
+            stats.hits * f as u64
+        );
+        prop_assert_eq!(
+            stats.cycles.computed_dots,
+            (stats.maus + stats.mnus) * f as u64
+        );
+    }
+
+    /// Duplicating a channel's content produces identical per-channel
+    /// outputs: reuse decisions are channel-local and deterministic.
+    #[test]
+    fn duplicate_channels_behave_identically(seed in 0u64..500, size in 5usize..9) {
+        let mut rng = Rng::new(seed);
+        let one = Tensor::randn(&[1, size, size], &mut rng);
+        let mut two_data = one.data().to_vec();
+        two_data.extend_from_slice(one.data());
+        let two = Tensor::from_vec(two_data, &[2, size, size]).unwrap();
+        // A kernel with identical taps for both channels.
+        let k1 = Tensor::randn(&[1, 1, 3, 3], &mut rng);
+        let mut k2_data = k1.data().to_vec();
+        k2_data.extend_from_slice(k1.data());
+        let k2 = Tensor::from_vec(k2_data, &[1, 2, 3, 3]).unwrap();
+
+        let mut e1 = ConvEngine::new(MercuryConfig::default(), 42);
+        let mut e2 = ConvEngine::new(MercuryConfig::default(), 42);
+        let o1 = e1.forward(&one, &k1, 1, 0).unwrap();
+        let o2 = e2.forward(&two, &k2, 1, 0).unwrap();
+        // Channel accumulation: out2 == 2 × out1.
+        for (a, b) in o1.output.data().iter().zip(o2.output.data()) {
+            prop_assert!((2.0 * a - b).abs() < 1e-3);
+        }
+        prop_assert_eq!(o2.stats.total_vectors(), 2 * o1.stats.total_vectors());
+    }
+
+    /// Saved-signature reuse never changes outcomes when geometry matches:
+    /// the reuse pattern is a pure function of the signatures.
+    #[test]
+    fn reloaded_signatures_reproduce_outcomes(seed in 0u64..500, size in 5usize..9) {
+        let mut rng = Rng::new(seed);
+        let input = Tensor::randn(&[1, size, size], &mut rng).scale(0.05);
+        let kernels = Tensor::randn(&[3, 1, 3, 3], &mut rng);
+        let mut engine = ConvEngine::new(MercuryConfig::default(), seed);
+        let first = engine.forward(&input, &kernels, 1, 0).unwrap();
+        let second = engine
+            .forward_reusing(&input, &kernels, 1, 0, &first.signatures)
+            .unwrap();
+        prop_assert_eq!(first.stats.hits, second.stats.hits);
+        prop_assert_eq!(first.stats.maus, second.stats.maus);
+        prop_assert_eq!(first.output, second.output);
+    }
+
+    /// FC engine: duplicated minibatch rows always produce bit-identical
+    /// output rows (whole-row forwarding).
+    #[test]
+    fn fc_duplicate_rows_forward_exactly(
+        seed in 0u64..500,
+        n in 2usize..8,
+        l in 2usize..12,
+        m in 1usize..8,
+    ) {
+        let mut rng = Rng::new(seed);
+        let row = Tensor::randn(&[1, l], &mut rng);
+        let mut data = Vec::new();
+        for _ in 0..n {
+            data.extend_from_slice(row.data());
+        }
+        let inputs = Tensor::from_vec(data, &[n, l]).unwrap();
+        let weights = Tensor::randn(&[l, m], &mut rng);
+        let mut engine = FcEngine::new(MercuryConfig::default(), seed);
+        let out = engine.forward(&inputs, &weights).unwrap();
+        prop_assert_eq!(out.stats.hits as usize, n - 1);
+        for i in 1..n {
+            prop_assert_eq!(
+                &out.output.data()[0..m],
+                &out.output.data()[i * m..(i + 1) * m]
+            );
+        }
+    }
+
+    /// Exact matmul agreement for FC on independent rows when no
+    /// signature collision occurred (low-dimensional rows can collide
+    /// under 20 random hyperplanes — legitimate RPQ behaviour).
+    #[test]
+    fn fc_random_rows_match_matmul(
+        seed in 0u64..500,
+        n in 1usize..8,
+        l in 8usize..16,
+        m in 1usize..6,
+    ) {
+        let mut rng = Rng::new(seed);
+        let inputs = Tensor::randn(&[n, l], &mut rng);
+        let weights = Tensor::randn(&[l, m], &mut rng);
+        let mut engine = FcEngine::new(MercuryConfig::default(), seed ^ 1);
+        let out = engine.forward(&inputs, &weights).unwrap();
+        prop_assume!(out.stats.hits == 0);
+        let want = ops::matmul(&inputs, &weights).unwrap();
+        for (g, w) in out.output.data().iter().zip(want.data()) {
+            prop_assert!((g - w).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+use mercury_core::MercuryError;
+use mercury_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for network construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DnnError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A MERCURY engine operation failed.
+    Mercury(MercuryError),
+    /// The network was used inconsistently (e.g. backward before forward).
+    Usage(String),
+}
+
+impl fmt::Display for DnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DnnError::Mercury(e) => write!(f, "mercury error: {e}"),
+            DnnError::Usage(msg) => write!(f, "usage error: {msg}"),
+        }
+    }
+}
+
+impl Error for DnnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DnnError::Tensor(e) => Some(e),
+            DnnError::Mercury(e) => Some(e),
+            DnnError::Usage(_) => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<TensorError> for DnnError {
+    fn from(e: TensorError) -> Self {
+        DnnError::Tensor(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<MercuryError> for DnnError {
+    fn from(e: MercuryError) -> Self {
+        DnnError::Mercury(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = DnnError::from(TensorError::ZeroDim);
+        assert!(e.source().is_some());
+        let u = DnnError::Usage("backward before forward".into());
+        assert!(u.to_string().contains("backward before forward"));
+    }
+}

@@ -1,0 +1,56 @@
+//! From-scratch DNN training substrate for the MERCURY reproduction.
+//!
+//! The paper's accuracy results (Figure 13) come from PyTorch; this crate
+//! replaces PyTorch with a small, dependency-free training framework whose
+//! convolution and attention layers can execute in two modes:
+//!
+//! * [`ExecMode::Exact`] — every dot product computed, the baseline;
+//! * [`ExecMode::Mercury`] — forward convolutions, backward input-gradient
+//!   convolutions, and attention products run through the
+//!   [`mercury_core`] engines, so MCACHE hits substitute the producer
+//!   vector's results. This reproduces the *numerical perturbation* whose
+//!   accuracy impact the paper evaluates, not just the cycle savings.
+//!
+//! Fully-connected layers always compute exactly: the paper exploits FC
+//! similarity across a minibatch, while this trainer streams one sample at
+//! a time; attention-layer reuse (within a sequence) and convolution reuse
+//! (within a feature map) are the per-sample mechanisms and are both
+//! modelled. The cycle-level FC reuse is evaluated separately through the
+//! `mercury-accel` FC simulator in the benchmark harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use mercury_dnn::{ExecMode, Layer, Network};
+//! use mercury_tensor::{rng::Rng, Tensor};
+//!
+//! # fn main() -> Result<(), mercury_dnn::DnnError> {
+//! let mut rng = Rng::new(5);
+//! let mut net = Network::new(vec![
+//!     Layer::conv2d(4, 1, 3, 1, &mut rng), // 4 filters, 1 channel, 3x3, pad 1
+//!     Layer::relu(),
+//!     Layer::max_pool(),
+//!     Layer::flatten(),
+//!     Layer::fc(4 * 4 * 4, 3, &mut rng),
+//! ], ExecMode::Exact);
+//!
+//! let image = Tensor::randn(&[1, 8, 8], &mut rng);
+//! let logits = net.forward(&image)?;
+//! assert_eq!(logits.shape(), &[1, 3]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod layers;
+mod loss;
+mod network;
+mod train;
+
+pub use error::DnnError;
+pub use layers::{Attention, Conv2d, Fc, Flatten, Layer, MaxPool, MeanPool, Relu};
+pub use loss::softmax_cross_entropy;
+pub use network::{ExecMode, Network};
+pub use train::{EpochStats, Trainer, TrainerConfig};

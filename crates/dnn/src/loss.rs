@@ -1,0 +1,117 @@
+//! Softmax cross-entropy loss.
+
+use crate::DnnError;
+use mercury_tensor::{ops, Tensor, TensorError};
+
+/// Computes softmax cross-entropy over `[N, K]` logits against integer
+/// class targets, returning `(mean loss, dlogits)`.
+///
+/// # Errors
+///
+/// Returns a rank error for non-2-D logits and a usage error when
+/// `targets.len() != N` or any target is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use mercury_dnn::softmax_cross_entropy;
+/// use mercury_tensor::Tensor;
+///
+/// # fn main() -> Result<(), mercury_dnn::DnnError> {
+/// let logits = Tensor::from_vec(vec![2.0, 0.1, 0.1], &[1, 3])?;
+/// let (loss, grad) = softmax_cross_entropy(&logits, &[0])?;
+/// assert!(loss > 0.0);
+/// assert_eq!(grad.shape(), &[1, 3]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn softmax_cross_entropy(
+    logits: &Tensor,
+    targets: &[usize],
+) -> Result<(f32, Tensor), DnnError> {
+    if logits.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: logits.rank(),
+        }
+        .into());
+    }
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    if targets.len() != n {
+        return Err(DnnError::Usage(format!(
+            "{} targets for {} logit rows",
+            targets.len(),
+            n
+        )));
+    }
+    if let Some(&bad) = targets.iter().find(|&&t| t >= k) {
+        return Err(DnnError::Usage(format!(
+            "target class {bad} out of range for {k} classes"
+        )));
+    }
+
+    let probs = ops::softmax_rows(logits)?;
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    let gd = grad.data_mut();
+    for (i, &t) in targets.iter().enumerate() {
+        let p = probs.at(&[i, t]).max(1e-12);
+        loss -= p.ln();
+        gd[i * k + t] -= 1.0;
+    }
+    let scale = 1.0 / n as f32;
+    Ok((loss * scale, grad.scale(scale)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercury_tensor::rng::Rng;
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0], &[1, 3]).unwrap();
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]).unwrap();
+        assert!(loss < 0.01);
+    }
+
+    #[test]
+    fn wrong_prediction_has_high_loss() {
+        let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0], &[1, 3]).unwrap();
+        let (loss, _) = softmax_cross_entropy(&logits, &[2]).unwrap();
+        assert!(loss > 5.0);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let mut rng = Rng::new(1);
+        let logits = Tensor::randn(&[4, 5], &mut rng);
+        let (_, grad) = softmax_cross_entropy(&logits, &[0, 1, 2, 3]).unwrap();
+        for i in 0..4 {
+            let row_sum: f32 = (0..5).map(|j| grad.at(&[i, j])).sum();
+            assert!(row_sum.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = Rng::new(2);
+        let logits = Tensor::randn(&[2, 4], &mut rng);
+        let targets = [1, 3];
+        let (base, grad) = softmax_cross_entropy(&logits, &targets).unwrap();
+        let idx = [1, 2];
+        let eps = 1e-3;
+        let mut bumped = logits.clone();
+        bumped.set(&idx, logits.at(&idx) + eps);
+        let (bump, _) = softmax_cross_entropy(&bumped, &targets).unwrap();
+        let numeric = (bump - base) / eps;
+        assert!((grad.at(&idx) - numeric).abs() < 1e-2);
+    }
+
+    #[test]
+    fn rejects_bad_targets() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 3]).is_err());
+    }
+}

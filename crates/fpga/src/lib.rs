@@ -1,0 +1,67 @@
+//! Analytic Virtex-7 FPGA resource and power model for MERCURY.
+//!
+//! The paper implements MERCURY on a Virtex-7 board and reports Vivado
+//! synthesis results (Tables II–IV) plus the memory-type mapping of each
+//! component (Table I). This crate replaces the synthesis flow with an
+//! analytic model *calibrated to the paper's published operating points*:
+//! the anchors are stored verbatim and intermediate configurations are
+//! linearly interpolated, so the model reproduces both the paper's rows
+//! and the trends between them (BRAM grows exactly one block per set;
+//! registers grow with sets and ways; LUTs saturate once the comparator
+//! network is instantiated; DSP count is fixed by the 168 PEs).
+//!
+//! # Examples
+//!
+//! ```
+//! use mercury_fpga::{mercury_resources, baseline_resources};
+//!
+//! let m = mercury_resources(64, 16); // the paper's default 1024-entry cache
+//! let b = baseline_resources();
+//! assert!(m.slice_luts > b.slice_luts);
+//! assert_eq!(m.dsp48e1, b.dsp48e1); // PEs unchanged
+//! ```
+
+#![warn(missing_docs)]
+
+mod memory_map;
+mod power;
+mod resources;
+
+pub use memory_map::{memory_map, MemoryKind, MemoryMapping};
+pub use power::{baseline_power, mercury_power, PowerBreakdown};
+pub use resources::{baseline_resources, mercury_resources, Resources};
+
+/// Linear interpolation over `(x, y)` anchor points sorted by `x`,
+/// clamping outside the range.
+pub(crate) fn interp(anchors: &[(f64, f64)], x: f64) -> f64 {
+    debug_assert!(!anchors.is_empty());
+    if x <= anchors[0].0 {
+        return anchors[0].1;
+    }
+    for pair in anchors.windows(2) {
+        let (x0, y0) = pair[0];
+        let (x1, y1) = pair[1];
+        if x <= x1 {
+            let t = (x - x0) / (x1 - x0);
+            return y0 + t * (y1 - y0);
+        }
+    }
+    anchors[anchors.len() - 1].1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interp_hits_anchors_and_midpoints() {
+        let anchors = [(0.0, 10.0), (10.0, 20.0), (20.0, 40.0)];
+        assert_eq!(interp(&anchors, 0.0), 10.0);
+        assert_eq!(interp(&anchors, 10.0), 20.0);
+        assert_eq!(interp(&anchors, 5.0), 15.0);
+        assert_eq!(interp(&anchors, 15.0), 30.0);
+        // Clamped outside the range.
+        assert_eq!(interp(&anchors, -5.0), 10.0);
+        assert_eq!(interp(&anchors, 100.0), 40.0);
+    }
+}

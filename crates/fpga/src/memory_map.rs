@@ -1,0 +1,79 @@
+//! Table I of the paper: which FPGA memory type implements each MERCURY
+//! component.
+
+use std::fmt;
+
+/// FPGA memory resource classes used by the implementation (§V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryKind {
+    /// Block RAM tiles: large, dense, one access port pair.
+    BlockMemory,
+    /// Slice registers (flip-flops): small, parallel-access.
+    SliceRegister,
+}
+
+impl fmt::Display for MemoryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryKind::BlockMemory => write!(f, "Block Memory"),
+            MemoryKind::SliceRegister => write!(f, "Slice Register"),
+        }
+    }
+}
+
+/// One row of Table I: a component and its memory type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryMapping {
+    /// MERCURY component name.
+    pub component: &'static str,
+    /// Memory type implementing it.
+    pub kind: MemoryKind,
+}
+
+/// The full component-to-memory mapping of Table I.
+pub fn memory_map() -> Vec<MemoryMapping> {
+    use MemoryKind::*;
+    vec![
+        MemoryMapping { component: "Global Buffer", kind: BlockMemory },
+        MemoryMapping { component: "Input Buffer", kind: BlockMemory },
+        MemoryMapping { component: "Signature Table", kind: BlockMemory },
+        MemoryMapping { component: "MCACHE", kind: SliceRegister },
+        MemoryMapping { component: "Filters", kind: SliceRegister },
+        MemoryMapping { component: "Hitmap", kind: SliceRegister },
+        MemoryMapping { component: "Input/Weight registers", kind: SliceRegister },
+        MemoryMapping { component: "InUse/FlUse flags", kind: SliceRegister },
+        MemoryMapping { component: "ORg", kind: SliceRegister },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_one() {
+        let map = memory_map();
+        let kind_of = |name: &str| {
+            map.iter()
+                .find(|m| m.component == name)
+                .map(|m| m.kind)
+                .unwrap_or_else(|| panic!("missing component {name}"))
+        };
+        assert_eq!(kind_of("Global Buffer"), MemoryKind::BlockMemory);
+        assert_eq!(kind_of("Signature Table"), MemoryKind::BlockMemory);
+        assert_eq!(kind_of("MCACHE"), MemoryKind::SliceRegister);
+        assert_eq!(kind_of("Hitmap"), MemoryKind::SliceRegister);
+        assert_eq!(kind_of("ORg"), MemoryKind::SliceRegister);
+    }
+
+    #[test]
+    fn nine_components_mapped() {
+        assert_eq!(memory_map().len(), 9);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(MemoryKind::BlockMemory.to_string(), "Block Memory");
+        assert_eq!(MemoryKind::SliceRegister.to_string(), "Slice Register");
+    }
+}

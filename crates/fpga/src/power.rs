@@ -1,0 +1,161 @@
+use crate::interp;
+
+/// On-chip power breakdown in watts (the columns of Tables II-b/III-b/IV-b).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBreakdown {
+    /// Clock-tree power.
+    pub clocks: f64,
+    /// LUT/logic power.
+    pub logic: f64,
+    /// Signal (routing) power.
+    pub signals: f64,
+    /// Block-RAM power.
+    pub block_ram: f64,
+    /// DSP power.
+    pub dsps: f64,
+    /// Static (leakage) power.
+    pub static_power: f64,
+    /// I/O power: constant across configurations and not broken out as a
+    /// column in the paper's tables, but present in every row's total
+    /// (each published total exceeds its listed components by 0.107 W,
+    /// baseline included).
+    pub io: f64,
+}
+
+impl PowerBreakdown {
+    /// Total on-chip power.
+    pub fn total(&self) -> f64 {
+        self.clocks
+            + self.logic
+            + self.signals
+            + self.block_ram
+            + self.dsps
+            + self.static_power
+            + self.io
+    }
+}
+
+/// Baseline accelerator power (Table IV-b).
+pub fn baseline_power() -> PowerBreakdown {
+    PowerBreakdown {
+        clocks: 0.112,
+        logic: 0.07,
+        signals: 0.138,
+        block_ram: 0.511,
+        dsps: 0.087,
+        static_power: 0.678,
+        io: 0.107,
+    }
+}
+
+/// MERCURY power for an MCACHE with `sets` sets and `ways` ways,
+/// interpolated from the paper's anchors (Table II-b: 16 ways, sets
+/// sweep; Table III-b: 64 sets, ways sweep).
+pub fn mercury_power(sets: usize, ways: usize) -> PowerBreakdown {
+    let s = sets as f64;
+    let w = ways as f64;
+
+    // Per-component anchors vs sets at 16 ways (Table II-b).
+    let clocks_s = interp(&[(16.0, 0.138), (32.0, 0.154), (48.0, 0.155), (64.0, 0.166)], s);
+    let logic_s = interp(&[(16.0, 0.102), (32.0, 0.104), (48.0, 0.103), (64.0, 0.105)], s);
+    let signals_s = interp(&[(16.0, 0.18), (32.0, 0.175), (48.0, 0.201), (64.0, 0.216)], s);
+    let bram_s = interp(&[(16.0, 0.516), (32.0, 0.524), (48.0, 0.548), (64.0, 0.561)], s);
+    let static_s = interp(&[(16.0, 0.681), (32.0, 0.683), (48.0, 0.685), (64.0, 0.687)], s);
+
+    // Way-dependence as a multiplicative factor around the 16-way anchor
+    // (Table III-b at 64 sets).
+    let clocks_w = interp(
+        &[(2.0, 0.146 / 0.166), (4.0, 0.151 / 0.166), (8.0, 0.157 / 0.166), (16.0, 1.0)],
+        w,
+    );
+    let logic_w = interp(
+        &[(2.0, 0.100 / 0.105), (4.0, 0.104 / 0.105), (8.0, 0.101 / 0.105), (16.0, 1.0)],
+        w,
+    );
+    let signals_w = interp(
+        &[(2.0, 0.176 / 0.216), (4.0, 0.197 / 0.216), (8.0, 0.180 / 0.216), (16.0, 1.0)],
+        w,
+    );
+    let bram_w = interp(
+        &[(2.0, 0.555 / 0.561), (4.0, 0.543 / 0.561), (8.0, 0.559 / 0.561), (16.0, 1.0)],
+        w,
+    );
+    let static_w = interp(
+        &[(2.0, 0.686 / 0.687), (4.0, 0.686 / 0.687), (8.0, 0.686 / 0.687), (16.0, 1.0)],
+        w,
+    );
+
+    PowerBreakdown {
+        clocks: clocks_s * clocks_w,
+        logic: logic_s * logic_w,
+        signals: signals_s * signals_w,
+        block_ram: bram_s * bram_w,
+        dsps: 0.087,
+        static_power: static_s * static_w,
+        io: 0.107,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table2b_totals() {
+        for &(sets, total) in &[(16, 1.811), (32, 1.833), (48, 1.884), (64, 1.929)] {
+            let p = mercury_power(sets, 16);
+            assert!(
+                (p.total() - total).abs() < 0.005,
+                "sets={sets}: {} vs {total}",
+                p.total()
+            );
+        }
+    }
+
+    #[test]
+    fn reproduces_table3b_totals() {
+        for &(ways, total) in &[(2, 1.855), (4, 1.874), (8, 1.876), (16, 1.929)] {
+            let p = mercury_power(64, ways);
+            assert!(
+                (p.total() - total).abs() < 0.01,
+                "ways={ways}: {} vs {total}",
+                p.total()
+            );
+        }
+    }
+
+    #[test]
+    fn reproduces_table4b_ratio() {
+        // Table IV: MERCURY increases power by ~1.135x over baseline.
+        let ratio = mercury_power(64, 16).total() / baseline_power().total();
+        assert!(
+            (ratio - 1.133).abs() < 0.01,
+            "power ratio {ratio} should be ~1.13"
+        );
+    }
+
+    #[test]
+    fn quadrupling_sets_costs_about_six_percent() {
+        // §VII-F: "quadrupling the number of MCACHE sets only increases
+        // the overall power consumption by 6.5%".
+        let p16 = mercury_power(16, 16).total();
+        let p64 = mercury_power(64, 16).total();
+        let increase = (p64 - p16) / p16 * 100.0;
+        assert!((5.5..7.5).contains(&increase), "increase {increase}%");
+    }
+
+    #[test]
+    fn way_sweep_costs_about_four_percent() {
+        // §VII-F: 2 → 16 ways increases power by 3.98%.
+        let p2 = mercury_power(64, 2).total();
+        let p16 = mercury_power(64, 16).total();
+        let increase = (p16 - p2) / p2 * 100.0;
+        assert!((3.0..5.0).contains(&increase), "increase {increase}%");
+    }
+
+    #[test]
+    fn dsp_power_constant() {
+        assert_eq!(mercury_power(16, 2).dsps, mercury_power(64, 16).dsps);
+        assert_eq!(baseline_power().dsps, 0.087);
+    }
+}

@@ -1,0 +1,159 @@
+use crate::interp;
+
+/// FPGA resource usage (the columns of Tables II–IV).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Resources {
+    /// Slice look-up tables.
+    pub slice_luts: f64,
+    /// Slice registers (flip-flops) — MCACHE lines, Hitmap, ORg, flags.
+    pub slice_registers: f64,
+    /// Block RAM tiles — global buffer, input buffers, signature table.
+    pub block_ram: f64,
+    /// DSP48E1 multiply-accumulate slices — fixed by the 168 PEs.
+    pub dsp48e1: f64,
+}
+
+/// The unmodified Eyeriss-style baseline accelerator (Table IV).
+pub fn baseline_resources() -> Resources {
+    Resources {
+        slice_luts: 56_910.0,
+        slice_registers: 48_735.0,
+        block_ram: 1_161.5,
+        dsp48e1: 198.0,
+    }
+}
+
+/// MERCURY's resource usage for an MCACHE with `sets` sets and `ways`
+/// ways, interpolated from the paper's synthesis anchors.
+///
+/// Table II anchors (16 ways, sets ∈ {16, 32, 48, 64}) drive the
+/// set-dependence; Table III anchors (64 sets, ways ∈ {2, 4, 8, 16})
+/// drive the way-dependence of the register count (LUTs are essentially
+/// flat in ways — the comparator network dominates).
+pub fn mercury_resources(sets: usize, ways: usize) -> Resources {
+    let s = sets as f64;
+    let w = ways as f64;
+
+    // Table II: LUTs vs sets at 16 ways.
+    let luts_sets = interp(
+        &[
+            (16.0, 140_597.0),
+            (32.0, 211_437.0),
+            (48.0, 216_544.0),
+            (64.0, 216_918.0),
+        ],
+        s,
+    );
+    // Table III: LUTs vs ways at 64 sets — flat within noise; scale the
+    // set-dependent value by the tiny way factor.
+    let luts_ways_factor = interp(
+        &[
+            (2.0, 216_777.0 / 216_918.0),
+            (4.0, 216_618.0 / 216_918.0),
+            (8.0, 216_758.0 / 216_918.0),
+            (16.0, 1.0),
+        ],
+        w,
+    );
+
+    // Registers: bilinear around the (64 sets, 16 ways) anchor.
+    let regs_sets = interp(
+        &[
+            (16.0, 62_620.0),
+            (32.0, 69_536.0),
+            (48.0, 74_925.0),
+            (64.0, 81_332.0),
+        ],
+        s,
+    );
+    let regs_ways_factor = interp(
+        &[
+            (2.0, 65_727.0 / 81_332.0),
+            (4.0, 67_897.0 / 81_332.0),
+            (8.0, 71_999.0 / 81_332.0),
+            (16.0, 1.0),
+        ],
+        w,
+    );
+
+    Resources {
+        slice_luts: luts_sets * luts_ways_factor,
+        slice_registers: regs_sets * regs_ways_factor,
+        // Table II shows exactly one BRAM block per set over the baseline
+        // (1161.5 + sets) and no BRAM dependence on ways (Table III).
+        block_ram: 1_161.5 + s,
+        dsp48e1: 198.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table2_anchor_rows() {
+        // (sets, luts, regs, bram) at 16 ways.
+        for &(sets, luts, regs, bram) in &[
+            (16, 140_597.0, 62_620.0, 1_177.5),
+            (32, 211_437.0, 69_536.0, 1_193.5),
+            (48, 216_544.0, 74_925.0, 1_209.5),
+            (64, 216_918.0, 81_332.0, 1_225.5),
+        ] {
+            let r = mercury_resources(sets, 16);
+            assert!((r.slice_luts - luts).abs() < 1.0, "sets={sets} luts");
+            assert!((r.slice_registers - regs).abs() < 1.0, "sets={sets} regs");
+            assert!((r.block_ram - bram).abs() < 1e-9, "sets={sets} bram");
+            assert_eq!(r.dsp48e1, 198.0);
+        }
+    }
+
+    #[test]
+    fn reproduces_table3_anchor_rows() {
+        for &(ways, luts, regs) in &[
+            (2, 216_777.0, 65_727.0),
+            (4, 216_618.0, 67_897.0),
+            (8, 216_758.0, 71_999.0),
+            (16, 216_918.0, 81_332.0),
+        ] {
+            let r = mercury_resources(64, ways);
+            assert!(
+                (r.slice_luts - luts).abs() < 1.0,
+                "ways={ways}: {} vs {luts}",
+                r.slice_luts
+            );
+            assert!(
+                (r.slice_registers - regs).abs() < 1.0,
+                "ways={ways}: {} vs {regs}",
+                r.slice_registers
+            );
+            assert!((r.block_ram - 1_225.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reproduces_table4_comparison() {
+        let b = baseline_resources();
+        let m = mercury_resources(64, 16);
+        assert_eq!(b.slice_luts, 56_910.0);
+        assert_eq!(b.slice_registers, 48_735.0);
+        assert!((m.slice_luts - 216_918.0).abs() < 1.0);
+        assert!((m.slice_registers - 81_332.0).abs() < 1.0);
+        // DSP count unchanged: MERCURY reuses the PEs for RPQ.
+        assert_eq!(b.dsp48e1, m.dsp48e1);
+    }
+
+    #[test]
+    fn resources_are_monotone_in_cache_size() {
+        let small = mercury_resources(16, 2);
+        let big = mercury_resources(64, 16);
+        assert!(big.slice_registers > small.slice_registers);
+        assert!(big.block_ram > small.block_ram);
+    }
+
+    #[test]
+    fn interpolates_between_rows() {
+        let r = mercury_resources(24, 16);
+        assert!(r.slice_luts > 140_597.0 && r.slice_luts < 211_437.0);
+        assert!((r.block_ram - (1_161.5 + 24.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,257 @@
+//! Banked MCACHE — the ASIC-oriented variant the paper sketches in §V
+//! ("for an ASIC accelerator, similar techniques such as banked cache,
+//! multi-signature cache line, and PE set wise smaller cache can be used").
+//!
+//! A [`BankedMCache`] splits the entry budget across `B` independent banks
+//! selected by signature bits. Each bank serializes its own insertions, so
+//! inserts to different banks never conflict — trading some aliasing (a
+//! signature can only live in its home bank) for insertion parallelism.
+//! The `ablation_banked_cache` bench compares this against the monolithic
+//! design.
+
+use crate::{AccessOutcome, EntryId, HitKind, MCache, MCacheConfig, MCacheStats, McacheError};
+use mercury_rpq::Signature;
+
+/// Identifies a line within a [`BankedMCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BankedEntryId {
+    /// Which bank holds the line.
+    pub bank: usize,
+    /// The line within that bank.
+    pub entry: EntryId,
+}
+
+/// A bank-partitioned MCACHE.
+///
+/// # Examples
+///
+/// ```
+/// use mercury_mcache::banked::BankedMCache;
+/// use mercury_mcache::{HitKind, MCacheConfig};
+/// use mercury_rpq::Signature;
+///
+/// # fn main() -> Result<(), mercury_mcache::McacheError> {
+/// let mut cache = BankedMCache::new(4, MCacheConfig::new(16, 16, 1)?)?;
+/// let sig = Signature::from_bits(0x3F, 20);
+/// assert_eq!(cache.probe_insert(sig).kind(), HitKind::Mau);
+/// assert_eq!(cache.probe_insert(sig).kind(), HitKind::Hit);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BankedMCache {
+    banks: Vec<MCache>,
+}
+
+impl BankedMCache {
+    /// Creates `num_banks` banks, each with the given per-bank config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McacheError::InvalidConfig`] if `num_banks` is zero.
+    pub fn new(num_banks: usize, per_bank: MCacheConfig) -> Result<Self, McacheError> {
+        if num_banks == 0 {
+            return Err(McacheError::InvalidConfig(
+                "need at least one bank".to_string(),
+            ));
+        }
+        Ok(BankedMCache {
+            banks: (0..num_banks).map(|_| MCache::new(per_bank)).collect(),
+        })
+    }
+
+    /// Number of banks.
+    pub fn num_banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Total entries across banks.
+    pub fn entries(&self) -> usize {
+        self.banks.iter().map(|b| b.config().entries()).sum()
+    }
+
+    fn bank_of(&self, sig: Signature) -> usize {
+        // High bits pick the bank; low bits pick the set inside the bank,
+        // keeping the two choices decorrelated.
+        ((sig.mix64() >> 48) % self.banks.len() as u64) as usize
+    }
+
+    /// Probes/inserts a signature in its home bank.
+    pub fn probe_insert(&mut self, sig: Signature) -> BankedAccessOutcome {
+        let bank = self.bank_of(sig);
+        let out = self.banks[bank].probe_insert(sig);
+        BankedAccessOutcome { bank, outcome: out }
+    }
+
+    /// Reads a data version through a banked entry id.
+    pub fn read(&self, id: BankedEntryId, version: usize) -> Option<f32> {
+        self.banks.get(id.bank)?.read(id.entry, version)
+    }
+
+    /// Writes a data version through a banked entry id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying bank's error; an out-of-range bank reports
+    /// [`McacheError::BadEntry`].
+    pub fn write(
+        &mut self,
+        id: BankedEntryId,
+        version: usize,
+        value: f32,
+    ) -> Result<(), McacheError> {
+        let bank = self.banks.get_mut(id.bank).ok_or(McacheError::BadEntry {
+            set: id.bank,
+            way: 0,
+        })?;
+        bank.write(id.entry, version, value)
+    }
+
+    /// Flash-clears all VD bits in every bank.
+    pub fn invalidate_all_data(&mut self) {
+        for bank in &mut self.banks {
+            bank.invalidate_all_data();
+        }
+    }
+
+    /// Clears every bank (channel boundary).
+    pub fn clear(&mut self) {
+        for bank in &mut self.banks {
+            bank.clear();
+        }
+    }
+
+    /// Starts a new insertion batch window in every bank.
+    pub fn begin_insert_batch(&mut self) {
+        for bank in &mut self.banks {
+            bank.begin_insert_batch();
+        }
+    }
+
+    /// Sums statistics over all banks.
+    pub fn stats(&self) -> MCacheStats {
+        let mut total = MCacheStats::default();
+        for bank in &self.banks {
+            let s = bank.stats();
+            total.hits += s.hits;
+            total.maus += s.maus;
+            total.mnus += s.mnus;
+            total.data_reads += s.data_reads;
+            total.data_misses += s.data_misses;
+            total.data_writes += s.data_writes;
+            total.insert_conflicts += s.insert_conflicts;
+        }
+        total
+    }
+}
+
+/// Outcome of a banked probe: the bank plus the inner outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankedAccessOutcome {
+    /// Bank that served the probe.
+    pub bank: usize,
+    /// The underlying access outcome.
+    pub outcome: AccessOutcome,
+}
+
+impl BankedAccessOutcome {
+    /// HIT / MAU / MNU classification.
+    pub fn kind(&self) -> HitKind {
+        self.outcome.kind
+    }
+
+    /// Banked entry id, when the probe resolved to a line.
+    pub fn entry(&self) -> Option<BankedEntryId> {
+        self.outcome.entry.map(|entry| BankedEntryId {
+            bank: self.bank,
+            entry,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(b: u128) -> Signature {
+        Signature::from_bits(b, 20)
+    }
+
+    fn cache(banks: usize) -> BankedMCache {
+        BankedMCache::new(banks, MCacheConfig::new(4, 2, 1).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn probe_hit_roundtrip() {
+        let mut c = cache(4);
+        let first = c.probe_insert(sig(0x123));
+        assert_eq!(first.kind(), HitKind::Mau);
+        let id = first.entry().unwrap();
+        c.write(id, 0, 6.5).unwrap();
+        let second = c.probe_insert(sig(0x123));
+        assert_eq!(second.kind(), HitKind::Hit);
+        assert_eq!(c.read(second.entry().unwrap(), 0), Some(6.5));
+    }
+
+    #[test]
+    fn signatures_spread_across_banks() {
+        let mut c = cache(8);
+        let mut banks_used = std::collections::HashSet::new();
+        for i in 0..200 {
+            banks_used.insert(c.probe_insert(sig(i)).bank);
+        }
+        assert!(banks_used.len() >= 6, "only {} banks used", banks_used.len());
+    }
+
+    #[test]
+    fn same_signature_same_bank() {
+        let mut c = cache(8);
+        let a = c.probe_insert(sig(77)).bank;
+        let b = c.probe_insert(sig(77)).bank;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_banks_rejected() {
+        assert!(BankedMCache::new(0, MCacheConfig::new(4, 2, 1).unwrap()).is_err());
+    }
+
+    #[test]
+    fn stats_aggregate_over_banks() {
+        let mut c = cache(4);
+        for i in 0..50 {
+            c.probe_insert(sig(i));
+        }
+        let s = c.stats();
+        assert_eq!(s.probes(), 50);
+        assert!(s.maus <= 4 * 8); // bounded by total capacity
+    }
+
+    #[test]
+    fn clear_and_invalidate() {
+        let mut c = cache(2);
+        let id = c.probe_insert(sig(5)).entry().unwrap();
+        c.write(id, 0, 1.0).unwrap();
+        c.invalidate_all_data();
+        assert_eq!(c.read(id, 0), None);
+        assert_eq!(c.probe_insert(sig(5)).kind(), HitKind::Hit);
+        c.clear();
+        assert_eq!(c.probe_insert(sig(5)).kind(), HitKind::Mau);
+    }
+
+    #[test]
+    fn banked_conflicts_fewer_than_monolithic() {
+        // The motivating property: spreading inserts over banks reduces
+        // same-window insertion conflicts versus one monolithic cache with
+        // the same total capacity.
+        let mut banked = BankedMCache::new(8, MCacheConfig::new(1, 16, 1).unwrap()).unwrap();
+        let mut mono = MCache::new(MCacheConfig::new(1, 128, 1).unwrap());
+        banked.begin_insert_batch();
+        mono.begin_insert_batch();
+        for i in 0..64 {
+            banked.probe_insert(sig(i));
+            mono.probe_insert(sig(i));
+        }
+        assert!(banked.stats().insert_conflicts < mono.stats().insert_conflicts);
+    }
+}

@@ -1,0 +1,501 @@
+use crate::{HitKind, McacheError};
+use mercury_rpq::Signature;
+
+/// Identifies one cache line: signatures resolve to an `EntryId` once, and
+/// later accesses go through the id without re-comparing tags (paper §V:
+/// "the entry id is saved along with the signature in the signature
+/// table").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EntryId {
+    /// Set index.
+    pub set: usize,
+    /// Way index within the set.
+    pub way: usize,
+}
+
+/// Geometry and versioning of an [`MCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MCacheConfig {
+    /// Number of sets.
+    pub sets: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Data versions per line — 1 for the synchronous design, `M` (the
+    /// number of in-flight filters) for the asynchronous design.
+    pub versions: usize,
+}
+
+impl MCacheConfig {
+    /// Creates a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McacheError::InvalidConfig`] if any parameter is zero.
+    pub fn new(sets: usize, ways: usize, versions: usize) -> Result<Self, McacheError> {
+        if sets == 0 || ways == 0 || versions == 0 {
+            return Err(McacheError::InvalidConfig(
+                "sets, ways, and versions must be positive".to_string(),
+            ));
+        }
+        Ok(MCacheConfig {
+            sets,
+            ways,
+            versions,
+        })
+    }
+
+    /// The paper's default configuration: 1024 entries, 16-way (64 sets),
+    /// single version.
+    pub fn paper_default() -> Self {
+        MCacheConfig {
+            sets: 64,
+            ways: 16,
+            versions: 1,
+        }
+    }
+
+    /// Total entries (`sets × ways`).
+    pub fn entries(&self) -> usize {
+        self.sets * self.ways
+    }
+}
+
+/// Result of [`MCache::probe_insert`]: the access outcome plus the entry id
+/// (present for HIT and MAU accesses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// HIT / MAU / MNU classification.
+    pub kind: HitKind,
+    /// The line holding this signature (None for MNU).
+    pub entry: Option<EntryId>,
+}
+
+/// Access counters, aggregated across the cache's lifetime (until
+/// [`MCache::reset_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MCacheStats {
+    /// Probes that found a valid matching tag.
+    pub hits: u64,
+    /// Probes that inserted a new tag (miss-and-update).
+    pub maus: u64,
+    /// Probes rejected because the set was full (miss-no-update).
+    pub mnus: u64,
+    /// Data reads that found a valid version.
+    pub data_reads: u64,
+    /// Data reads that found the version invalid (producer not done yet).
+    pub data_misses: u64,
+    /// Data writes.
+    pub data_writes: u64,
+    /// Number of per-set insertion conflicts: inserts that found another
+    /// insert already queued on the same set in the same batch window. The
+    /// FPGA design serializes these through a per-set queue (paper §V).
+    pub insert_conflicts: u64,
+}
+
+impl MCacheStats {
+    /// Total probes.
+    pub fn probes(&self) -> u64 {
+        self.hits + self.maus + self.mnus
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    tag: Signature,
+    valid_tag: bool,
+    data: Vec<f32>,
+    valid_data: Vec<bool>,
+}
+
+impl Line {
+    fn new(versions: usize) -> Self {
+        Line {
+            tag: Signature::empty(),
+            valid_tag: false,
+            data: vec![0.0; versions],
+            valid_data: vec![false; versions],
+        }
+    }
+}
+
+/// The MERCURY memoization cache (see the [crate docs](crate) for the
+/// design rationale).
+///
+/// # Examples
+///
+/// See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct MCache {
+    config: MCacheConfig,
+    lines: Vec<Line>, // sets × ways, row-major by set
+    stats: MCacheStats,
+    /// Per-set count of inserts in the current batch window, for modelling
+    /// the per-set insertion queue of the FPGA implementation.
+    batch_inserts: Vec<u32>,
+}
+
+impl MCache {
+    /// Creates an empty cache.
+    pub fn new(config: MCacheConfig) -> Self {
+        MCache {
+            config,
+            lines: (0..config.entries())
+                .map(|_| Line::new(config.versions))
+                .collect(),
+            stats: MCacheStats::default(),
+            batch_inserts: vec![0; config.sets],
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> MCacheConfig {
+        self.config
+    }
+
+    /// Lifetime access counters.
+    pub fn stats(&self) -> MCacheStats {
+        self.stats
+    }
+
+    /// Zeroes the access counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = MCacheStats::default();
+    }
+
+    fn set_of(&self, sig: Signature) -> usize {
+        (sig.mix64() % self.config.sets as u64) as usize
+    }
+
+    fn line(&self, id: EntryId) -> Result<&Line, McacheError> {
+        if id.set >= self.config.sets || id.way >= self.config.ways {
+            return Err(McacheError::BadEntry {
+                set: id.set,
+                way: id.way,
+            });
+        }
+        Ok(&self.lines[id.set * self.config.ways + id.way])
+    }
+
+    fn line_mut(&mut self, id: EntryId) -> Result<&mut Line, McacheError> {
+        if id.set >= self.config.sets || id.way >= self.config.ways {
+            return Err(McacheError::BadEntry {
+                set: id.set,
+                way: id.way,
+            });
+        }
+        Ok(&mut self.lines[id.set * self.config.ways + id.way])
+    }
+
+    /// Looks a signature up without modifying the cache.
+    pub fn lookup(&self, sig: Signature) -> Option<EntryId> {
+        let set = self.set_of(sig);
+        for way in 0..self.config.ways {
+            let line = &self.lines[set * self.config.ways + way];
+            if line.valid_tag && line.tag == sig {
+                return Some(EntryId { set, way });
+            }
+        }
+        None
+    }
+
+    /// Probes for a signature and inserts it on a miss if the set has a
+    /// free way — the operation of Figure 9 in the paper.
+    ///
+    /// Returns HIT with the existing entry, MAU with the newly claimed
+    /// entry, or MNU with no entry when the set is full (no replacement).
+    pub fn probe_insert(&mut self, sig: Signature) -> AccessOutcome {
+        if let Some(entry) = self.lookup(sig) {
+            self.stats.hits += 1;
+            return AccessOutcome {
+                kind: HitKind::Hit,
+                entry: Some(entry),
+            };
+        }
+        let set = self.set_of(sig);
+        for way in 0..self.config.ways {
+            let line = &mut self.lines[set * self.config.ways + way];
+            if !line.valid_tag {
+                line.tag = sig;
+                line.valid_tag = true;
+                line.valid_data.fill(false);
+                self.stats.maus += 1;
+                if self.batch_inserts[set] > 0 {
+                    self.stats.insert_conflicts += 1;
+                }
+                self.batch_inserts[set] += 1;
+                return AccessOutcome {
+                    kind: HitKind::Mau,
+                    entry: Some(EntryId { set, way }),
+                };
+            }
+        }
+        self.stats.mnus += 1;
+        AccessOutcome {
+            kind: HitKind::Mnu,
+            entry: None,
+        }
+    }
+
+    /// Marks the start of a new insertion batch window (one signature
+    /// generation round); per-set conflict counting restarts.
+    pub fn begin_insert_batch(&mut self) {
+        self.batch_inserts.fill(0);
+    }
+
+    /// Reads data version `version` of a line; `None` when VD is unset.
+    ///
+    /// Out-of-range ids or versions also read as `None` — the hardware
+    /// cannot fabricate data for them.
+    pub fn read(&self, id: EntryId, version: usize) -> Option<f32> {
+        let line = self.line(id).ok()?;
+        if version >= self.config.versions || !line.valid_data[version] {
+            return None;
+        }
+        Some(line.data[version])
+    }
+
+    /// Reads with statistics: counts a data hit or miss.
+    pub fn read_counted(&mut self, id: EntryId, version: usize) -> Option<f32> {
+        let value = self.read(id, version);
+        if value.is_some() {
+            self.stats.data_reads += 1;
+        } else {
+            self.stats.data_misses += 1;
+        }
+        value
+    }
+
+    /// Writes a computed result into data version `version` and sets VD.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McacheError::BadEntry`] / [`McacheError::BadVersion`] for
+    /// out-of-range targets, and [`McacheError::TagNotValid`] when the line
+    /// has no valid tag (the hardware never writes data before a tag).
+    pub fn write(&mut self, id: EntryId, version: usize, value: f32) -> Result<(), McacheError> {
+        let versions = self.config.versions;
+        let line = self.line_mut(id)?;
+        if version >= versions {
+            return Err(McacheError::BadVersion { version, versions });
+        }
+        if !line.valid_tag {
+            return Err(McacheError::TagNotValid);
+        }
+        line.data[version] = value;
+        line.valid_data[version] = true;
+        self.stats.data_writes += 1;
+        Ok(())
+    }
+
+    /// Flash-clears every VD bit ("a bitline connecting all VD bits is used
+    /// for this purpose") while keeping tags — the synchronous design's
+    /// filter advance.
+    pub fn invalidate_all_data(&mut self) {
+        for line in &mut self.lines {
+            line.valid_data.fill(false);
+        }
+    }
+
+    /// Flash-clears the VD bits of one data version — the asynchronous
+    /// design reloading one filter slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McacheError::BadVersion`] for an out-of-range version.
+    pub fn invalidate_version(&mut self, version: usize) -> Result<(), McacheError> {
+        if version >= self.config.versions {
+            return Err(McacheError::BadVersion {
+                version,
+                versions: self.config.versions,
+            });
+        }
+        for line in &mut self.lines {
+            line.valid_data[version] = false;
+        }
+        Ok(())
+    }
+
+    /// Clears tags and data — a channel boundary, after which signatures
+    /// are recalculated from scratch.
+    pub fn clear(&mut self) {
+        for line in &mut self.lines {
+            line.valid_tag = false;
+            line.valid_data.fill(false);
+        }
+        self.batch_inserts.fill(0);
+    }
+
+    /// Number of lines currently holding a valid tag.
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid_tag).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(bits: u128) -> Signature {
+        Signature::from_bits(bits, 20)
+    }
+
+    fn small_cache(sets: usize, ways: usize, versions: usize) -> MCache {
+        MCache::new(MCacheConfig::new(sets, ways, versions).unwrap())
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(MCacheConfig::new(0, 16, 1).is_err());
+        assert!(MCacheConfig::new(64, 0, 1).is_err());
+        assert!(MCacheConfig::new(64, 16, 0).is_err());
+        let c = MCacheConfig::paper_default();
+        assert_eq!(c.entries(), 1024);
+    }
+
+    #[test]
+    fn first_probe_is_mau_second_is_hit() {
+        let mut cache = small_cache(8, 2, 1);
+        let s = sig(0xAB);
+        let a = cache.probe_insert(s);
+        assert_eq!(a.kind, HitKind::Mau);
+        assert!(a.entry.is_some());
+        let b = cache.probe_insert(s);
+        assert_eq!(b.kind, HitKind::Hit);
+        assert_eq!(b.entry, a.entry);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().maus, 1);
+    }
+
+    #[test]
+    fn full_set_yields_mnu() {
+        // 1 set, 2 ways: the third distinct signature cannot be inserted.
+        let mut cache = small_cache(1, 2, 1);
+        assert_eq!(cache.probe_insert(sig(1)).kind, HitKind::Mau);
+        assert_eq!(cache.probe_insert(sig(2)).kind, HitKind::Mau);
+        let out = cache.probe_insert(sig(3));
+        assert_eq!(out.kind, HitKind::Mnu);
+        assert_eq!(out.entry, None);
+        // But the resident signatures still hit.
+        assert_eq!(cache.probe_insert(sig(1)).kind, HitKind::Hit);
+        assert_eq!(cache.stats().mnus, 1);
+    }
+
+    #[test]
+    fn no_replacement_policy() {
+        let mut cache = small_cache(1, 1, 1);
+        let a = cache.probe_insert(sig(1)).entry.unwrap();
+        cache.write(a, 0, 9.0).unwrap();
+        // sig(2) cannot evict sig(1).
+        assert_eq!(cache.probe_insert(sig(2)).kind, HitKind::Mnu);
+        assert_eq!(cache.read(a, 0), Some(9.0));
+    }
+
+    #[test]
+    fn data_valid_bit_lifecycle() {
+        let mut cache = small_cache(4, 2, 1);
+        let out = cache.probe_insert(sig(7));
+        let id = out.entry.unwrap();
+        // Tag valid, data not yet.
+        assert_eq!(cache.read(id, 0), None);
+        cache.write(id, 0, 2.5).unwrap();
+        assert_eq!(cache.read(id, 0), Some(2.5));
+        // Filter advance clears VD but not VT.
+        cache.invalidate_all_data();
+        assert_eq!(cache.read(id, 0), None);
+        assert_eq!(cache.probe_insert(sig(7)).kind, HitKind::Hit);
+    }
+
+    #[test]
+    fn multi_version_data_is_independent() {
+        let mut cache = small_cache(4, 2, 3);
+        let id = cache.probe_insert(sig(5)).entry.unwrap();
+        cache.write(id, 0, 1.0).unwrap();
+        cache.write(id, 2, 3.0).unwrap();
+        assert_eq!(cache.read(id, 0), Some(1.0));
+        assert_eq!(cache.read(id, 1), None);
+        assert_eq!(cache.read(id, 2), Some(3.0));
+        cache.invalidate_version(2).unwrap();
+        assert_eq!(cache.read(id, 0), Some(1.0));
+        assert_eq!(cache.read(id, 2), None);
+    }
+
+    #[test]
+    fn clear_wipes_tags() {
+        let mut cache = small_cache(4, 2, 1);
+        cache.probe_insert(sig(9));
+        assert_eq!(cache.occupancy(), 1);
+        cache.clear();
+        assert_eq!(cache.occupancy(), 0);
+        assert_eq!(cache.probe_insert(sig(9)).kind, HitKind::Mau);
+    }
+
+    #[test]
+    fn write_requires_valid_tag() {
+        let mut cache = small_cache(2, 2, 1);
+        let err = cache.write(EntryId { set: 0, way: 0 }, 0, 1.0).unwrap_err();
+        assert_eq!(err, McacheError::TagNotValid);
+    }
+
+    #[test]
+    fn write_validates_bounds() {
+        let mut cache = small_cache(2, 2, 2);
+        let id = cache.probe_insert(sig(1)).entry.unwrap();
+        assert!(matches!(
+            cache.write(EntryId { set: 5, way: 0 }, 0, 1.0).unwrap_err(),
+            McacheError::BadEntry { .. }
+        ));
+        assert!(matches!(
+            cache.write(id, 2, 1.0).unwrap_err(),
+            McacheError::BadVersion { .. }
+        ));
+    }
+
+    #[test]
+    fn read_counted_tracks_stats() {
+        let mut cache = small_cache(2, 2, 1);
+        let id = cache.probe_insert(sig(3)).entry.unwrap();
+        assert_eq!(cache.read_counted(id, 0), None);
+        cache.write(id, 0, 4.0).unwrap();
+        assert_eq!(cache.read_counted(id, 0), Some(4.0));
+        assert_eq!(cache.stats().data_misses, 1);
+        assert_eq!(cache.stats().data_reads, 1);
+        assert_eq!(cache.stats().data_writes, 1);
+    }
+
+    #[test]
+    fn insert_conflicts_counted_per_batch() {
+        // Signatures mapping to the same set inserted in one batch window
+        // conflict; a new window resets the count.
+        let mut cache = small_cache(1, 8, 1); // single set: every insert collides
+        cache.begin_insert_batch();
+        cache.probe_insert(sig(1));
+        cache.probe_insert(sig(2));
+        cache.probe_insert(sig(3));
+        assert_eq!(cache.stats().insert_conflicts, 2);
+        cache.begin_insert_batch();
+        cache.probe_insert(sig(4));
+        assert_eq!(cache.stats().insert_conflicts, 2);
+    }
+
+    #[test]
+    fn different_length_signatures_do_not_hit() {
+        let mut cache = small_cache(16, 4, 1);
+        let short = Signature::from_bits(0b1010, 20);
+        let long = Signature::from_bits(0b1010, 21);
+        cache.probe_insert(short);
+        // Same bit content, longer signature: must not be a hit.
+        assert_ne!(cache.probe_insert(long).kind, HitKind::Hit);
+    }
+
+    #[test]
+    fn occupancy_saturates_at_capacity() {
+        let mut cache = small_cache(2, 2, 1);
+        for i in 0..100 {
+            cache.probe_insert(sig(i));
+        }
+        assert!(cache.occupancy() <= 4);
+        let s = cache.stats();
+        assert_eq!(s.probes(), 100);
+        assert_eq!(s.maus as usize, cache.occupancy());
+    }
+}

@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for MCACHE configuration and access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum McacheError {
+    /// A configuration parameter was zero or otherwise unusable.
+    InvalidConfig(String),
+    /// An [`EntryId`](crate::EntryId) referred to a line outside the cache.
+    BadEntry {
+        /// Set index of the offending id.
+        set: usize,
+        /// Way index of the offending id.
+        way: usize,
+    },
+    /// A data version index exceeded the configured number of versions.
+    BadVersion {
+        /// The requested version.
+        version: usize,
+        /// Number of versions the cache was configured with.
+        versions: usize,
+    },
+    /// Attempted to write data into a line whose tag is not valid.
+    TagNotValid,
+}
+
+impl fmt::Display for McacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McacheError::InvalidConfig(msg) => write!(f, "invalid mcache configuration: {msg}"),
+            McacheError::BadEntry { set, way } => {
+                write!(f, "entry id (set {set}, way {way}) is out of range")
+            }
+            McacheError::BadVersion { version, versions } => {
+                write!(f, "data version {version} out of range (cache has {versions})")
+            }
+            McacheError::TagNotValid => write!(f, "line has no valid tag"),
+        }
+    }
+}
+
+impl Error for McacheError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(McacheError::BadEntry { set: 3, way: 9 }
+            .to_string()
+            .contains("set 3"));
+        assert!(McacheError::BadVersion {
+            version: 5,
+            versions: 2
+        }
+        .to_string()
+        .contains("version 5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<McacheError>();
+    }
+}

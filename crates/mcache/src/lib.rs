@@ -1,0 +1,65 @@
+//! MCACHE — the memoization cache at the centre of MERCURY (§III-B3 and §V
+//! of the paper).
+//!
+//! MCACHE is a set-associative cache that is *indexed and tagged by RPQ
+//! signatures* and whose data portion holds previously computed dot-product
+//! results. It differs from an ordinary cache in two ways the paper calls
+//! out explicitly:
+//!
+//! 1. **Split valid bits.** A signature (tag) arrives before any result
+//!    (data) exists, so each line carries a Valid-Tag (VT) bit and one
+//!    Valid-Data (VD) bit *per data version*. Inserting a signature sets VT
+//!    only; the data and its VD are filled in when a PE set finishes the
+//!    corresponding dot product.
+//! 2. **No replacement.** Once a set is full, new signatures are not
+//!    inserted (the access is recorded as *miss-no-update*). Lines live
+//!    until the whole cache is cleared at a channel boundary.
+//!
+//! The *multi-version* data portion supports the asynchronous design: each
+//! of the `M` in-flight filters owns one data slot per line, and a "bitline"
+//! flash-clear invalidates one version (filter reload) or all versions
+//! (synchronous filter advance) in a single operation.
+//!
+//! Access outcomes are summarized per input vector in a [`Hitmap`]
+//! (HIT / MAU / MNU), and the [`SignatureTable`] maps input-vector numbers
+//! to their signatures and cache entry ids — both structures are consulted
+//! by the PE sets during the convolution so the dataflow never stalls on
+//! similarity bookkeeping.
+//!
+//! # Examples
+//!
+//! ```
+//! use mercury_mcache::{HitKind, MCache, MCacheConfig};
+//! use mercury_rpq::Signature;
+//!
+//! # fn main() -> Result<(), mercury_mcache::McacheError> {
+//! let mut cache = MCache::new(MCacheConfig::new(64, 16, 1)?);
+//! let sig = Signature::from_bits(0b1011, 20);
+//!
+//! // First access inserts the tag: miss-and-update.
+//! let first = cache.probe_insert(sig);
+//! assert_eq!(first.kind, HitKind::Mau);
+//!
+//! // The PE set computes the dot product and stores it.
+//! cache.write(first.entry.unwrap(), 0, 3.25)?;
+//!
+//! // A later vector with the same signature hits and reuses the result.
+//! let second = cache.probe_insert(sig);
+//! assert_eq!(second.kind, HitKind::Hit);
+//! assert_eq!(cache.read(second.entry.unwrap(), 0), Some(3.25));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod banked;
+mod cache;
+mod error;
+mod hitmap;
+mod sigtable;
+
+pub use cache::{AccessOutcome, EntryId, MCache, MCacheConfig, MCacheStats};
+pub use error::McacheError;
+pub use hitmap::{HitKind, Hitmap};
+pub use sigtable::SignatureTable;

@@ -1,0 +1,141 @@
+use crate::EntryId;
+use mercury_rpq::Signature;
+
+/// The Signature Table: maps input-vector numbers to their signatures and,
+/// once resolved, to their MCACHE entry ids (paper §III-B3 and §V).
+///
+/// The table is indexed by input-vector number "so that MERCURY can easily
+/// find it for a particular input vector". Storing the entry id alongside
+/// the signature means later accesses to the same vector's results go
+/// straight to the cache line without a tag comparison.
+///
+/// # Examples
+///
+/// ```
+/// use mercury_mcache::SignatureTable;
+/// use mercury_rpq::Signature;
+///
+/// let mut table = SignatureTable::new();
+/// table.push(Signature::from_bits(0b01, 20), None);
+/// assert_eq!(table.len(), 1);
+/// assert_eq!(table.signature(0), Some(Signature::from_bits(0b01, 20)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SignatureTable {
+    rows: Vec<(Signature, Option<EntryId>)>,
+}
+
+impl SignatureTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SignatureTable::default()
+    }
+
+    /// Creates an empty table with capacity for `n` vectors.
+    pub fn with_capacity(n: usize) -> Self {
+        SignatureTable {
+            rows: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends the signature (and entry id, if any) of the next input
+    /// vector; returns its index.
+    pub fn push(&mut self, sig: Signature, entry: Option<EntryId>) -> usize {
+        self.rows.push((sig, entry));
+        self.rows.len() - 1
+    }
+
+    /// The signature of input vector `i`.
+    pub fn signature(&self, i: usize) -> Option<Signature> {
+        self.rows.get(i).map(|&(s, _)| s)
+    }
+
+    /// The resolved cache entry of input vector `i`.
+    pub fn entry(&self, i: usize) -> Option<EntryId> {
+        self.rows.get(i).and_then(|&(_, e)| e)
+    }
+
+    /// Updates the entry id of vector `i` after cache resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_entry(&mut self, i: usize, entry: Option<EntryId>) {
+        self.rows[i].1 = entry;
+    }
+
+    /// Number of recorded vectors.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Clears the table (channel boundary).
+    pub fn clear(&mut self) {
+        self.rows.clear();
+    }
+
+    /// Iterates over signatures in vector order.
+    pub fn signatures(&self) -> impl Iterator<Item = Signature> + '_ {
+        self.rows.iter().map(|&(s, _)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(b: u128) -> Signature {
+        Signature::from_bits(b, 16)
+    }
+
+    #[test]
+    fn push_assigns_sequential_indices() {
+        let mut t = SignatureTable::new();
+        assert_eq!(t.push(sig(1), None), 0);
+        assert_eq!(t.push(sig(2), None), 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn lookup_by_vector_number() {
+        let mut t = SignatureTable::new();
+        let id = EntryId { set: 3, way: 1 };
+        t.push(sig(5), Some(id));
+        t.push(sig(6), None);
+        assert_eq!(t.signature(0), Some(sig(5)));
+        assert_eq!(t.entry(0), Some(id));
+        assert_eq!(t.entry(1), None);
+        assert_eq!(t.signature(2), None);
+    }
+
+    #[test]
+    fn set_entry_after_resolution() {
+        let mut t = SignatureTable::new();
+        t.push(sig(9), None);
+        let id = EntryId { set: 0, way: 7 };
+        t.set_entry(0, Some(id));
+        assert_eq!(t.entry(0), Some(id));
+    }
+
+    #[test]
+    fn clear_empties_table() {
+        let mut t = SignatureTable::new();
+        t.push(sig(1), None);
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn signatures_iterate_in_order() {
+        let mut t = SignatureTable::new();
+        t.push(sig(1), None);
+        t.push(sig(2), None);
+        let got: Vec<Signature> = t.signatures().collect();
+        assert_eq!(got, vec![sig(1), sig(2)]);
+    }
+}

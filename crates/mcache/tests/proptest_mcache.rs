@@ -1,0 +1,114 @@
+//! Property-based tests for MCACHE invariants.
+
+use mercury_mcache::{HitKind, MCache, MCacheConfig};
+use mercury_rpq::Signature;
+use proptest::prelude::*;
+
+fn sig(bits: u128) -> Signature {
+    Signature::from_bits(bits, 20)
+}
+
+proptest! {
+    /// Probing the same signature twice in a row never yields MAU twice:
+    /// the second probe is a HIT (if inserted) or MNU (if its set is full).
+    #[test]
+    fn no_double_insert(
+        bits in proptest::collection::vec(0u128..1000, 1..200),
+        sets in 1usize..16,
+        ways in 1usize..8
+    ) {
+        let mut cache = MCache::new(MCacheConfig::new(sets, ways, 1).unwrap());
+        for &b in &bits {
+            let first = cache.probe_insert(sig(b));
+            let second = cache.probe_insert(sig(b));
+            match first.kind {
+                HitKind::Hit | HitKind::Mau => {
+                    prop_assert_eq!(second.kind, HitKind::Hit);
+                    prop_assert_eq!(second.entry, first.entry);
+                }
+                HitKind::Mnu => prop_assert_eq!(second.kind, HitKind::Mnu),
+            }
+        }
+    }
+
+    /// Occupancy equals the number of MAU outcomes and never exceeds
+    /// capacity.
+    #[test]
+    fn occupancy_equals_maus(
+        bits in proptest::collection::vec(0u128..500, 1..300),
+        sets in 1usize..8,
+        ways in 1usize..8
+    ) {
+        let mut cache = MCache::new(MCacheConfig::new(sets, ways, 1).unwrap());
+        for &b in &bits {
+            cache.probe_insert(sig(b));
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(cache.occupancy() as u64, stats.maus);
+        prop_assert!(cache.occupancy() <= sets * ways);
+        prop_assert_eq!(stats.probes(), bits.len() as u64);
+    }
+
+    /// Written data reads back exactly until invalidated; tags survive a
+    /// data invalidation.
+    #[test]
+    fn write_read_invalidate_cycle(
+        bits in proptest::collection::vec(0u128..100, 1..50),
+        value in -1000i32..1000
+    ) {
+        let value = value as f32 / 7.0;
+        let mut cache = MCache::new(MCacheConfig::new(16, 4, 1).unwrap());
+        let mut inserted = Vec::new();
+        for &b in &bits {
+            let out = cache.probe_insert(sig(b));
+            if out.kind == HitKind::Mau {
+                let id = out.entry.unwrap();
+                cache.write(id, 0, value).unwrap();
+                inserted.push((b, id));
+            }
+        }
+        for &(_, id) in &inserted {
+            prop_assert_eq!(cache.read(id, 0), Some(value));
+        }
+        cache.invalidate_all_data();
+        for &(b, id) in &inserted {
+            prop_assert_eq!(cache.read(id, 0), None);
+            prop_assert_eq!(cache.probe_insert(sig(b)).kind, HitKind::Hit);
+        }
+    }
+
+    /// After clear() the cache behaves like new.
+    #[test]
+    fn clear_resets_to_fresh(bits in proptest::collection::vec(0u128..100, 1..60)) {
+        let mut cache = MCache::new(MCacheConfig::new(8, 2, 1).unwrap());
+        for &b in &bits {
+            cache.probe_insert(sig(b));
+        }
+        cache.clear();
+        prop_assert_eq!(cache.occupancy(), 0);
+        // First probe of any signature after clear is never a HIT.
+        for &b in &bits {
+            let k = cache.probe_insert(sig(b)).kind;
+            prop_assert_ne!(k, HitKind::Hit);
+            break;
+        }
+    }
+
+    /// Multi-version writes never interfere across versions.
+    #[test]
+    fn versions_are_isolated(
+        v0 in -100i32..100,
+        v1 in -100i32..100,
+        versions in 2usize..6
+    ) {
+        let mut cache = MCache::new(MCacheConfig::new(4, 2, versions).unwrap());
+        let id = cache.probe_insert(sig(42)).entry.unwrap();
+        cache.write(id, 0, v0 as f32).unwrap();
+        cache.write(id, versions - 1, v1 as f32).unwrap();
+        prop_assert_eq!(cache.read(id, 0), Some(v0 as f32));
+        prop_assert_eq!(cache.read(id, versions - 1), Some(v1 as f32));
+        for mid in 1..versions - 1 {
+            prop_assert_eq!(cache.read(id, mid), None);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Layer-shape specifications of the twelve networks the MERCURY paper
+//! evaluates (§VI): AlexNet, GoogleNet, VGG-13/16/19, ResNet-50/101/152,
+//! Inception-V4, MobileNet-V2, SqueezeNet-1.0, and a Transformer.
+//!
+//! A [`ModelSpec`] lists every reuse-relevant layer (convolutions,
+//! fully-connected layers, attention layers) with its exact geometry at the
+//! paper's 224×224 ImageNet input resolution. These specs drive the
+//! cycle-level experiments (Figures 14–18): the benchmark harness walks a
+//! spec, synthesizes per-channel input-vector streams whose similarity
+//! follows the model's [`similarity profile`](ModelSpec::layer_similarity),
+//! probes a real MCACHE, and feeds the resulting hitmaps to the
+//! accelerator simulator.
+//!
+//! [`trainable`] builds *reduced* instances of the same architectures as
+//! runnable [`mercury_dnn::Network`]s for the accuracy experiments
+//! (Figure 13); training the full-resolution models is out of scope for
+//! any reproduction without a GPU cluster, and relative accuracy (exact vs
+//! MERCURY) is what the experiment measures.
+//!
+//! # Examples
+//!
+//! ```
+//! use mercury_models::{all_models, vgg13};
+//!
+//! let models = all_models();
+//! assert_eq!(models.len(), 12);
+//! let vgg = vgg13();
+//! assert_eq!(vgg.conv_layers().count(), 10); // the 10 conv layers of Fig 1
+//! ```
+
+#![warn(missing_docs)]
+
+mod spec;
+pub mod trainable;
+mod zoo;
+
+pub use spec::{LayerSpec, ModelSpec};
+pub use zoo::{
+    alexnet, all_models, googlenet, inception_v4, mobilenet_v2, resnet101, resnet152, resnet50,
+    squeezenet, transformer, vgg13, vgg16, vgg19,
+};

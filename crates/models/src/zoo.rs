@@ -1,0 +1,475 @@
+//! Builders for the twelve evaluated networks.
+//!
+//! Geometries follow the published architectures at 224×224 input
+//! resolution (the paper trains on 80 ImageNet classes at standard
+//! resolution). Aggregation-only pieces (pooling, batch-norm, residual
+//! adds, concatenations) carry no dot-product reuse and are omitted from
+//! the specs; inception/residual branch structure is flattened into the
+//! equivalent list of convolutions, which is exactly what the PE array
+//! executes.
+//!
+//! `base_similarity` values are calibrated so the reproduction's
+//! end-to-end speedups land in the range Figure 14c reports per model
+//! (bigger networks show more vector similarity — §VII-A).
+
+use crate::{LayerSpec, ModelSpec};
+
+fn conv(
+    name: impl Into<String>,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    in_h: usize,
+) -> LayerSpec {
+    LayerSpec::Conv {
+        name: name.into(),
+        in_ch,
+        out_ch,
+        kernel,
+        stride,
+        pad,
+        in_h,
+        in_w: in_h,
+        depthwise: false,
+    }
+}
+
+fn dwconv(
+    name: impl Into<String>,
+    channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    in_h: usize,
+) -> LayerSpec {
+    LayerSpec::Conv {
+        name: name.into(),
+        in_ch: channels,
+        out_ch: channels,
+        kernel,
+        stride,
+        pad,
+        in_h,
+        in_w: in_h,
+        depthwise: true,
+    }
+}
+
+fn fc(name: impl Into<String>, inputs: usize, outputs: usize) -> LayerSpec {
+    LayerSpec::Fc {
+        name: name.into(),
+        inputs,
+        outputs,
+        // The paper's FC reuse operates across a minibatch block (§III-C3);
+        // 32 inputs per block is the evaluation minibatch.
+        batch: 32,
+    }
+}
+
+/// VGG-style plain stack: `(out_channels, count)` groups separated by 2×2
+/// pooling, then the standard 3-layer classifier head.
+fn vgg(name: &str, groups: &[(usize, usize)], base_similarity: f64) -> ModelSpec {
+    let mut layers = Vec::new();
+    let mut in_ch = 3;
+    let mut size = 224;
+    let mut idx = 0;
+    for &(out_ch, count) in groups {
+        for _ in 0..count {
+            idx += 1;
+            layers.push(conv(format!("conv{idx}"), in_ch, out_ch, 3, 1, 1, size));
+            in_ch = out_ch;
+        }
+        size /= 2; // max-pool between groups
+    }
+    layers.push(fc("fc6", in_ch * size * size, 4096));
+    layers.push(fc("fc7", 4096, 4096));
+    layers.push(fc("fc8", 4096, 80));
+    ModelSpec {
+        name: name.to_string(),
+        layers,
+        base_similarity,
+    }
+}
+
+/// VGG-13: 10 convolution layers (the network of Figures 1 and 15).
+pub fn vgg13() -> ModelSpec {
+    vgg(
+        "VGG-13",
+        &[(64, 2), (128, 2), (256, 2), (512, 2), (512, 2)],
+        0.75,
+    )
+}
+
+/// VGG-16: 13 convolution layers.
+pub fn vgg16() -> ModelSpec {
+    vgg(
+        "VGG-16",
+        &[(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)],
+        0.76,
+    )
+}
+
+/// VGG-19: 16 convolution layers.
+pub fn vgg19() -> ModelSpec {
+    vgg(
+        "VGG-19",
+        &[(64, 2), (128, 2), (256, 4), (512, 4), (512, 4)],
+        0.79,
+    )
+}
+
+/// AlexNet: 5 convolutions + 3 FC.
+pub fn alexnet() -> ModelSpec {
+    let layers = vec![
+        conv("conv1", 3, 96, 11, 4, 2, 224),
+        conv("conv2", 96, 256, 5, 1, 2, 27),
+        conv("conv3", 256, 384, 3, 1, 1, 13),
+        conv("conv4", 384, 384, 3, 1, 1, 13),
+        conv("conv5", 384, 256, 3, 1, 1, 13),
+        fc("fc6", 256 * 6 * 6, 4096),
+        fc("fc7", 4096, 4096),
+        fc("fc8", 4096, 80),
+    ];
+    ModelSpec {
+        name: "AlexNet".to_string(),
+        layers,
+        base_similarity: 0.52,
+    }
+}
+
+/// One GoogleNet inception module flattened to its convolutions.
+fn inception_module(
+    layers: &mut Vec<LayerSpec>,
+    tag: &str,
+    in_ch: usize,
+    c1: usize,
+    c3r: usize,
+    c3: usize,
+    c5r: usize,
+    c5: usize,
+    pp: usize,
+    size: usize,
+) -> usize {
+    layers.push(conv(format!("{tag}_1x1"), in_ch, c1, 1, 1, 0, size));
+    layers.push(conv(format!("{tag}_3x3r"), in_ch, c3r, 1, 1, 0, size));
+    layers.push(conv(format!("{tag}_3x3"), c3r, c3, 3, 1, 1, size));
+    layers.push(conv(format!("{tag}_5x5r"), in_ch, c5r, 1, 1, 0, size));
+    layers.push(conv(format!("{tag}_5x5"), c5r, c5, 5, 1, 2, size));
+    layers.push(conv(format!("{tag}_pp"), in_ch, pp, 1, 1, 0, size));
+    c1 + c3 + c5 + pp
+}
+
+/// GoogleNet (Inception-V1): stem + 9 inception modules + classifier.
+pub fn googlenet() -> ModelSpec {
+    let mut layers = vec![
+        conv("conv1", 3, 64, 7, 2, 3, 224),
+        conv("conv2r", 64, 64, 1, 1, 0, 56),
+        conv("conv2", 64, 192, 3, 1, 1, 56),
+    ];
+    let mut ch = 192;
+    ch = inception_module(&mut layers, "3a", ch, 64, 96, 128, 16, 32, 32, 28);
+    ch = inception_module(&mut layers, "3b", ch, 128, 128, 192, 32, 96, 64, 28);
+    ch = inception_module(&mut layers, "4a", ch, 192, 96, 208, 16, 48, 64, 14);
+    ch = inception_module(&mut layers, "4b", ch, 160, 112, 224, 24, 64, 64, 14);
+    ch = inception_module(&mut layers, "4c", ch, 128, 128, 256, 24, 64, 64, 14);
+    ch = inception_module(&mut layers, "4d", ch, 112, 144, 288, 32, 64, 64, 14);
+    ch = inception_module(&mut layers, "4e", ch, 256, 160, 320, 32, 128, 128, 14);
+    ch = inception_module(&mut layers, "5a", ch, 256, 160, 320, 32, 128, 128, 7);
+    ch = inception_module(&mut layers, "5b", ch, 384, 192, 384, 48, 128, 128, 7);
+    layers.push(fc("fc", ch, 80));
+    ModelSpec {
+        name: "GoogleNet".to_string(),
+        layers,
+        base_similarity: 0.68,
+    }
+}
+
+/// ResNet bottleneck stage: `blocks` × (1×1 reduce, 3×3, 1×1 expand).
+fn resnet_stage(
+    layers: &mut Vec<LayerSpec>,
+    tag: &str,
+    blocks: usize,
+    in_ch: usize,
+    mid: usize,
+    size: usize,
+) -> usize {
+    let out = mid * 4;
+    let mut ch = in_ch;
+    for b in 0..blocks {
+        layers.push(conv(format!("{tag}_{b}_a"), ch, mid, 1, 1, 0, size));
+        layers.push(conv(format!("{tag}_{b}_b"), mid, mid, 3, 1, 1, size));
+        layers.push(conv(format!("{tag}_{b}_c"), mid, out, 1, 1, 0, size));
+        ch = out;
+    }
+    ch
+}
+
+fn resnet(name: &str, blocks: [usize; 4], base_similarity: f64) -> ModelSpec {
+    let mut layers = vec![conv("conv1", 3, 64, 7, 2, 3, 224)];
+    let mut ch = 64;
+    ch = resnet_stage(&mut layers, "conv2", blocks[0], ch, 64, 56);
+    ch = resnet_stage(&mut layers, "conv3", blocks[1], ch, 128, 28);
+    ch = resnet_stage(&mut layers, "conv4", blocks[2], ch, 256, 14);
+    ch = resnet_stage(&mut layers, "conv5", blocks[3], ch, 512, 7);
+    layers.push(fc("fc", ch, 80));
+    ModelSpec {
+        name: name.to_string(),
+        layers,
+        base_similarity,
+    }
+}
+
+/// ResNet-50: [3, 4, 6, 3] bottleneck blocks.
+pub fn resnet50() -> ModelSpec {
+    resnet("ResNet50", [3, 4, 6, 3], 0.72)
+}
+
+/// ResNet-101: [3, 4, 23, 3] bottleneck blocks.
+pub fn resnet101() -> ModelSpec {
+    resnet("ResNet101", [3, 4, 23, 3], 0.75)
+}
+
+/// ResNet-152: [3, 8, 36, 3] bottleneck blocks.
+pub fn resnet152() -> ModelSpec {
+    resnet("ResNet152", [3, 8, 36, 3], 0.79)
+}
+
+/// Inception-V4 (flattened approximation: stem + 4×A + 7×B + 3×C modules).
+pub fn inception_v4() -> ModelSpec {
+    let mut layers = vec![
+        conv("stem1", 3, 32, 3, 2, 0, 299),
+        conv("stem2", 32, 32, 3, 1, 0, 149),
+        conv("stem3", 32, 64, 3, 1, 1, 147),
+        conv("stem4", 64, 96, 3, 2, 0, 147),
+        conv("stem5", 160, 192, 3, 1, 0, 73),
+    ];
+    // Inception-A ×4 at 35×35, 384 channels.
+    for i in 0..4 {
+        let t = format!("a{i}");
+        layers.push(conv(format!("{t}_1x1"), 384, 96, 1, 1, 0, 35));
+        layers.push(conv(format!("{t}_3x3r"), 384, 64, 1, 1, 0, 35));
+        layers.push(conv(format!("{t}_3x3"), 64, 96, 3, 1, 1, 35));
+        layers.push(conv(format!("{t}_d3x3r"), 384, 64, 1, 1, 0, 35));
+        layers.push(conv(format!("{t}_d3x3a"), 64, 96, 3, 1, 1, 35));
+        layers.push(conv(format!("{t}_d3x3b"), 96, 96, 3, 1, 1, 35));
+    }
+    // Inception-B ×7 at 17×17, 1024 channels (7×1/1×7 pairs approximated
+    // by the equivalent-MAC 7×7-factorized 3×3 pair).
+    for i in 0..7 {
+        let t = format!("b{i}");
+        layers.push(conv(format!("{t}_1x1"), 1024, 384, 1, 1, 0, 17));
+        layers.push(conv(format!("{t}_7r"), 1024, 192, 1, 1, 0, 17));
+        layers.push(conv(format!("{t}_7a"), 192, 224, 3, 1, 1, 17));
+        layers.push(conv(format!("{t}_7b"), 224, 256, 3, 1, 1, 17));
+    }
+    // Inception-C ×3 at 8×8, 1536 channels.
+    for i in 0..3 {
+        let t = format!("c{i}");
+        layers.push(conv(format!("{t}_1x1"), 1536, 256, 1, 1, 0, 8));
+        layers.push(conv(format!("{t}_3r"), 1536, 384, 1, 1, 0, 8));
+        layers.push(conv(format!("{t}_3a"), 384, 256, 3, 1, 1, 8));
+        layers.push(conv(format!("{t}_3b"), 384, 256, 3, 1, 1, 8));
+    }
+    layers.push(fc("fc", 1536, 80));
+    ModelSpec {
+        name: "Incep-V4".to_string(),
+        layers,
+        base_similarity: 0.82,
+    }
+}
+
+/// MobileNet-V2: inverted residual blocks (expand 1×1, depthwise 3×3,
+/// project 1×1), standard width table.
+pub fn mobilenet_v2() -> ModelSpec {
+    let mut layers = vec![conv("conv1", 3, 32, 3, 2, 1, 224)];
+    // (expansion t, out channels, repeats, stride, input size)
+    let table: [(usize, usize, usize, usize, usize); 7] = [
+        (1, 16, 1, 1, 112),
+        (6, 24, 2, 2, 112),
+        (6, 32, 3, 2, 56),
+        (6, 64, 4, 2, 28),
+        (6, 96, 3, 1, 14),
+        (6, 160, 3, 2, 14),
+        (6, 320, 1, 1, 7),
+    ];
+    let mut in_ch = 32;
+    for (bi, &(t, out, reps, stride, mut size)) in table.iter().enumerate() {
+        for r in 0..reps {
+            let s = if r == 0 { stride } else { 1 };
+            let hidden = in_ch * t;
+            let tag = format!("ir{bi}_{r}");
+            if t != 1 {
+                layers.push(conv(format!("{tag}_exp"), in_ch, hidden, 1, 1, 0, size));
+            }
+            layers.push(dwconv(format!("{tag}_dw"), hidden, 3, s, 1, size));
+            if s == 2 {
+                size /= 2;
+            }
+            layers.push(conv(format!("{tag}_proj"), hidden, out, 1, 1, 0, size));
+            in_ch = out;
+        }
+    }
+    layers.push(conv("conv_last", in_ch, 1280, 1, 1, 0, 7));
+    layers.push(fc("fc", 1280, 80));
+    ModelSpec {
+        name: "MobNet-V2".to_string(),
+        layers,
+        base_similarity: 0.66,
+    }
+}
+
+/// SqueezeNet-1.0: conv1 + 8 fire modules (squeeze 1×1, expand 1×1 + 3×3).
+pub fn squeezenet() -> ModelSpec {
+    let mut layers = vec![conv("conv1", 3, 96, 7, 2, 0, 224)];
+    // (in, squeeze, expand, size)
+    let fires: [(usize, usize, usize, usize); 8] = [
+        (96, 16, 64, 54),
+        (128, 16, 64, 54),
+        (128, 32, 128, 54),
+        (256, 32, 128, 27),
+        (256, 48, 192, 27),
+        (384, 48, 192, 27),
+        (384, 64, 256, 27),
+        (512, 64, 256, 13),
+    ];
+    for (i, &(in_ch, squeeze, expand, size)) in fires.iter().enumerate() {
+        let tag = format!("fire{}", i + 2);
+        layers.push(conv(format!("{tag}_s1"), in_ch, squeeze, 1, 1, 0, size));
+        layers.push(conv(format!("{tag}_e1"), squeeze, expand, 1, 1, 0, size));
+        layers.push(conv(format!("{tag}_e3"), squeeze, expand, 3, 1, 1, size));
+    }
+    layers.push(conv("conv10", 512, 80, 1, 1, 0, 13));
+    ModelSpec {
+        name: "Squeeze1.0".to_string(),
+        layers,
+        base_similarity: 0.68,
+    }
+}
+
+/// Transformer: 6 encoder blocks of self-attention + position-wise FC
+/// pairs over 32-token sequences with 512-dimensional representations
+/// (the Multi30k translation setup of §VI).
+pub fn transformer() -> ModelSpec {
+    let mut layers = Vec::new();
+    for i in 0..6 {
+        layers.push(LayerSpec::Attention {
+            name: format!("enc{i}_att"),
+            seq_len: 32,
+            dim: 512,
+        });
+        layers.push(fc(format!("enc{i}_ff1"), 512, 2048));
+        layers.push(fc(format!("enc{i}_ff2"), 2048, 512));
+    }
+    layers.push(fc("generator", 512, 8000));
+    ModelSpec {
+        name: "Transformer".to_string(),
+        layers,
+        base_similarity: 0.56,
+    }
+}
+
+/// All twelve evaluated models, in the order the paper's figures list
+/// them.
+pub fn all_models() -> Vec<ModelSpec> {
+    vec![
+        alexnet(),
+        googlenet(),
+        resnet50(),
+        resnet101(),
+        resnet152(),
+        vgg13(),
+        vgg16(),
+        vgg19(),
+        inception_v4(),
+        mobilenet_v2(),
+        squeezenet(),
+        transformer(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_models() {
+        let models = all_models();
+        assert_eq!(models.len(), 12);
+        let names: Vec<&str> = models.iter().map(|m| m.name.as_str()).collect();
+        assert!(names.contains(&"VGG-13"));
+        assert!(names.contains(&"Transformer"));
+    }
+
+    #[test]
+    fn vgg13_has_ten_conv_layers() {
+        assert_eq!(vgg13().conv_layers().count(), 10);
+        assert_eq!(vgg16().conv_layers().count(), 13);
+        assert_eq!(vgg19().conv_layers().count(), 16);
+    }
+
+    #[test]
+    fn resnet_conv_counts() {
+        // 1 stem + 3 per bottleneck block.
+        assert_eq!(resnet50().conv_layers().count(), 1 + 3 * (3 + 4 + 6 + 3));
+        assert_eq!(resnet101().conv_layers().count(), 1 + 3 * (3 + 4 + 23 + 3));
+        assert_eq!(resnet152().conv_layers().count(), 1 + 3 * (3 + 8 + 36 + 3));
+    }
+
+    #[test]
+    fn alexnet_conv1_geometry_matches_published() {
+        let m = alexnet();
+        let first = m.conv_layers().next().unwrap();
+        assert_eq!(first.out_h(), Some(55));
+        assert_eq!(first.vectors_per_unit(), 55 * 55);
+    }
+
+    #[test]
+    fn vgg_macs_are_ordered_by_depth() {
+        assert!(vgg19().total_macs() > vgg16().total_macs());
+        assert!(vgg16().total_macs() > vgg13().total_macs());
+    }
+
+    #[test]
+    fn bigger_models_have_more_base_similarity() {
+        // §VII-A: "For bigger networks ... there are more saving
+        // opportunities."
+        assert!(resnet152().base_similarity > resnet50().base_similarity);
+        assert!(vgg19().base_similarity > vgg13().base_similarity);
+    }
+
+    #[test]
+    fn transformer_has_attention_layers() {
+        let t = transformer();
+        let att = t
+            .layers
+            .iter()
+            .filter(|l| matches!(l, LayerSpec::Attention { .. }))
+            .count();
+        assert_eq!(att, 6);
+    }
+
+    #[test]
+    fn mobilenet_contains_depthwise_layers() {
+        let m = mobilenet_v2();
+        let dw = m
+            .layers
+            .iter()
+            .filter(|l| matches!(l, LayerSpec::Conv { depthwise: true, .. }))
+            .count();
+        assert_eq!(dw, 17); // one per inverted-residual block
+    }
+
+    #[test]
+    fn all_conv_geometries_are_consistent() {
+        for model in all_models() {
+            for layer in model.conv_layers() {
+                let oh = layer.out_h().unwrap();
+                let ow = layer.out_w().unwrap();
+                assert!(oh > 0 && ow > 0, "{} / {}", model.name, layer.name());
+                assert!(layer.macs() > 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Bloom-filter vector signatures — the baseline MERCURY compares RPQ
+//! against in Figure 3 of the paper.
+//!
+//! A Bloom signature is built by coarsely quantizing each element of the
+//! vector and hashing `(position, quantized value)` pairs into an `n`-bit
+//! array with `k` hash functions (the classic Bloom encoding of the
+//! element set, after [Bloom 1970] and the Bulk signatures of [Ceze et al.
+//! 2006]). Two vectors are declared similar when their signatures are
+//! identical.
+//!
+//! Unlike RPQ, the quantization grid — not the signature length — controls
+//! how much value difference is tolerated, which is why Bloom filters lag
+//! RPQ at longer signature lengths (paper Figure 3b): growing the signature
+//! reduces aliasing between *different* vectors but cannot make the
+//! signature more selective about *near* vectors.
+
+/// Bloom-filter signature generator for `f32` vectors.
+///
+/// # Examples
+///
+/// ```
+/// use mercury_rpq::bloom::BloomSignature;
+///
+/// let bloom = BloomSignature::new(64, 2, 0.05);
+/// let a = bloom.signature(&[0.50, 1.25, -0.75]);
+/// let b = bloom.signature(&[0.50, 1.25, -0.75]);
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BloomSignature {
+    bits: usize,
+    hashes: usize,
+    /// Quantization step: elements within the same step-wide bin are
+    /// indistinguishable to the filter.
+    step: f32,
+}
+
+impl BloomSignature {
+    /// Creates a generator producing `bits`-bit signatures using `hashes`
+    /// hash functions, with elements quantized to multiples of `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` or `hashes` is zero, or `step` is not positive.
+    pub fn new(bits: usize, hashes: usize, step: f32) -> Self {
+        assert!(bits > 0, "signature must have at least one bit");
+        assert!(hashes > 0, "need at least one hash function");
+        assert!(step > 0.0, "quantization step must be positive");
+        BloomSignature {
+            bits,
+            hashes,
+            step,
+        }
+    }
+
+    /// Signature width in bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Computes the Bloom signature of a vector as a bit vector packed into
+    /// `u64` words.
+    pub fn signature(&self, vector: &[f32]) -> Vec<u64> {
+        let words = self.bits.div_ceil(64);
+        let mut sig = vec![0u64; words];
+        for (i, &x) in vector.iter().enumerate() {
+            let q = (x / self.step).round() as i64;
+            for h in 0..self.hashes {
+                let bit = self.hash(i as u64, q, h as u64) % self.bits as u64;
+                sig[(bit / 64) as usize] |= 1 << (bit % 64);
+            }
+        }
+        sig
+    }
+
+    fn hash(&self, position: u64, quantized: i64, salt: u64) -> u64 {
+        let mut z = position
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(quantized as u64)
+            .wrapping_add(salt.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_match() {
+        let bloom = BloomSignature::new(128, 2, 0.05);
+        let v = [0.4, -1.2, 0.9, 2.2];
+        assert_eq!(bloom.signature(&v), bloom.signature(&v));
+    }
+
+    #[test]
+    fn within_bin_perturbation_matches() {
+        let bloom = BloomSignature::new(128, 2, 0.5);
+        // Perturbations well inside half a bin width keep the same bins.
+        let a = [1.0, 2.0, -1.0];
+        let b = [1.01, 2.01, -0.99];
+        assert_eq!(bloom.signature(&a), bloom.signature(&b));
+    }
+
+    #[test]
+    fn distinct_vectors_usually_differ_at_large_sizes() {
+        let bloom = BloomSignature::new(256, 2, 0.05);
+        let a = [0.4, -1.2, 0.9, 2.2];
+        let b = [-0.7, 0.3, 1.8, -2.5];
+        assert_ne!(bloom.signature(&a), bloom.signature(&b));
+    }
+
+    #[test]
+    fn tiny_signatures_alias_heavily() {
+        // With very few bits, most bits saturate to 1 and distinct vectors
+        // collide — the behaviour Figure 3b shows at short lengths.
+        let bloom = BloomSignature::new(2, 2, 0.05);
+        let a: Vec<f32> = (0..10).map(|i| i as f32 * 0.37 - 2.0).collect();
+        let b: Vec<f32> = (0..10).map(|i| i as f32 * -0.29 + 1.0).collect();
+        assert_eq!(bloom.signature(&a), bloom.signature(&b));
+    }
+
+    #[test]
+    fn signature_width_in_words() {
+        let bloom = BloomSignature::new(65, 1, 0.1);
+        assert_eq!(bloom.signature(&[1.0]).len(), 2);
+        let bloom = BloomSignature::new(64, 1, 0.1);
+        assert_eq!(bloom.signature(&[1.0]).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_bits_rejected() {
+        BloomSignature::new(0, 1, 0.1);
+    }
+}

@@ -1,0 +1,235 @@
+use crate::{ProjectionMatrix, Signature};
+use mercury_tensor::ops::dot;
+use mercury_tensor::Tensor;
+
+/// Computes RPQ signatures for input vectors, the way the PE array does:
+/// one dot product with each random filter, then sign quantization.
+///
+/// The generator borrows a [`ProjectionMatrix`]; MERCURY keeps one matrix
+/// per (layer, kernel-size) pair and regenerates signatures per channel.
+///
+/// # Examples
+///
+/// ```
+/// use mercury_rpq::{ProjectionMatrix, SignatureGenerator};
+/// use mercury_tensor::rng::Rng;
+///
+/// let mut rng = Rng::new(9);
+/// let proj = ProjectionMatrix::generate(4, 16, &mut rng);
+/// let generator = SignatureGenerator::new(&proj);
+/// let sig = generator.signature(&[1.0, -2.0, 0.5, 3.0]);
+/// assert_eq!(sig.len(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SignatureGenerator<'a> {
+    projection: &'a ProjectionMatrix,
+}
+
+impl<'a> SignatureGenerator<'a> {
+    /// Creates a generator over a projection matrix.
+    pub fn new(projection: &'a ProjectionMatrix) -> Self {
+        SignatureGenerator { projection }
+    }
+
+    /// The projection matrix in use.
+    pub fn projection(&self) -> &ProjectionMatrix {
+        self.projection
+    }
+
+    /// Number of bits each produced signature carries.
+    pub fn signature_len(&self) -> usize {
+        self.projection.num_filters()
+    }
+
+    /// Computes the full-length signature of one input vector.
+    ///
+    /// Bit `j` is `sign(vector · filter_j) < 0 ? 1 : 0` — the paper
+    /// quantizes sign-bit-0 (non-negative) to 0 and sign-bit-1 to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vector.len()` differs from the projection's input length.
+    pub fn signature(&self, vector: &[f32]) -> Signature {
+        self.signature_prefix(vector, self.signature_len())
+    }
+
+    /// Computes only the first `bits` bits of the signature (used while the
+    /// adaptive controller is still below the matrix's full length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vector.len()` differs from the projection input length or
+    /// `bits` exceeds the number of filters.
+    pub fn signature_prefix(&self, vector: &[f32], bits: usize) -> Signature {
+        assert_eq!(
+            vector.len(),
+            self.projection.input_len(),
+            "vector length {} does not match projection input length {}",
+            vector.len(),
+            self.projection.input_len()
+        );
+        assert!(
+            bits <= self.signature_len(),
+            "requested {bits} bits but projection has {} filters",
+            self.signature_len()
+        );
+        let mut sig = Signature::empty();
+        for j in 0..bits {
+            let projected = dot(vector, self.projection.filter(j));
+            sig.push_bit(projected < 0.0);
+        }
+        sig
+    }
+
+    /// Computes signatures for every row of an `[n, input_len]` patch
+    /// matrix (the output of
+    /// [`extract_patches`](mercury_tensor::conv::extract_patches)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patches` is not 2-D with row length equal to the
+    /// projection input length.
+    pub fn signatures_for_patches(&self, patches: &Tensor) -> Vec<Signature> {
+        self.signatures_for_patches_prefix(patches, self.signature_len())
+    }
+
+    /// Like [`signatures_for_patches`](Self::signatures_for_patches) but
+    /// producing only `bits`-bit prefixes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/length mismatch, as above.
+    pub fn signatures_for_patches_prefix(&self, patches: &Tensor, bits: usize) -> Vec<Signature> {
+        assert_eq!(patches.rank(), 2, "patch matrix must be 2-D");
+        let plen = patches.shape()[1];
+        assert_eq!(
+            plen,
+            self.projection.input_len(),
+            "patch length {} does not match projection input length {}",
+            plen,
+            self.projection.input_len()
+        );
+        let n = patches.shape()[0];
+        (0..n)
+            .map(|i| self.signature_prefix(&patches.data()[i * plen..(i + 1) * plen], bits))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercury_tensor::rng::Rng;
+
+    fn setup(input_len: usize, bits: usize, seed: u64) -> ProjectionMatrix {
+        ProjectionMatrix::generate(input_len, bits, &mut Rng::new(seed))
+    }
+
+    #[test]
+    fn identical_vectors_share_signature() {
+        let proj = setup(9, 20, 1);
+        let generator = SignatureGenerator::new(&proj);
+        let v = vec![0.3, -0.2, 1.5, 0.0, 0.7, -1.1, 0.4, 0.9, -0.6];
+        assert_eq!(generator.signature(&v), generator.signature(&v));
+    }
+
+    #[test]
+    fn near_vectors_usually_share_signature() {
+        let proj = setup(10, 20, 2);
+        let generator = SignatureGenerator::new(&proj);
+        let mut rng = Rng::new(99);
+        let mut matches = 0;
+        let trials = 100;
+        for _ in 0..trials {
+            let base: Vec<f32> = (0..10).map(|_| rng.next_normal()).collect();
+            let near: Vec<f32> = base.iter().map(|&x| x + 1e-5 * rng.next_normal()).collect();
+            if generator.signature(&base) == generator.signature(&near) {
+                matches += 1;
+            }
+        }
+        assert!(matches >= 95, "only {matches}/{trials} near-pairs matched");
+    }
+
+    #[test]
+    fn far_vectors_usually_differ() {
+        let proj = setup(10, 24, 3);
+        let generator = SignatureGenerator::new(&proj);
+        let mut rng = Rng::new(100);
+        let mut collisions = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            let a: Vec<f32> = (0..10).map(|_| rng.next_normal()).collect();
+            let b: Vec<f32> = (0..10).map(|_| rng.next_normal()).collect();
+            if generator.signature(&a) == generator.signature(&b) {
+                collisions += 1;
+            }
+        }
+        assert!(collisions <= 2, "{collisions}/{trials} random pairs collided");
+    }
+
+    #[test]
+    fn negated_vector_flips_every_bit() {
+        let proj = setup(8, 16, 4);
+        let generator = SignatureGenerator::new(&proj);
+        // A vector with no zero projections flips all sign bits when negated.
+        let v = vec![1.0, 2.0, -0.5, 0.25, -1.5, 3.0, 0.75, -2.0];
+        let neg: Vec<f32> = v.iter().map(|&x| -x).collect();
+        let s1 = generator.signature(&v);
+        let s2 = generator.signature(&neg);
+        assert_eq!(s1.hamming(&s2), 16);
+    }
+
+    #[test]
+    fn prefix_agrees_with_full_signature() {
+        let proj = setup(6, 32, 5);
+        let generator = SignatureGenerator::new(&proj);
+        let v = vec![0.1, -0.3, 0.9, 0.2, -0.8, 0.4];
+        let full = generator.signature(&v);
+        for bits in [1, 8, 20, 32] {
+            assert_eq!(generator.signature_prefix(&v, bits), full.prefix(bits));
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_vector() {
+        let proj = setup(4, 12, 6);
+        let generator = SignatureGenerator::new(&proj);
+        let patches = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, -1.0, -2.0, -3.0, -4.0, 0.5, 0.5, 0.5, 0.5],
+            &[3, 4],
+        )
+        .unwrap();
+        let batch = generator.signatures_for_patches(&patches);
+        assert_eq!(batch.len(), 3);
+        for (i, sig) in batch.iter().enumerate() {
+            let row = &patches.data()[i * 4..(i + 1) * 4];
+            assert_eq!(*sig, generator.signature(row));
+        }
+    }
+
+    #[test]
+    fn longer_signatures_are_stricter() {
+        // With more bits, fewer distinct vectors collide: collisions at n
+        // bits are a superset of collisions at m > n bits.
+        let proj = setup(10, 64, 7);
+        let generator = SignatureGenerator::new(&proj);
+        let mut rng = Rng::new(8);
+        for _ in 0..100 {
+            let a: Vec<f32> = (0..10).map(|_| rng.next_normal()).collect();
+            let b: Vec<f32> = (0..10).map(|_| rng.next_normal()).collect();
+            let long_equal = generator.signature_prefix(&a, 64) == generator.signature_prefix(&b, 64);
+            let short_equal =
+                generator.signature_prefix(&a, 8) == generator.signature_prefix(&b, 8);
+            if long_equal {
+                assert!(short_equal, "prefix equality must be implied by full equality");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match projection input length")]
+    fn wrong_length_vector_panics() {
+        let proj = setup(4, 8, 9);
+        SignatureGenerator::new(&proj).signature(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,247 @@
+use crate::MAX_SIGNATURE_BITS;
+use std::fmt;
+
+/// An RPQ signature: up to [`MAX_SIGNATURE_BITS`] sign bits produced by
+/// random projection followed by sign quantization.
+///
+/// Signatures compare equal only when both their length and their bits
+/// match — a 20-bit signature is never equal to a 21-bit one, mirroring the
+/// hardware where MCACHE is flushed whenever the signature length grows.
+///
+/// # Examples
+///
+/// ```
+/// use mercury_rpq::Signature;
+///
+/// let mut sig = Signature::empty();
+/// sig.push_bit(true);
+/// sig.push_bit(false);
+/// sig.push_bit(true);
+/// assert_eq!(sig.len(), 3);
+/// assert_eq!(sig.bit(0), true);
+/// assert_eq!(sig.bit(1), false);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Signature {
+    bits: u128,
+    len: u8,
+}
+
+impl Signature {
+    /// Creates an empty (zero-length) signature.
+    pub fn empty() -> Self {
+        Signature::default()
+    }
+
+    /// Creates a signature from the low `len` bits of `bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds [`MAX_SIGNATURE_BITS`].
+    pub fn from_bits(bits: u128, len: usize) -> Self {
+        assert!(
+            len <= MAX_SIGNATURE_BITS,
+            "signature length {len} exceeds maximum {MAX_SIGNATURE_BITS}"
+        );
+        let mask = if len == 128 {
+            u128::MAX
+        } else {
+            (1u128 << len) - 1
+        };
+        Signature {
+            bits: bits & mask,
+            len: len as u8,
+        }
+    }
+
+    /// Number of bits in the signature.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the signature holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The raw bit content (low `len()` bits are meaningful).
+    pub fn bits(&self) -> u128 {
+        self.bits
+    }
+
+    /// Reads bit `i` (bit 0 is the first bit generated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.len(), "bit index {i} out of range (len {})", self.len);
+        (self.bits >> i) & 1 == 1
+    }
+
+    /// Appends one bit to the signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signature is already [`MAX_SIGNATURE_BITS`] long.
+    pub fn push_bit(&mut self, bit: bool) {
+        assert!(
+            self.len() < MAX_SIGNATURE_BITS,
+            "signature already at maximum length"
+        );
+        if bit {
+            self.bits |= 1u128 << self.len;
+        }
+        self.len += 1;
+    }
+
+    /// Returns the signature truncated to its first `len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > self.len()`.
+    pub fn prefix(&self, len: usize) -> Signature {
+        assert!(len <= self.len(), "prefix longer than signature");
+        Signature::from_bits(self.bits, len)
+    }
+
+    /// Mixes the signature into a well-distributed 64-bit value; MCACHE uses
+    /// this for set indexing and tags.
+    pub fn mix64(&self) -> u64 {
+        // SplitMix-style finalizer over both halves plus the length, so that
+        // signatures differing only in length land in different sets.
+        let mut z = (self.bits as u64)
+            ^ ((self.bits >> 64) as u64).rotate_left(31)
+            ^ ((self.len as u64) << 56);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Hamming distance to another signature of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ (distances between different-length
+    /// signatures are not meaningful).
+    pub fn hamming(&self, other: &Signature) -> u32 {
+        assert_eq!(self.len, other.len, "hamming distance needs equal lengths");
+        (self.bits ^ other.bits).count_ones()
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "<empty>");
+        }
+        for i in 0..self.len() {
+            write!(f, "{}", if self.bit(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_bits() {
+        let mut sig = Signature::empty();
+        assert!(sig.is_empty());
+        sig.push_bit(true);
+        sig.push_bit(false);
+        sig.push_bit(true);
+        assert_eq!(sig.len(), 3);
+        assert!(sig.bit(0));
+        assert!(!sig.bit(1));
+        assert!(sig.bit(2));
+        assert_eq!(sig.bits(), 0b101);
+    }
+
+    #[test]
+    fn from_bits_masks_extra_bits() {
+        let sig = Signature::from_bits(0b1111_1111, 4);
+        assert_eq!(sig.bits(), 0b1111);
+        assert_eq!(sig.len(), 4);
+    }
+
+    #[test]
+    fn equality_requires_equal_length() {
+        let a = Signature::from_bits(0b101, 3);
+        let b = Signature::from_bits(0b101, 4);
+        assert_ne!(a, b);
+        assert_eq!(a, Signature::from_bits(0b101, 3));
+    }
+
+    #[test]
+    fn prefix_truncates() {
+        let sig = Signature::from_bits(0b110101, 6);
+        let p = sig.prefix(3);
+        assert_eq!(p, Signature::from_bits(0b101, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix longer")]
+    fn prefix_beyond_length_panics() {
+        Signature::from_bits(0b1, 1).prefix(2);
+    }
+
+    #[test]
+    fn mix64_differs_for_different_lengths() {
+        let a = Signature::from_bits(0b101, 3);
+        let b = Signature::from_bits(0b101, 4);
+        assert_ne!(a.mix64(), b.mix64());
+    }
+
+    #[test]
+    fn mix64_spreads_nearby_signatures() {
+        // Signatures differing by one bit should index different sets with
+        // overwhelming probability.
+        let base = Signature::from_bits(0xABCD, 20);
+        let mut collisions = 0;
+        for i in 0..20 {
+            let other = Signature::from_bits(0xABCD ^ (1 << i), 20);
+            if base.mix64() % 64 == other.mix64() % 64 {
+                collisions += 1;
+            }
+        }
+        assert!(collisions <= 3, "too many set collisions: {collisions}");
+    }
+
+    #[test]
+    fn hamming_counts_differing_bits() {
+        let a = Signature::from_bits(0b1100, 4);
+        let b = Signature::from_bits(0b1010, 4);
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn hamming_rejects_length_mismatch() {
+        Signature::from_bits(0, 3).hamming(&Signature::from_bits(0, 4));
+    }
+
+    #[test]
+    fn display_renders_bits_in_order() {
+        let sig = Signature::from_bits(0b011, 3);
+        assert_eq!(sig.to_string(), "110");
+        assert_eq!(Signature::empty().to_string(), "<empty>");
+    }
+
+    #[test]
+    fn max_length_signature() {
+        let sig = Signature::from_bits(u128::MAX, 128);
+        assert_eq!(sig.len(), 128);
+        assert!(sig.bit(127));
+    }
+
+    #[test]
+    #[should_panic(expected = "maximum length")]
+    fn push_past_max_panics() {
+        let mut sig = Signature::from_bits(0, 128);
+        sig.push_bit(true);
+    }
+}

@@ -1,0 +1,661 @@
+//! Convolution primitives: patch ("input vector") extraction and reference
+//! conv2d forward/backward passes.
+//!
+//! MERCURY operates on *input vectors*: `k1×k2` patches extracted from an
+//! input feature map, each of which is dotted with filter weights (§III-B1
+//! of the paper). [`extract_patches`] produces exactly those vectors.
+//! [`conv2d`] / [`conv2d_multi`] are the forward reference used to verify
+//! the reuse engine, and [`conv2d_backward_weights`] /
+//! [`conv2d_backward_input`] implement equations (1) and (2) of §II-C, the
+//! two computations of the backward pass.
+
+use crate::{ops, Tensor, TensorError};
+
+/// Geometry of a 2-D convolution over a `[C, H, W]` input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Input height.
+    pub height: usize,
+    /// Input width.
+    pub width: usize,
+    /// Kernel height (`k1` in the paper).
+    pub kernel_h: usize,
+    /// Kernel width (`k2` in the paper).
+    pub kernel_w: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on every border.
+    pub pad: usize,
+}
+
+impl ConvGeometry {
+    /// Creates a geometry, validating that at least one output position
+    /// exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidConv`] when the kernel does not fit in
+    /// the padded input or any size/stride is zero.
+    pub fn new(
+        height: usize,
+        width: usize,
+        kernel_h: usize,
+        kernel_w: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Result<Self, TensorError> {
+        if height == 0 || width == 0 || kernel_h == 0 || kernel_w == 0 || stride == 0 {
+            return Err(TensorError::InvalidConv(
+                "sizes and stride must be positive".to_string(),
+            ));
+        }
+        if height + 2 * pad < kernel_h || width + 2 * pad < kernel_w {
+            return Err(TensorError::InvalidConv(format!(
+                "kernel {kernel_h}x{kernel_w} larger than padded input {}x{}",
+                height + 2 * pad,
+                width + 2 * pad
+            )));
+        }
+        Ok(ConvGeometry {
+            height,
+            width,
+            kernel_h,
+            kernel_w,
+            stride,
+            pad,
+        })
+    }
+
+    /// Number of output rows.
+    pub fn out_h(&self) -> usize {
+        (self.height + 2 * self.pad - self.kernel_h) / self.stride + 1
+    }
+
+    /// Number of output columns.
+    pub fn out_w(&self) -> usize {
+        (self.width + 2 * self.pad - self.kernel_w) / self.stride + 1
+    }
+
+    /// Number of input vectors (patches) a single channel yields — one per
+    /// output position.
+    pub fn num_patches(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Length of each input vector.
+    pub fn patch_len(&self) -> usize {
+        self.kernel_h * self.kernel_w
+    }
+}
+
+/// Extracts the input vectors of one channel as an `[n_patches, k1*k2]`
+/// matrix (im2col layout).
+///
+/// Out-of-bounds positions introduced by padding read as zero.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if `channel` is not 2-D, or
+/// [`TensorError::ShapeMismatch`] if its shape disagrees with `geom`.
+///
+/// # Examples
+///
+/// ```
+/// use mercury_tensor::{conv::{extract_patches, ConvGeometry}, Tensor};
+///
+/// # fn main() -> Result<(), mercury_tensor::TensorError> {
+/// let input = Tensor::from_vec((1..=25).map(|x| x as f32).collect(), &[5, 5])?;
+/// let geom = ConvGeometry::new(5, 5, 3, 3, 1, 0)?;
+/// let patches = extract_patches(&input, &geom)?;
+/// assert_eq!(patches.shape(), &[9, 9]); // 3x3 output positions, 9-element vectors
+/// # Ok(())
+/// # }
+/// ```
+pub fn extract_patches(channel: &Tensor, geom: &ConvGeometry) -> Result<Tensor, TensorError> {
+    if channel.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: channel.rank(),
+        });
+    }
+    if channel.shape() != [geom.height, geom.width] {
+        return Err(TensorError::ShapeMismatch {
+            left: channel.shape().to_vec(),
+            right: vec![geom.height, geom.width],
+        });
+    }
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let plen = geom.patch_len();
+    let mut out = Tensor::zeros(&[oh * ow, plen]);
+    let data = out.data_mut();
+    let ch = channel.data();
+    let mut row = 0;
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let base_y = (oy * geom.stride) as isize - geom.pad as isize;
+            let base_x = (ox * geom.stride) as isize - geom.pad as isize;
+            for ky in 0..geom.kernel_h {
+                for kx in 0..geom.kernel_w {
+                    let y = base_y + ky as isize;
+                    let x = base_x + kx as isize;
+                    let v = if y >= 0
+                        && x >= 0
+                        && (y as usize) < geom.height
+                        && (x as usize) < geom.width
+                    {
+                        ch[y as usize * geom.width + x as usize]
+                    } else {
+                        0.0
+                    };
+                    data[row * plen + ky * geom.kernel_w + kx] = v;
+                }
+            }
+            row += 1;
+        }
+    }
+    Ok(out)
+}
+
+/// Convolves a `[C, H, W]` input with one `[C, k1, k2]` kernel, producing a
+/// `[1, out_h, out_w]` map.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`]
+/// for malformed operands and [`TensorError::InvalidConv`] when the kernel
+/// does not fit.
+pub fn conv2d(
+    input: &Tensor,
+    kernel: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor, TensorError> {
+    let kernels = kernel.reshape(&{
+        let mut s = vec![1];
+        s.extend_from_slice(kernel.shape());
+        s
+    })?;
+    conv2d_multi(input, &kernels, stride, pad)
+}
+
+/// Convolves a `[C, H, W]` input with `[F, C, k1, k2]` kernels, producing a
+/// `[F, out_h, out_w]` map.
+///
+/// This is the reference implementation the MERCURY reuse engine is checked
+/// against: it performs every dot product exactly once, with no memoization.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`]
+/// for malformed operands and [`TensorError::InvalidConv`] when the kernel
+/// does not fit.
+pub fn conv2d_multi(
+    input: &Tensor,
+    kernels: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor, TensorError> {
+    if input.rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            expected: 3,
+            actual: input.rank(),
+        });
+    }
+    if kernels.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: kernels.rank(),
+        });
+    }
+    let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let (f, kc, kh, kw) = (
+        kernels.shape()[0],
+        kernels.shape()[1],
+        kernels.shape()[2],
+        kernels.shape()[3],
+    );
+    if c != kc {
+        return Err(TensorError::ShapeMismatch {
+            left: input.shape().to_vec(),
+            right: kernels.shape().to_vec(),
+        });
+    }
+    let geom = ConvGeometry::new(h, w, kh, kw, stride, pad)?;
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+
+    // im2col per channel, then one matmul per channel accumulated into out.
+    let mut out = Tensor::zeros(&[f, oh, ow]);
+    let plen = geom.patch_len();
+    for ch in 0..c {
+        let channel = Tensor::from_vec(
+            input.data()[ch * h * w..(ch + 1) * h * w].to_vec(),
+            &[h, w],
+        )?;
+        let patches = extract_patches(&channel, &geom)?; // [P, plen]
+        // Filter rows for this channel: [F, plen].
+        let mut filt = Tensor::zeros(&[f, plen]);
+        for fi in 0..f {
+            let src = &kernels.data()[(fi * kc + ch) * plen..(fi * kc + ch + 1) * plen];
+            filt.data_mut()[fi * plen..(fi + 1) * plen].copy_from_slice(src);
+        }
+        let contrib = ops::matmul(&patches, &ops::transpose(&filt)?)?; // [P, F]
+        let od = out.data_mut();
+        for p in 0..geom.num_patches() {
+            for fi in 0..f {
+                od[fi * oh * ow + p] += contrib.at(&[p, fi]);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Gradient of the loss w.r.t. the kernels — equation (1) of the paper:
+/// `dW[m,n] = Σ_{i,j} δ[i,j] · O[i+m, j+n]`, a convolution between the
+/// output gradient and the layer input.
+///
+/// Supports stride-1 convolutions (the configuration the paper's equations
+/// are stated for).
+///
+/// # Errors
+///
+/// Returns shape errors for malformed operands and
+/// [`TensorError::InvalidConv`] for non-unit stride.
+pub fn conv2d_backward_weights(
+    input: &Tensor,
+    dout: &Tensor,
+    kernel_h: usize,
+    kernel_w: usize,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor, TensorError> {
+    if stride != 1 {
+        return Err(TensorError::InvalidConv(
+            "backward pass implemented for stride 1 (as in the paper's eq. 1)".to_string(),
+        ));
+    }
+    if input.rank() != 3 || dout.rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            expected: 3,
+            actual: if input.rank() != 3 {
+                input.rank()
+            } else {
+                dout.rank()
+            },
+        });
+    }
+    let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let (f, oh, ow) = (dout.shape()[0], dout.shape()[1], dout.shape()[2]);
+    let geom = ConvGeometry::new(h, w, kernel_h, kernel_w, 1, pad)?;
+    if (geom.out_h(), geom.out_w()) != (oh, ow) {
+        return Err(TensorError::ShapeMismatch {
+            left: dout.shape().to_vec(),
+            right: vec![f, geom.out_h(), geom.out_w()],
+        });
+    }
+    let mut dw = Tensor::zeros(&[f, c, kernel_h, kernel_w]);
+    for fi in 0..f {
+        for ch in 0..c {
+            for m in 0..kernel_h {
+                for n in 0..kernel_w {
+                    let mut acc = 0.0;
+                    for i in 0..oh {
+                        for j in 0..ow {
+                            let y = i as isize + m as isize - pad as isize;
+                            let x = j as isize + n as isize - pad as isize;
+                            if y >= 0 && x >= 0 && (y as usize) < h && (x as usize) < w {
+                                acc += dout.at(&[fi, i, j])
+                                    * input.at(&[ch, y as usize, x as usize]);
+                            }
+                        }
+                    }
+                    dw.set(&[fi, ch, m, n], acc);
+                }
+            }
+        }
+    }
+    Ok(dw)
+}
+
+/// Gradient of the loss w.r.t. the layer input — equation (2) of the paper:
+/// `dX[i,j] = Σ_{m,n} δ[i−m, j−n] · W[m,n]`, a full convolution between the
+/// (zero-padded) output gradient and the kernels.
+///
+/// # Errors
+///
+/// Returns shape errors for malformed operands and
+/// [`TensorError::InvalidConv`] for non-unit stride.
+pub fn conv2d_backward_input(
+    kernels: &Tensor,
+    dout: &Tensor,
+    input_h: usize,
+    input_w: usize,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor, TensorError> {
+    if stride != 1 {
+        return Err(TensorError::InvalidConv(
+            "backward pass implemented for stride 1 (as in the paper's eq. 2)".to_string(),
+        ));
+    }
+    if kernels.rank() != 4 || dout.rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: kernels.rank(),
+        });
+    }
+    let (f, c, kh, kw) = (
+        kernels.shape()[0],
+        kernels.shape()[1],
+        kernels.shape()[2],
+        kernels.shape()[3],
+    );
+    let (df, oh, ow) = (dout.shape()[0], dout.shape()[1], dout.shape()[2]);
+    if f != df {
+        return Err(TensorError::ShapeMismatch {
+            left: kernels.shape().to_vec(),
+            right: dout.shape().to_vec(),
+        });
+    }
+    let mut dx = Tensor::zeros(&[c, input_h, input_w]);
+    for fi in 0..f {
+        for i in 0..oh {
+            for j in 0..ow {
+                let g = dout.at(&[fi, i, j]);
+                if g == 0.0 {
+                    continue;
+                }
+                for ch in 0..c {
+                    for m in 0..kh {
+                        for n in 0..kw {
+                            let y = i as isize + m as isize - pad as isize;
+                            let x = j as isize + n as isize - pad as isize;
+                            if y >= 0
+                                && x >= 0
+                                && (y as usize) < input_h
+                                && (x as usize) < input_w
+                            {
+                                let cur = dx.at(&[ch, y as usize, x as usize]);
+                                dx.set(
+                                    &[ch, y as usize, x as usize],
+                                    cur + g * kernels.at(&[fi, ch, m, n]),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(dx)
+}
+
+/// 2×2 max pooling with stride 2 over a `[C, H, W]` tensor; also returns the
+/// argmax mask needed for the backward pass.
+///
+/// Odd trailing rows/columns are dropped, as in common DNN frameworks.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-3-D input and
+/// [`TensorError::InvalidConv`] if the spatial size is below 2.
+pub fn max_pool2(input: &Tensor) -> Result<(Tensor, Vec<usize>), TensorError> {
+    if input.rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            expected: 3,
+            actual: input.rank(),
+        });
+    }
+    let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    if h < 2 || w < 2 {
+        return Err(TensorError::InvalidConv(
+            "max_pool2 requires spatial size of at least 2".to_string(),
+        ));
+    }
+    let (oh, ow) = (h / 2, w / 2);
+    let mut out = Tensor::zeros(&[c, oh, ow]);
+    let mut argmax = vec![0usize; c * oh * ow];
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_off = 0;
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        let y = oy * 2 + dy;
+                        let x = ox * 2 + dx;
+                        let v = input.at(&[ch, y, x]);
+                        if v > best {
+                            best = v;
+                            best_off = ch * h * w + y * w + x;
+                        }
+                    }
+                }
+                out.set(&[ch, oy, ox], best);
+                argmax[ch * oh * ow + oy * ow + ox] = best_off;
+            }
+        }
+    }
+    Ok((out, argmax))
+}
+
+/// Scatters pooled gradients back through the argmax mask produced by
+/// [`max_pool2`].
+///
+/// # Panics
+///
+/// Panics if `argmax` length differs from `dout` length or contains offsets
+/// outside the original input (an internal-invariant violation).
+pub fn max_pool2_backward(dout: &Tensor, argmax: &[usize], input_shape: &[usize]) -> Tensor {
+    assert_eq!(dout.len(), argmax.len(), "argmax mask length mismatch");
+    let mut dx = Tensor::zeros(input_shape);
+    let dxd = dx.data_mut();
+    for (g, &off) in dout.data().iter().zip(argmax) {
+        dxd[off] += g;
+    }
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn geometry_output_sizes() {
+        let g = ConvGeometry::new(5, 5, 3, 3, 1, 0).unwrap();
+        assert_eq!((g.out_h(), g.out_w()), (3, 3));
+        assert_eq!(g.num_patches(), 9);
+        assert_eq!(g.patch_len(), 9);
+
+        let g = ConvGeometry::new(7, 7, 3, 3, 2, 1).unwrap();
+        assert_eq!((g.out_h(), g.out_w()), (4, 4));
+    }
+
+    #[test]
+    fn geometry_rejects_oversized_kernel() {
+        assert!(ConvGeometry::new(2, 2, 3, 3, 1, 0).is_err());
+        // With padding 1 the 3x3 kernel fits a 2x2 input.
+        assert!(ConvGeometry::new(2, 2, 3, 3, 1, 1).is_ok());
+    }
+
+    #[test]
+    fn patches_match_paper_example() {
+        // The paper's running example: 5x5 input, 3x3 kernels, 9 vectors.
+        let input = Tensor::from_vec((0..25).map(|x| x as f32).collect(), &[5, 5]).unwrap();
+        let geom = ConvGeometry::new(5, 5, 3, 3, 1, 0).unwrap();
+        let p = extract_patches(&input, &geom).unwrap();
+        assert_eq!(p.shape(), &[9, 9]);
+        // First patch is the top-left 3x3 block.
+        assert_eq!(
+            &p.data()[0..9],
+            &[0.0, 1.0, 2.0, 5.0, 6.0, 7.0, 10.0, 11.0, 12.0]
+        );
+        // Patch 4 (centre) starts at (1,1).
+        assert_eq!(
+            &p.data()[4 * 9..5 * 9],
+            &[6.0, 7.0, 8.0, 11.0, 12.0, 13.0, 16.0, 17.0, 18.0]
+        );
+    }
+
+    #[test]
+    fn patches_zero_pad() {
+        let input = Tensor::full(&[2, 2], 1.0);
+        let geom = ConvGeometry::new(2, 2, 3, 3, 1, 1).unwrap();
+        let p = extract_patches(&input, &geom).unwrap();
+        assert_eq!(p.shape(), &[4, 9]);
+        // Top-left patch: only the bottom-right 2x2 sub-block is inside.
+        assert_eq!(
+            &p.data()[0..9],
+            &[0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn conv2d_known_values() {
+        // 1-channel 3x3 input, 2x2 averaging-like kernel.
+        let input =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], &[1, 3, 3])
+                .unwrap();
+        let kernel = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], &[1, 2, 2]).unwrap();
+        let out = conv2d(&input, &kernel, 1, 0).unwrap();
+        assert_eq!(out.shape(), &[1, 2, 2]);
+        assert_eq!(out.data(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn conv2d_multi_channel_accumulates() {
+        let input = Tensor::full(&[2, 3, 3], 1.0);
+        let kernels = Tensor::full(&[1, 2, 2, 2], 1.0);
+        let out = conv2d_multi(&input, &kernels, 1, 0).unwrap();
+        // Each output = 2 channels * 4 ones = 8.
+        assert!(out.data().iter().all(|&v| (v - 8.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn conv2d_stride_two() {
+        let input = Tensor::from_vec((0..16).map(|x| x as f32).collect(), &[1, 4, 4]).unwrap();
+        let kernel = Tensor::from_vec(vec![1.0], &[1, 1, 1]).unwrap();
+        let out = conv2d(&input, &kernel, 2, 0).unwrap();
+        assert_eq!(out.shape(), &[1, 2, 2]);
+        assert_eq!(out.data(), &[0.0, 2.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn conv_matches_direct_computation() {
+        let mut rng = Rng::new(21);
+        let input = Tensor::randn(&[3, 6, 6], &mut rng);
+        let kernels = Tensor::randn(&[4, 3, 3, 3], &mut rng);
+        let out = conv2d_multi(&input, &kernels, 1, 1).unwrap();
+        assert_eq!(out.shape(), &[4, 6, 6]);
+        // Cross-check one arbitrary output element against a direct loop.
+        let (fi, oy, ox) = (2, 3, 4);
+        let mut acc = 0.0;
+        for c in 0..3 {
+            for ky in 0..3 {
+                for kx in 0..3 {
+                    let y = oy + ky;
+                    let x = ox + kx;
+                    // pad=1 shifts input coordinates by -1.
+                    if y >= 1 && x >= 1 && y - 1 < 6 && x - 1 < 6 {
+                        acc += input.at(&[c, y - 1, x - 1]) * kernels.at(&[fi, c, ky, kx]);
+                    }
+                }
+            }
+        }
+        assert!((out.at(&[fi, oy, ox]) - acc).abs() < 1e-4);
+    }
+
+    /// Numerical-gradient check of equation (1): perturb one weight and
+    /// compare the analytic dW against the finite difference of the loss
+    /// `L = Σ out`.
+    #[test]
+    fn backward_weights_matches_numerical_gradient() {
+        let mut rng = Rng::new(31);
+        let input = Tensor::randn(&[2, 5, 5], &mut rng);
+        let mut kernels = Tensor::randn(&[2, 2, 3, 3], &mut rng);
+        let dout = Tensor::full(&[2, 3, 3], 1.0); // dL/dout = 1 for L = sum(out)
+
+        let dw = conv2d_backward_weights(&input, &dout, 3, 3, 1, 0).unwrap();
+
+        let idx = [1, 0, 2, 1];
+        let eps = 1e-3;
+        let base: f32 = conv2d_multi(&input, &kernels, 1, 0).unwrap().sum();
+        kernels.set(&idx, kernels.at(&idx) + eps);
+        let bumped: f32 = conv2d_multi(&input, &kernels, 1, 0).unwrap().sum();
+        let numeric = (bumped - base) / eps;
+        assert!(
+            (dw.at(&idx) - numeric).abs() < 1e-2,
+            "analytic {} vs numeric {}",
+            dw.at(&idx),
+            numeric
+        );
+    }
+
+    /// Numerical-gradient check of equation (2).
+    #[test]
+    fn backward_input_matches_numerical_gradient() {
+        let mut rng = Rng::new(32);
+        let mut input = Tensor::randn(&[2, 5, 5], &mut rng);
+        let kernels = Tensor::randn(&[3, 2, 3, 3], &mut rng);
+        let dout = Tensor::full(&[3, 3, 3], 1.0);
+
+        let dx = conv2d_backward_input(&kernels, &dout, 5, 5, 1, 0).unwrap();
+        assert_eq!(dx.shape(), &[2, 5, 5]);
+
+        let idx = [1, 2, 3];
+        let eps = 1e-3;
+        let base: f32 = conv2d_multi(&input, &kernels, 1, 0).unwrap().sum();
+        input.set(&idx, input.at(&idx) + eps);
+        let bumped: f32 = conv2d_multi(&input, &kernels, 1, 0).unwrap().sum();
+        let numeric = (bumped - base) / eps;
+        assert!(
+            (dx.at(&idx) - numeric).abs() < 1e-2,
+            "analytic {} vs numeric {}",
+            dx.at(&idx),
+            numeric
+        );
+    }
+
+    #[test]
+    fn backward_rejects_stride_two() {
+        let input = Tensor::zeros(&[1, 4, 4]);
+        let dout = Tensor::zeros(&[1, 2, 2]);
+        assert!(matches!(
+            conv2d_backward_weights(&input, &dout, 2, 2, 2, 0).unwrap_err(),
+            TensorError::InvalidConv(_)
+        ));
+    }
+
+    #[test]
+    fn max_pool_and_backward() {
+        let input = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+            &[1, 4, 4],
+        )
+        .unwrap();
+        let (out, argmax) = max_pool2(&input).unwrap();
+        assert_eq!(out.shape(), &[1, 2, 2]);
+        assert_eq!(out.data(), &[4.0, 8.0, 12.0, 16.0]);
+
+        let dout = Tensor::full(&[1, 2, 2], 1.0);
+        let dx = max_pool2_backward(&dout, &argmax, &[1, 4, 4]);
+        // Gradient flows only to the max positions.
+        assert_eq!(dx.at(&[0, 1, 1]), 1.0);
+        assert_eq!(dx.at(&[0, 1, 3]), 1.0);
+        assert_eq!(dx.at(&[0, 3, 1]), 1.0);
+        assert_eq!(dx.at(&[0, 3, 3]), 1.0);
+        assert_eq!(dx.sum(), 4.0);
+    }
+
+    #[test]
+    fn pool_drops_odd_edges() {
+        let input = Tensor::full(&[1, 5, 5], 1.0);
+        let (out, _) = max_pool2(&input).unwrap();
+        assert_eq!(out.shape(), &[1, 2, 2]);
+    }
+}

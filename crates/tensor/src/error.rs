@@ -1,0 +1,89 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for tensor construction and shape-sensitive operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of provided elements does not match the product of the
+    /// requested shape.
+    ShapeDataMismatch {
+        /// Product of the requested dimensions.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors participating in a binary operation have incompatible
+    /// shapes.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// The operation requires a tensor of a different rank.
+    RankMismatch {
+        /// Rank the operation requires.
+        expected: usize,
+        /// Rank of the provided tensor.
+        actual: usize,
+    },
+    /// A convolution configuration is invalid (e.g. kernel larger than the
+    /// padded input, or zero-sized dimensions).
+    InvalidConv(String),
+    /// A requested dimension was zero where a positive size is required.
+    ZeroDim,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { expected, actual } => write!(
+                f,
+                "shape expects {expected} elements but {actual} were provided"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "incompatible shapes {left:?} and {right:?}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "expected rank {expected} tensor, got rank {actual}")
+            }
+            TensorError::InvalidConv(msg) => write!(f, "invalid convolution: {msg}"),
+            TensorError::ZeroDim => write!(f, "dimensions must be positive"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = TensorError::ShapeDataMismatch {
+            expected: 4,
+            actual: 3,
+        };
+        let msg = err.to_string();
+        assert!(msg.starts_with("shape expects"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn shape_mismatch_mentions_both_shapes() {
+        let err = TensorError::ShapeMismatch {
+            left: vec![2, 3],
+            right: vec![4],
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("[2, 3]"));
+        assert!(msg.contains("[4]"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the tensor substrate.
+
+use mercury_tensor::conv::{self, ConvGeometry};
+use mercury_tensor::rng::Rng;
+use mercury_tensor::{ops, Tensor};
+use proptest::prelude::*;
+
+fn small_f32() -> impl Strategy<Value = f32> {
+    // Keep magnitudes small so accumulated float error stays well below the
+    // comparison tolerances.
+    (-100i32..100).prop_map(|x| x as f32 / 10.0)
+}
+
+proptest! {
+    #[test]
+    fn from_vec_roundtrips(data in proptest::collection::vec(small_f32(), 1..64)) {
+        let len = data.len();
+        let t = Tensor::from_vec(data.clone(), &[len]).unwrap();
+        prop_assert_eq!(t.into_vec(), data);
+    }
+
+    #[test]
+    fn add_is_commutative(
+        data in proptest::collection::vec((small_f32(), small_f32()), 1..64)
+    ) {
+        let (xs, ys): (Vec<f32>, Vec<f32>) = data.into_iter().unzip();
+        let n = xs.len();
+        let a = Tensor::from_vec(xs, &[n]).unwrap();
+        let b = Tensor::from_vec(ys, &[n]).unwrap();
+        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+    }
+
+    #[test]
+    fn scale_distributes_over_add(
+        data in proptest::collection::vec((small_f32(), small_f32()), 1..32),
+        k in -5i32..5
+    ) {
+        let k = k as f32;
+        let (xs, ys): (Vec<f32>, Vec<f32>) = data.into_iter().unzip();
+        let n = xs.len();
+        let a = Tensor::from_vec(xs, &[n]).unwrap();
+        let b = Tensor::from_vec(ys, &[n]).unwrap();
+        let lhs = a.add(&b).unwrap().scale(k);
+        let rhs = a.scale(k).add(&b.scale(k)).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn dot_is_symmetric(
+        data in proptest::collection::vec((small_f32(), small_f32()), 1..64)
+    ) {
+        let (xs, ys): (Vec<f32>, Vec<f32>) = data.into_iter().unzip();
+        let d1 = ops::dot(&xs, &ys);
+        let d2 = ops::dot(&ys, &xs);
+        prop_assert!((d1 - d2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn matmul_associates_with_identity(seed in 0u64..1000, m in 1usize..6, n in 1usize..6) {
+        let mut rng = Rng::new(seed);
+        let a = Tensor::randn(&[m, n], &mut rng);
+        let mut eye = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            eye.set(&[i, i], 1.0);
+        }
+        let prod = ops::matmul(&a, &eye).unwrap();
+        for (x, y) in prod.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(seed in 0u64..1000, r in 1usize..8, c in 1usize..8) {
+        let mut rng = Rng::new(seed);
+        let t = Tensor::randn(&[r, c], &mut rng);
+        let tt = ops::transpose(&ops::transpose(&t).unwrap()).unwrap();
+        prop_assert_eq!(t, tt);
+    }
+
+    /// conv2d via im2col must agree with a direct quadruple loop.
+    #[test]
+    fn conv_agrees_with_direct_loops(
+        seed in 0u64..500,
+        h in 3usize..8,
+        w in 3usize..8,
+        pad in 0usize..2
+    ) {
+        let mut rng = Rng::new(seed);
+        let input = Tensor::randn(&[2, h, w], &mut rng);
+        let kernels = Tensor::randn(&[2, 2, 3, 3], &mut rng);
+        if h + 2 * pad < 3 || w + 2 * pad < 3 {
+            return Ok(());
+        }
+        let out = conv::conv2d_multi(&input, &kernels, 1, pad).unwrap();
+        let geom = ConvGeometry::new(h, w, 3, 3, 1, pad).unwrap();
+        for fi in 0..2 {
+            for oy in 0..geom.out_h() {
+                for ox in 0..geom.out_w() {
+                    let mut acc = 0.0f32;
+                    for ch in 0..2 {
+                        for ky in 0..3 {
+                            for kx in 0..3 {
+                                let y = oy as isize + ky as isize - pad as isize;
+                                let x = ox as isize + kx as isize - pad as isize;
+                                if y >= 0 && x >= 0 && (y as usize) < h && (x as usize) < w {
+                                    acc += input.at(&[ch, y as usize, x as usize])
+                                        * kernels.at(&[fi, ch, ky, kx]);
+                                }
+                            }
+                        }
+                    }
+                    prop_assert!((out.at(&[fi, oy, ox]) - acc).abs() < 1e-3);
+                }
+            }
+        }
+    }
+
+    /// Patch extraction must produce exactly the vectors the direct
+    /// definition describes.
+    #[test]
+    fn patches_agree_with_definition(seed in 0u64..500, h in 3usize..9, w in 3usize..9) {
+        let mut rng = Rng::new(seed);
+        let channel = Tensor::randn(&[h, w], &mut rng);
+        let geom = ConvGeometry::new(h, w, 3, 3, 1, 0).unwrap();
+        let patches = conv::extract_patches(&channel, &geom).unwrap();
+        for oy in 0..geom.out_h() {
+            for ox in 0..geom.out_w() {
+                let row = oy * geom.out_w() + ox;
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        prop_assert_eq!(
+                            patches.at(&[row, ky * 3 + kx]),
+                            channel.at(&[oy + ky, ox + kx])
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pooling backward must conserve gradient mass.
+    #[test]
+    fn pool_backward_conserves_gradient(seed in 0u64..500, h in 2usize..9, w in 2usize..9) {
+        let mut rng = Rng::new(seed);
+        let input = Tensor::randn(&[1, h, w], &mut rng);
+        let (out, argmax) = conv::max_pool2(&input).unwrap();
+        let dout = Tensor::full(out.shape(), 1.0);
+        let dx = conv::max_pool2_backward(&dout, &argmax, &[1, h, w]);
+        prop_assert!((dx.sum() - dout.sum()).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,25 @@
+//! Synthetic workloads for the MERCURY reproduction.
+//!
+//! The paper evaluates on ImageNet (80 classes) and Multi30k; neither is
+//! available to a self-contained reproduction, so this crate provides
+//! generators that preserve the property MERCURY exploits — *input
+//! similarity* — while remaining fully deterministic:
+//!
+//! * [`stream`] — cluster-structured signature streams for the
+//!   simulator-scale experiments: vectors are drawn from a Zipf-like
+//!   popularity distribution over clusters, every cluster maps to one
+//!   signature, and outcomes (HIT/MAU/MNU) emerge from probing a *real*
+//!   MCACHE, so set conflicts and the no-replacement policy shape the
+//!   results just as in hardware.
+//! * [`images`] — an 80-class synthetic image dataset with smooth class
+//!   prototypes plus noise; smooth regions give early conv layers the high
+//!   patch similarity Figure 1 documents for real images.
+//! * [`sequences`] — token-sequence classification data for the
+//!   transformer experiments, with repeated prototype tokens providing
+//!   attention-level similarity.
+
+#![warn(missing_docs)]
+
+pub mod images;
+pub mod sequences;
+pub mod stream;

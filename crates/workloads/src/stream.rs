@@ -1,0 +1,265 @@
+//! Cluster-structured signature streams for simulator-scale experiments.
+//!
+//! A feature map's patches cluster around distinct values with a heavily
+//! skewed popularity: a few hundred *popular* patches (flat regions,
+//! repeated textures) cover most repeats — Figure 15c of the paper counts
+//! only hundreds-to-a-thousand unique vectors per VGG-13 layer against
+//! tens of thousands of patches — plus a long tail of rare patches.
+//!
+//! [`VectorStream`] models this with a two-tier process: each position is
+//! a *repeat* with probability `similarity` (drawn from the popular tier
+//! with probability `popular_fraction`, else uniformly from everything
+//! seen) or a fresh cluster otherwise. Probing a real [`MCache`] with the
+//! stream then yields HIT/MAU/MNU outcomes shaped by actual set conflicts
+//! and the no-replacement policy: popular-tier repeats mostly hit, tail
+//! repeats and overflow uniques become MNUs.
+
+use mercury_mcache::{HitKind, MCache};
+use mercury_rpq::Signature;
+use mercury_tensor::rng::Rng;
+
+/// Configuration of a synthetic input-vector stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VectorStream {
+    /// Number of vectors in the stream (patches in the channel).
+    pub num_vectors: usize,
+    /// Probability that a vector repeats an earlier cluster.
+    pub similarity: f64,
+    /// Size of the popular tier: repeats concentrate on the first
+    /// `popular_tier` distinct clusters (the Figure 15c scale).
+    pub popular_tier: usize,
+    /// Fraction of repeats drawn from the popular tier.
+    pub popular_fraction: f64,
+    /// Signature length in bits.
+    pub signature_bits: usize,
+}
+
+impl VectorStream {
+    /// Creates a stream with the default popularity structure (tier of
+    /// 1024 clusters receiving 90% of repeats).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vectors == 0` or `similarity` is outside `[0, 1)`.
+    pub fn with_similarity(num_vectors: usize, similarity: f64, signature_bits: usize) -> Self {
+        assert!(num_vectors > 0, "stream must contain vectors");
+        assert!(
+            (0.0..1.0).contains(&similarity),
+            "similarity must be in [0, 1)"
+        );
+        VectorStream {
+            num_vectors,
+            similarity,
+            popular_tier: 1024,
+            popular_fraction: 0.9,
+            signature_bits,
+        }
+    }
+
+    /// Expected number of distinct clusters in the stream.
+    pub fn expected_unique(&self) -> usize {
+        ((self.num_vectors as f64) * (1.0 - self.similarity))
+            .ceil()
+            .max(1.0) as usize
+    }
+
+    /// Draws the cluster id sequence. Ids are dense: cluster `k` is the
+    /// `k`-th distinct cluster to appear.
+    pub fn cluster_ids(&self, rng: &mut Rng) -> Vec<usize> {
+        let mut ids = Vec::with_capacity(self.num_vectors);
+        let mut next_id = 0usize;
+        for _ in 0..self.num_vectors {
+            let repeat = next_id > 0 && rng.next_f64() < self.similarity;
+            if !repeat {
+                ids.push(next_id);
+                next_id += 1;
+                continue;
+            }
+            let tier = self.popular_tier.min(next_id).max(1);
+            let id = if rng.next_f64() < self.popular_fraction {
+                rng.next_below(tier)
+            } else {
+                rng.next_below(next_id)
+            };
+            ids.push(id);
+        }
+        ids
+    }
+
+    /// Maps cluster ids to synthetic signatures (one random signature per
+    /// cluster) and probes the cache, returning the per-vector outcomes
+    /// and the number of same-window insertion conflicts.
+    ///
+    /// The cache is cleared first — each stream models one channel, and
+    /// channels restart MCACHE (§III-B3).
+    pub fn probe(&self, cache: &mut MCache, rng: &mut Rng) -> (Vec<HitKind>, u64) {
+        let ids = self.cluster_ids(rng);
+        let max_id = ids.iter().copied().max().unwrap_or(0);
+        let sigs: Vec<Signature> = (0..=max_id)
+            .map(|_| {
+                let hi = (rng.next_u64() as u128) << 64;
+                let lo = rng.next_u64() as u128;
+                Signature::from_bits(hi | lo, self.signature_bits.clamp(1, 128))
+            })
+            .collect();
+        cache.clear();
+        cache.begin_insert_batch();
+        let before = cache.stats().insert_conflicts;
+        let outcomes: Vec<HitKind> = ids
+            .iter()
+            .map(|&id| cache.probe_insert(sigs[id]).kind)
+            .collect();
+        let conflicts = cache.stats().insert_conflicts - before;
+        (outcomes, conflicts)
+    }
+}
+
+/// Measured mix of outcomes from a probe run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeMix {
+    /// HIT count.
+    pub hits: usize,
+    /// MAU count.
+    pub maus: usize,
+    /// MNU count.
+    pub mnus: usize,
+}
+
+impl OutcomeMix {
+    /// Tallies a slice of outcomes.
+    pub fn from_outcomes(outcomes: &[HitKind]) -> Self {
+        let mut mix = OutcomeMix::default();
+        for &o in outcomes {
+            match o {
+                HitKind::Hit => mix.hits += 1,
+                HitKind::Mau => mix.maus += 1,
+                HitKind::Mnu => mix.mnus += 1,
+            }
+        }
+        mix
+    }
+
+    /// Fraction of probes that hit.
+    pub fn hit_rate(&self) -> f64 {
+        let n = self.hits + self.maus + self.mnus;
+        if n == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercury_mcache::MCacheConfig;
+
+    fn cache() -> MCache {
+        MCache::new(MCacheConfig::paper_default())
+    }
+
+    #[test]
+    fn with_similarity_sets_expected_unique() {
+        let s = VectorStream::with_similarity(1000, 0.75, 20);
+        assert_eq!(s.expected_unique(), 250);
+        assert_eq!(s.num_vectors, 1000);
+    }
+
+    #[test]
+    fn unique_count_tracks_similarity() {
+        let s = VectorStream::with_similarity(4000, 0.6, 20);
+        let ids = s.cluster_ids(&mut Rng::new(1));
+        let distinct: std::collections::HashSet<usize> = ids.iter().copied().collect();
+        let expected = s.expected_unique();
+        assert!(
+            (distinct.len() as f64 - expected as f64).abs() < expected as f64 * 0.15,
+            "distinct {} vs expected {expected}",
+            distinct.len()
+        );
+        assert_eq!(ids.len(), 4000);
+    }
+
+    #[test]
+    fn probe_hit_rate_tracks_similarity_when_cache_fits() {
+        // With few uniques (small stream), nearly every repeat hits.
+        for &target in &[0.3, 0.5, 0.8] {
+            let s = VectorStream::with_similarity(2000, target, 20);
+            let (outcomes, _) = s.probe(&mut cache(), &mut Rng::new(7));
+            let mix = OutcomeMix::from_outcomes(&outcomes);
+            assert!(
+                mix.hit_rate() <= target + 0.05,
+                "target {target}: hit rate {} too high",
+                mix.hit_rate()
+            );
+            assert!(
+                mix.hit_rate() >= target * 0.6,
+                "target {target}: hit rate {} too low",
+                mix.hit_rate()
+            );
+        }
+    }
+
+    #[test]
+    fn big_streams_produce_mnus_but_keep_hitting() {
+        // 50k vectors at 70% similarity: ~15k uniques overflow the
+        // 1024-entry cache (MNUs), but the popular tier keeps hitting —
+        // the structure Figure 15a shows.
+        let s = VectorStream::with_similarity(50_000, 0.7, 20);
+        let (outcomes, _) = s.probe(&mut cache(), &mut Rng::new(3));
+        let mix = OutcomeMix::from_outcomes(&outcomes);
+        assert!(mix.mnus > 5_000, "expected MNU overflow, got {}", mix.mnus);
+        assert!(
+            mix.hit_rate() > 0.45,
+            "popular tier should keep hit rate healthy, got {}",
+            mix.hit_rate()
+        );
+        assert!(mix.maus <= 1024, "MAUs bounded by cache capacity");
+    }
+
+    #[test]
+    fn probe_is_deterministic_per_seed() {
+        let s = VectorStream::with_similarity(400, 0.6, 20);
+        let (a, ca) = s.probe(&mut cache(), &mut Rng::new(11));
+        let (b, cb) = s.probe(&mut cache(), &mut Rng::new(11));
+        assert_eq!(a, b);
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn popular_tier_concentrates_repeats() {
+        let s = VectorStream::with_similarity(20_000, 0.7, 20);
+        let ids = s.cluster_ids(&mut Rng::new(5));
+        let mut counts = std::collections::HashMap::new();
+        for id in &ids {
+            *counts.entry(*id).or_insert(0usize) += 1;
+        }
+        let popular_mass: usize = counts
+            .iter()
+            .filter(|(&id, _)| id < s.popular_tier)
+            .map(|(_, &c)| c)
+            .sum();
+        // Popular tier holds its own appearances plus ~90% of repeats.
+        assert!(
+            popular_mass as f64 > 0.6 * ids.len() as f64,
+            "popular mass {popular_mass} of {}",
+            ids.len()
+        );
+    }
+
+    #[test]
+    fn outcome_mix_arithmetic() {
+        let outcomes = vec![HitKind::Hit, HitKind::Hit, HitKind::Mau, HitKind::Mnu];
+        let mix = OutcomeMix::from_outcomes(&outcomes);
+        assert_eq!((mix.hits, mix.maus, mix.mnus), (2, 1, 1));
+        assert!((mix.hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(OutcomeMix::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn zero_similarity_streams_never_hit() {
+        let s = VectorStream::with_similarity(500, 0.0, 20);
+        let (outcomes, _) = s.probe(&mut cache(), &mut Rng::new(9));
+        let mix = OutcomeMix::from_outcomes(&outcomes);
+        assert_eq!(mix.hits, 0);
+    }
+}

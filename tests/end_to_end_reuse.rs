@@ -1,0 +1,128 @@
+//! Cross-crate integration: the full MERCURY pipeline from tensors through
+//! signatures, MCACHE, the reuse engine, and the cycle simulator.
+
+use mercury_core::{ConvEngine, FcEngine, MercuryConfig};
+use mercury_tensor::conv::conv2d_multi;
+use mercury_tensor::rng::Rng;
+use mercury_tensor::{ops, Tensor};
+
+#[test]
+fn conv_accounting_is_self_consistent() {
+    let mut rng = Rng::new(1);
+    let input = Tensor::randn(&[2, 12, 12], &mut rng);
+    let kernels = Tensor::randn(&[8, 2, 3, 3], &mut rng);
+    let mut engine = ConvEngine::new(MercuryConfig::default(), 5);
+    let out = engine.forward(&input, &kernels, 1, 1).unwrap();
+
+    let stats = out.stats;
+    // Every vector is classified exactly once per channel.
+    assert_eq!(stats.total_vectors(), 2 * 144);
+    // Dot-product ledger covers all (vector, filter) pairs.
+    assert_eq!(
+        stats.cycles.reused_dots + stats.cycles.computed_dots,
+        (2 * 144 * 8) as u64
+    );
+    // Cycles are positive and the baseline is design-independent.
+    assert!(stats.cycles.baseline > 0);
+    assert!(stats.cycles.total() > 0);
+}
+
+#[test]
+fn smooth_inputs_reuse_heavily_and_stay_accurate() {
+    // Natural-image-like input: repeated exact tiles.
+    let mut tile_rng = Rng::new(2);
+    let tile: Vec<f32> = (0..16).map(|_| tile_rng.next_normal()).collect();
+    let mut image = Tensor::zeros(&[1, 16, 16]);
+    for y in 0..16 {
+        for x in 0..16 {
+            image.set(&[0, y, x], tile[(y % 4) * 4 + (x % 4)]);
+        }
+    }
+    let kernels = Tensor::randn(&[16, 1, 3, 3], &mut tile_rng);
+
+    let mut engine = ConvEngine::new(MercuryConfig::default(), 9);
+    let out = engine.forward(&image, &kernels, 1, 1).unwrap();
+    assert!(
+        out.stats.similarity() > 0.5,
+        "tiled image should reuse >50%, got {:.2}",
+        out.stats.similarity()
+    );
+
+    // Exact-repeat reuse must be numerically harmless.
+    let exact = conv2d_multi(&image, &kernels, 1, 1).unwrap();
+    let err = out.output.sub(&exact).unwrap().norm_sq().sqrt() / exact.norm_sq().sqrt();
+    assert!(err < 0.05, "relative error {err} too high for exact tiles");
+}
+
+#[test]
+fn backward_signature_reuse_chains_through_engine() {
+    // Forward saves signatures; a gradient convolution with matching
+    // geometry reloads them and pays no signature cycles.
+    let mut rng = Rng::new(3);
+    let input = Tensor::full(&[1, 10, 10], 0.3);
+    let kernels = Tensor::randn(&[4, 1, 3, 3], &mut rng);
+    let mut engine = ConvEngine::new(MercuryConfig::default(), 11);
+
+    let fwd = engine.forward(&input, &kernels, 1, 1).unwrap();
+    assert!(fwd.stats.cycles.signature > 0);
+
+    let bwd = engine
+        .forward_reusing(&input, &kernels, 1, 1, &fwd.signatures)
+        .unwrap();
+    // Signature *generation* is skipped; only the hitmap rebuild's
+    // insertion-conflict serialization (a few cycles) remains.
+    assert!(
+        bwd.stats.cycles.signature < 10,
+        "reloaded signatures should cost almost nothing, got {}",
+        bwd.stats.cycles.signature
+    );
+    assert!(bwd.stats.cycles.signature < fwd.stats.cycles.signature);
+    assert!(bwd.stats.cycles.total() < fwd.stats.cycles.total());
+}
+
+#[test]
+fn fc_and_attention_engines_agree_with_linear_algebra() {
+    let mut rng = Rng::new(4);
+    let inputs = Tensor::randn(&[12, 10], &mut rng);
+    let weights = Tensor::randn(&[10, 6], &mut rng);
+    let mut engine = FcEngine::new(MercuryConfig::default(), 13);
+
+    let fc = engine.forward(&inputs, &weights).unwrap();
+    let exact = ops::matmul(&inputs, &weights).unwrap();
+    for (a, b) in fc.output.data().iter().zip(exact.data()) {
+        assert!((a - b).abs() < 1e-3);
+    }
+
+    let x = Tensor::randn(&[6, 8], &mut rng);
+    let att = engine.attention(&x).unwrap();
+    let xt = ops::transpose(&x).unwrap();
+    let want = ops::matmul(&ops::matmul(&x, &xt).unwrap(), &x).unwrap();
+    for (a, b) in att.output.data().iter().zip(want.data()) {
+        assert!((a - b).abs() < 1e-2);
+    }
+}
+
+#[test]
+fn signature_growth_shrinks_reuse_monotonically() {
+    // Grow the signature: reuse can only stay equal or shrink (stricter
+    // matching), mirroring the adaptation trade-off of §III-D.
+    let mut rng = Rng::new(6);
+    let image = Tensor::randn(&[1, 12, 12], &mut rng).scale(0.02);
+    let kernels = Tensor::randn(&[4, 1, 3, 3], &mut rng);
+
+    let mut config = MercuryConfig::default();
+    config.initial_signature_bits = 4;
+    let mut engine = ConvEngine::new(config, 21);
+    let mut previous_hits = u64::MAX;
+    for _ in 0..4 {
+        let out = engine.forward(&image, &kernels, 1, 1).unwrap();
+        assert!(
+            out.stats.hits <= previous_hits,
+            "hits must not grow with longer signatures"
+        );
+        previous_hits = out.stats.hits;
+        for _ in 0..8 {
+            engine.grow_signature();
+        }
+    }
+}
