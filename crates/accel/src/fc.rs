@@ -81,11 +81,7 @@ pub fn simulate_fc(cfg: &AcceleratorConfig, work: &FcWork<'_>) -> ChannelCycles 
     };
 
     // Producer send-stall: followers per producer over the whole batch.
-    let hits_total = work
-        .outcomes
-        .iter()
-        .filter(|&&o| o == HitKind::Hit)
-        .count() as u64;
+    let hits_total = work.outcomes.iter().filter(|&&o| o == HitKind::Hit).count() as u64;
     let n = work.outcomes.len() as u64;
     let producers_total = n.saturating_sub(hits_total).max(1);
     let avg_followers = hits_total.div_ceil(producers_total);
@@ -186,8 +182,10 @@ mod tests {
     fn precomputed_signatures_skip_phase() {
         let o = outcomes(4, 4);
         let fresh = simulate_fc(&cfg(), &FcWork::new(&o, 32, 64, 20));
-        let reloaded =
-            simulate_fc(&cfg(), &FcWork::new(&o, 32, 64, 20).with_precomputed_signatures());
+        let reloaded = simulate_fc(
+            &cfg(),
+            &FcWork::new(&o, 32, 64, 20).with_precomputed_signatures(),
+        );
         assert_eq!(reloaded.signature, 0);
         assert!(reloaded.total() < fresh.total());
     }

@@ -243,8 +243,7 @@ impl LayerSim {
         // Hitmap resolution is global: compute starts once every set has
         // produced its signatures and the per-set insertion queues have
         // drained the conflicting inserts.
-        let conflict_cycles =
-            work.insert_conflicts * self.cfg.timing.mcache_insert_conflict_cycles;
+        let conflict_cycles = work.insert_conflicts * self.cfg.timing.mcache_insert_conflict_cycles;
         let compute_start = sig_end.iter().copied().max().unwrap_or(sync_start) + conflict_cycles;
         self.totals.signature += sig_work_total + conflict_cycles;
 
@@ -289,8 +288,7 @@ impl LayerSim {
         // Baseline: the plain accelerator computes every dot product under
         // the same work-conserving streaming, with no signature phase.
         let n = work.outcomes.len() as u64;
-        self.totals.baseline += f_count
-            * (n * timing::dot_product_cycles(x)).div_ceil(sets as u64);
+        self.totals.baseline += f_count * (n * timing::dot_product_cycles(x)).div_ceil(sets as u64);
     }
 
     /// First-order analytic models for the weight- and input-stationary
@@ -330,8 +328,7 @@ impl LayerSim {
         } else {
             div_ceil(n * work.signature_bits as u64 * sig_per_bit, par)
         };
-        let conflict_cycles =
-            work.insert_conflicts * self.cfg.timing.mcache_insert_conflict_cycles;
+        let conflict_cycles = work.insert_conflicts * self.cfg.timing.mcache_insert_conflict_cycles;
         // Per-(vector, filter) dot cost is x cycles in these dataflows: the
         // x-element rows stream while x PEs (one per row) work in parallel.
         let compute = div_ceil(unique * f * x + hits as u64 * hit_cost, par);
@@ -448,8 +445,10 @@ mod tests {
         let c = cfg(Design::Synchronous, Dataflow::RowStationary);
         let o = outcomes(8, 4, 0);
         let with_sig = simulate_channel(&c, &ChannelWork::new(&o, 8, 3, 20));
-        let without_sig =
-            simulate_channel(&c, &ChannelWork::new(&o, 8, 3, 20).with_precomputed_signatures());
+        let without_sig = simulate_channel(
+            &c,
+            &ChannelWork::new(&o, 8, 3, 20).with_precomputed_signatures(),
+        );
         assert!(without_sig.signature < with_sig.signature);
         assert_eq!(without_sig.signature, 0);
         assert!(without_sig.total() < with_sig.total());
@@ -474,7 +473,10 @@ mod tests {
                 &ChannelWork::new(&o, 8, 3, 20),
             );
             let asyn = simulate_channel(
-                &cfg(Design::Asynchronous { filter_slots: 4 }, Dataflow::RowStationary),
+                &cfg(
+                    Design::Asynchronous { filter_slots: 4 },
+                    Dataflow::RowStationary,
+                ),
                 &ChannelWork::new(&o, 8, 3, 20),
             );
             assert!(
@@ -519,7 +521,10 @@ mod tests {
             &ChannelWork::new(&o, 6, 3, 20).with_precomputed_signatures(),
         );
         let asyn1 = simulate_channel(
-            &cfg(Design::Asynchronous { filter_slots: 1 }, Dataflow::RowStationary),
+            &cfg(
+                Design::Asynchronous { filter_slots: 1 },
+                Dataflow::RowStationary,
+            ),
             &ChannelWork::new(&o, 6, 3, 20).with_precomputed_signatures(),
         );
         assert_eq!(sync.total(), asyn1.total());
@@ -530,8 +535,10 @@ mod tests {
         let c = cfg(Design::Synchronous, Dataflow::RowStationary);
         let o = outcomes(4, 4, 0);
         let plain = simulate_channel(&c, &ChannelWork::new(&o, 4, 3, 20));
-        let congested =
-            simulate_channel(&c, &ChannelWork::new(&o, 4, 3, 20).with_insert_conflicts(10));
+        let congested = simulate_channel(
+            &c,
+            &ChannelWork::new(&o, 4, 3, 20).with_insert_conflicts(10),
+        );
         assert_eq!(congested.total(), plain.total() + 10);
     }
 

@@ -144,9 +144,12 @@ proptest! {
     }
 
     /// Pipelined signature cycles are always at least x·bits (one bit per
-    /// x cycles is the floor) and at most the non-pipelined cost.
+    /// x cycles is the floor) and at most the non-pipelined cost. A lone
+    /// bit is excluded: the first pipelined bit pays the ORg setup cycle
+    /// (2x+1 vs 2x, Figure 8b), so pipelining only breaks even from the
+    /// second bit onward.
     #[test]
-    fn signature_cycle_bounds(x in 1usize..10, bits in 1usize..200) {
+    fn signature_cycle_bounds(x in 1usize..10, bits in 2usize..200) {
         let pipelined = timing::signature_cycles(x, bits, true);
         let plain = timing::signature_cycles(x, bits, false);
         prop_assert!(pipelined >= (x * bits) as u64);

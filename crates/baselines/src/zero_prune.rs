@@ -25,9 +25,7 @@ pub fn measured_activation_sparsity(n: usize, rng: &mut Rng) -> f64 {
 pub fn measured_weight_sparsity(n: usize, rng: &mut Rng) -> f64 {
     // Weights within ±0.005σ of zero round to zero in practice after
     // scaled fp16 storage — a conservative, small fraction.
-    let zeros = (0..n)
-        .filter(|_| rng.next_normal().abs() < 0.005)
-        .count();
+    let zeros = (0..n).filter(|_| rng.next_normal().abs() < 0.005).count();
     zeros as f64 / n.max(1) as f64
 }
 
@@ -85,7 +83,10 @@ mod tests {
         // Figure 17b shows for unlimited zero pruning.
         let mut rng = Rng::new(3);
         let s = model_speedup(&vgg13(), &mut rng);
-        assert!((1.55..2.0).contains(&s), "zero-prune bound {s} out of range");
+        assert!(
+            (1.55..2.0).contains(&s),
+            "zero-prune bound {s} out of range"
+        );
     }
 
     #[test]
@@ -95,7 +96,10 @@ mod tests {
         let first = layer_speedup(&model.layers[0], true, &mut rng);
         let hidden = layer_speedup(&model.layers[1], false, &mut rng);
         assert!(first < hidden);
-        assert!(first < 1.1, "first layer saves only weight zeros, got {first}");
+        assert!(
+            first < 1.1,
+            "first layer saves only weight zeros, got {first}"
+        );
     }
 
     #[test]

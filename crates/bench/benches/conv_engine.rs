@@ -21,11 +21,19 @@ fn bench_exact_vs_mercury(c: &mut Criterion) {
     });
     group.bench_function("mercury_random_input", |b| {
         let mut engine = ConvEngine::new(MercuryConfig::default(), 1);
-        b.iter(|| engine.forward(black_box(&random_input), &kernels, 1, 1).unwrap())
+        b.iter(|| {
+            engine
+                .forward(black_box(&random_input), &kernels, 1, 1)
+                .unwrap()
+        })
     });
     group.bench_function("mercury_smooth_input", |b| {
         let mut engine = ConvEngine::new(MercuryConfig::default(), 2);
-        b.iter(|| engine.forward(black_box(&smooth_input), &kernels, 1, 1).unwrap())
+        b.iter(|| {
+            engine
+                .forward(black_box(&smooth_input), &kernels, 1, 1)
+                .unwrap()
+        })
     });
     group.finish();
 }

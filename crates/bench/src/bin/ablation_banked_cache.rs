@@ -50,7 +50,11 @@ fn main() {
             }
         }
         let conflicts: u64 = caches.iter().map(|c| c.stats().insert_conflicts).sum();
-        let note = if banks == 1 { "shared (FPGA design)" } else { "private banks (ASIC sketch)" };
+        let note = if banks == 1 {
+            "shared (FPGA design)"
+        } else {
+            "private banks (ASIC sketch)"
+        };
         println!(
             "{banks}\t{:.1}\t{conflicts}\t{note}",
             100.0 * hits as f64 / ids.len() as f64

@@ -67,8 +67,8 @@ fn main() {
     let dataset = ImageDataset::new(8, 32, 0.02, &mut rng);
     let samples = dataset.generate(2, &mut rng);
 
-    let mut input_sim = vec![0.0f64; 10];
-    let mut grad_sim = vec![0.0f64; 10];
+    let mut input_sim = [0.0f64; 10];
+    let mut grad_sim = [0.0f64; 10];
 
     for (img, label) in &samples {
         // Forward, measuring input similarity at each conv layer.

@@ -12,7 +12,10 @@ use mercury_tensor::rng::Rng;
 fn main() {
     let exp = UniqueVectorExperiment::default();
     let seeds: Vec<u64> = (100..110).collect();
-    println!("# Figure 3: unique vectors found vs signature length (true count = {})", exp.num_base);
+    println!(
+        "# Figure 3: unique vectors found vs signature length (true count = {})",
+        exp.num_base
+    );
     println!("# averaged over {} seeds", seeds.len());
     println!("signature_bits\trpq_unique\tbloom_unique");
     for bits in [1usize, 2, 4, 8, 12, 16, 20, 24, 32, 48, 64] {

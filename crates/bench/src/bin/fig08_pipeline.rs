@@ -16,12 +16,11 @@ fn main() {
     println!("x\tbit_index\tnonpipelined_done\tpipelined_done\tevent_sim_done");
     for x in [3usize, 5, 7] {
         let sim = simulate_pipelined_schedule(x, 10);
-        for i in 0..10 {
+        for (i, &done) in sim.iter().enumerate() {
             println!(
-                "{x}\t{i}\t{}\t{}\t{}",
+                "{x}\t{i}\t{}\t{}\t{done}",
                 nonpipelined_bit_completion(x, i),
                 pipelined_bit_completion(x, i),
-                sim[i]
             );
         }
     }

@@ -9,8 +9,8 @@
 
 use mercury_core::MercuryConfig;
 use mercury_dnn::{ExecMode, Trainer, TrainerConfig};
-use mercury_models::trainable::{build_reduced, is_sequence_model, IMAGE_SIDE, SEQ_DIM, SEQ_LEN};
 use mercury_models::all_models;
+use mercury_models::trainable::{build_reduced, is_sequence_model, IMAGE_SIDE, SEQ_DIM, SEQ_LEN};
 use mercury_tensor::rng::Rng;
 use mercury_tensor::Tensor;
 use mercury_workloads::images::ImageDataset;
@@ -19,7 +19,9 @@ use mercury_workloads::sequences::SeqDataset;
 const CLASSES: usize = 8;
 const EPOCHS: usize = 14;
 
-fn datasets(seq: bool, rng: &mut Rng) -> (Vec<(Tensor, usize)>, Vec<(Tensor, usize)>) {
+type LabeledSet = Vec<(Tensor, usize)>;
+
+fn datasets(seq: bool, rng: &mut Rng) -> (LabeledSet, LabeledSet) {
     if seq {
         let ds = SeqDataset::new(CLASSES, SEQ_LEN, SEQ_DIM, 3, 0.05, rng);
         (ds.generate(24, rng), ds.generate(8, rng))
@@ -42,7 +44,9 @@ fn train_accuracy(name: &str, mode: ExecMode, seed: u64) -> f64 {
         },
     );
     for _ in 0..EPOCHS {
-        trainer.train_epoch(&train, &mut rng).expect("training step");
+        trainer
+            .train_epoch(&train, &mut rng)
+            .expect("training step");
     }
     trainer.evaluate(&val).expect("evaluation")
 }
@@ -75,5 +79,8 @@ fn main() {
             drop
         );
     }
-    println!("# average drop: {:+.2}% (paper: +0.7%)", total_drop / count as f64);
+    println!(
+        "# average drop: {:+.2}% (paper: +0.7%)",
+        total_drop / count as f64
+    );
 }

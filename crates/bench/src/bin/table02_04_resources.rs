@@ -46,13 +46,21 @@ fn main() {
     let bp = baseline_power();
     println!(
         "Baseline\t{:.0}\t{:.0}\t{:.1}\t{:.0}\t{:.3}",
-        br.slice_luts, br.slice_registers, br.block_ram, br.dsp48e1, bp.total()
+        br.slice_luts,
+        br.slice_registers,
+        br.block_ram,
+        br.dsp48e1,
+        bp.total()
     );
     let mr = mercury_resources(64, 16);
     let mp = mercury_power(64, 16);
     println!(
         "MERCURY\t{:.0}\t{:.0}\t{:.1}\t{:.0}\t{:.3}",
-        mr.slice_luts, mr.slice_registers, mr.block_ram, mr.dsp48e1, mp.total()
+        mr.slice_luts,
+        mr.slice_registers,
+        mr.block_ram,
+        mr.dsp48e1,
+        mp.total()
     );
     println!(
         "# power ratio: {:.3}x (paper: 1.135x)",

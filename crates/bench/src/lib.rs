@@ -171,7 +171,9 @@ fn simulate_dense_layer(
         ..LayerStats::default()
     };
     stats.cycles = match layer {
-        LayerSpec::Fc { inputs, outputs, .. } => {
+        LayerSpec::Fc {
+            inputs, outputs, ..
+        } => {
             let mut work = FcWork::new(&outcomes, *outputs, *inputs, cfg.signature_bits);
             if signatures_precomputed {
                 work = work.with_precomputed_signatures();
@@ -250,8 +252,7 @@ pub fn simulate_model(spec: &ModelSpec, cfg: &ModelSimConfig) -> RunReport {
                     );
                     s.accumulate(&dx);
                     // Weight-gradient conv (eq. 1): fresh signatures.
-                    let dw =
-                        simulate_conv_layer(layer, grad_sim, cfg, &mut cache, &mut rng, false);
+                    let dw = simulate_conv_layer(layer, grad_sim, cfg, &mut cache, &mut rng, false);
                     s.accumulate(&dw);
                 }
                 s
@@ -284,8 +285,9 @@ pub fn simulate_model(spec: &ModelSpec, cfg: &ModelSimConfig) -> RunReport {
 }
 
 fn hash_name(name: &str) -> u64 {
-    name.bytes()
-        .fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+    name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
 }
 
 /// Prints a TSV header line.
@@ -325,7 +327,11 @@ mod tests {
     #[test]
     fn transformer_simulation_runs() {
         let report = simulate_model(&transformer(), &quick_cfg());
-        assert!(report.speedup() > 1.0, "transformer speedup {}", report.speedup());
+        assert!(
+            report.speedup() > 1.0,
+            "transformer speedup {}",
+            report.speedup()
+        );
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Minimal, dependency-free stand-in for the [`proptest`] crate.
+//!
+//! The MERCURY workspace builds in an environment without registry access,
+//! so the real `proptest` cannot be fetched. This shim implements exactly
+//! the API surface the workspace's five property-test suites use, with the
+//! same semantics where it matters:
+//!
+//! * [`strategy::Strategy`] with integer-range, tuple, and
+//!   [`collection::vec`] strategies plus [`Strategy::prop_map`],
+//! * the [`proptest!`] macro (optional `#![proptest_config(..)]` header,
+//!   doc comments, `name in strategy` arguments),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`],
+//! * [`test_runner::ProptestConfig::with_cases`] and the `PROPTEST_CASES`
+//!   environment variable (default **64** cases, to keep `cargo test -q`
+//!   fast; the real crate defaults to 256).
+//!
+//! Differences from the real crate, accepted for a hermetic build:
+//! **no shrinking** (a failing case reports its case index and seed so it
+//! can be replayed — generation is fully deterministic per test name), and
+//! only the strategy combinators listed above exist. Swap the
+//! `[workspace.dependencies]` entry back to the crates.io `proptest` to
+//! regain shrinking; the test sources need no changes.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+//! [`Strategy::prop_map`]: strategy::Strategy::prop_map
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests. Mirrors `proptest::proptest!`.
+///
+/// Supports an optional `#![proptest_config(expr)]` header followed by any
+/// number of `#[test] fn name(arg in strategy, ...) { body }` items, each
+/// optionally preceded by doc comments or other attributes.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_body! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (
+        config = $config:expr;
+        $(
+            // The user-supplied `#[test]` attribute is captured by the meta
+            // repetition and re-emitted verbatim (matching a literal
+            // `#[test]` here would be ambiguous with the repetition).
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                $crate::test_runner::run(&config, stringify!($name), |__rng| {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::new_value(&($strat), __rng);
+                    )+
+                    let __result: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    __result
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current test case unless `$cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Fails the current test case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, $($fmt)*);
+    }};
+}
+
+/// Rejects (skips) the current test case unless `$cond` holds.
+///
+/// Unlike the real proptest, a rejected case simply does not count as a
+/// failure; no replacement input is generated.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

@@ -1,0 +1,5 @@
+//! Glob-import surface mirroring `proptest::prelude`.
+
+pub use crate::strategy::{Map, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};

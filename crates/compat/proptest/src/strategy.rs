@@ -1,0 +1,138 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike the real proptest (whose strategies produce shrinkable value
+/// *trees*), a shim strategy produces plain values: no shrinking.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, map }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.new_value(rng))
+    }
+}
+
+macro_rules! unsigned_range_strategy {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for ::core::ops::Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy {self:?}");
+                    let span = (self.end - self.start) as u128;
+                    self.start + (rng.next_u128() % span) as $t
+                }
+            }
+        )+
+    };
+}
+
+unsigned_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for ::core::ops::Range<u128> {
+    type Value = u128;
+
+    fn new_value(&self, rng: &mut TestRng) -> u128 {
+        assert!(self.start < self.end, "empty range strategy {self:?}");
+        let span = self.end - self.start;
+        self.start + rng.next_u128() % span
+    }
+}
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for ::core::ops::Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy {self:?}");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u128() % span) as i128) as $t
+                }
+            }
+        )+
+    };
+}
+
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))+) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..256 {
+            let v = (3usize..17).new_value(&mut rng);
+            assert!((3..17).contains(&v));
+            let s = (-5i32..5).new_value(&mut rng);
+            assert!((-5..5).contains(&s));
+            let w = (0u128..1000).new_value(&mut rng);
+            assert!(w < 1000);
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let strat = ((-100i32..100).prop_map(|x| x as f32 / 10.0), 0u64..4);
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..64 {
+            let (f, u) = strat.new_value(&mut rng);
+            assert!((-10.0..10.0).contains(&f));
+            assert!(u < 4);
+        }
+    }
+}

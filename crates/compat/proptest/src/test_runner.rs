@@ -1,0 +1,154 @@
+//! Deterministic case runner, RNG, and configuration.
+
+use std::fmt;
+
+/// Deterministic RNG handed to strategies (SplitMix64).
+///
+/// Every test case gets a fresh `TestRng` seeded from the test's name and
+/// the case index, so failures are replayable without recording state.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 128 uniformly distributed bits.
+    pub fn next_u128(&mut self) -> u128 {
+        ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+    /// A `prop_assume!` did not hold; the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// Result type each generated test case evaluates to.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test. The `PROPTEST_CASES` environment
+    /// variable, when set, overrides this for all tests.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// Defaults to 64 cases (the workspace's test-time budget; the real
+    /// proptest defaults to 256).
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+fn effective_cases(config: &ProptestConfig) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("PROPTEST_CASES must be an integer, got {v:?}")),
+        Err(_) => config.cases,
+    }
+}
+
+/// FNV-1a, used to derive a per-test base seed from its name.
+fn hash_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0100_0000_01b3)
+    })
+}
+
+/// Executes `case` for each generated input set; panics on the first
+/// failure with enough context to replay it.
+pub fn run<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let cases = effective_cases(config);
+    let base = hash_name(name);
+    for i in 0..cases {
+        let seed = base ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::from_seed(seed);
+        match case(&mut rng) {
+            Ok(()) | Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest `{name}`: case {i}/{cases} (seed {seed:#x}) failed:\n{msg}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_seed(7);
+        let mut b = TestRng::from_seed(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "case 0/")]
+    fn failures_panic_with_case_context() {
+        run(&ProptestConfig::with_cases(4), "always_fails", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn rejections_do_not_fail_the_run() {
+        run(&ProptestConfig::with_cases(4), "always_rejects", |_| {
+            Err(TestCaseError::reject("assume"))
+        });
+    }
+}

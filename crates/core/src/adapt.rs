@@ -141,7 +141,12 @@ impl AdaptiveController {
     ///
     /// Panics under the same conditions as [`PlateauDetector::new`] and
     /// [`StoppageController::new`].
-    pub fn new(num_layers: usize, plateau_window: usize, tolerance: f64, stoppage_window: usize) -> Self {
+    pub fn new(
+        num_layers: usize,
+        plateau_window: usize,
+        tolerance: f64,
+        stoppage_window: usize,
+    ) -> Self {
         AdaptiveController {
             plateau: PlateauDetector::new(plateau_window, tolerance),
             layers: (0..num_layers)

@@ -89,8 +89,10 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_bounds() {
-        let mut c = MercuryConfig::default();
-        c.max_signature_bits = 10;
+        let mut c = MercuryConfig {
+            max_signature_bits: 10,
+            ..MercuryConfig::default()
+        };
         assert!(c.validate().is_err());
         c.max_signature_bits = 500;
         assert!(c.validate().is_err());

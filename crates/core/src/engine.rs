@@ -220,11 +220,9 @@ impl ConvEngine {
             .unwrap_or(false);
 
         for ch in 0..c {
-            let channel = Tensor::from_vec(
-                input.data()[ch * h * w..(ch + 1) * h * w].to_vec(),
-                &[h, w],
-            )
-            .map_err(MercuryError::Tensor)?;
+            let channel =
+                Tensor::from_vec(input.data()[ch * h * w..(ch + 1) * h * w].to_vec(), &[h, w])
+                    .map_err(MercuryError::Tensor)?;
             let patches = extract_patches(&channel, &geom).map_err(MercuryError::Tensor)?;
 
             if !self.detection_enabled {
@@ -470,9 +468,11 @@ mod tests {
 
     #[test]
     fn grow_signature_respects_max() {
-        let mut config = MercuryConfig::default();
-        config.initial_signature_bits = 63;
-        config.max_signature_bits = 64;
+        let config = MercuryConfig {
+            initial_signature_bits: 63,
+            max_signature_bits: 64,
+            ..MercuryConfig::default()
+        };
         let mut e = ConvEngine::new(config, 8);
         assert_eq!(e.grow_signature(), 64);
         assert_eq!(e.grow_signature(), 64); // saturates

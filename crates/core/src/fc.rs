@@ -110,7 +110,11 @@ impl FcEngine {
     /// # Errors
     ///
     /// Returns [`MercuryError::Tensor`] for malformed shapes.
-    pub fn forward(&mut self, inputs: &Tensor, weights: &Tensor) -> Result<FcForward, MercuryError> {
+    pub fn forward(
+        &mut self,
+        inputs: &Tensor,
+        weights: &Tensor,
+    ) -> Result<FcForward, MercuryError> {
         if inputs.rank() != 2 || weights.rank() != 2 {
             return Err(TensorError::RankMismatch {
                 expected: 2,
@@ -292,9 +296,8 @@ impl FcEngine {
 
         // W = X·Xᵀ with row reuse.
         let mut w = Tensor::zeros(&[t, t]);
-        for i in 0..t {
-            if row_source[i] != i {
-                let src = row_source[i];
+        for (i, &src) in row_source.iter().enumerate() {
+            if src != i {
                 let row: Vec<f32> = w.data()[src * t..src * t + t].to_vec();
                 w.data_mut()[i * t..i * t + t].copy_from_slice(&row);
                 continue;
@@ -309,9 +312,8 @@ impl FcEngine {
 
         // Y = W·X with the same row reuse (identical xᵢ ⇒ identical rows).
         let mut y = Tensor::zeros(&[t, k]);
-        for i in 0..t {
-            if row_source[i] != i {
-                let src = row_source[i];
+        for (i, &src) in row_source.iter().enumerate() {
+            if src != i {
                 let row: Vec<f32> = y.data()[src * k..src * k + k].to_vec();
                 y.data_mut()[i * k..i * k + k].copy_from_slice(&row);
                 continue;
@@ -337,8 +339,13 @@ impl FcEngine {
                 HitKind::Mnu => stats.mnus += 1,
             }
         }
-        stats.cycles =
-            simulate_attention(&self.config.accelerator, &outcomes, t, k, self.signature_bits);
+        stats.cycles = simulate_attention(
+            &self.config.accelerator,
+            &outcomes,
+            t,
+            k,
+            self.signature_bits,
+        );
 
         Ok(AttentionForward {
             output: y,
@@ -448,7 +455,10 @@ mod tests {
         assert_eq!(out.stats.maus, 1);
         // All output rows identical.
         for i in 1..4 {
-            assert_eq!(&out.output.data()[0..8], &out.output.data()[i * 8..i * 8 + 8]);
+            assert_eq!(
+                &out.output.data()[0..8],
+                &out.output.data()[i * 8..i * 8 + 8]
+            );
         }
     }
 

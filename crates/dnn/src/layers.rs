@@ -89,7 +89,14 @@ impl Conv2d {
                 }
                 Ok(out.output)
             }
-            _ => Ok(conv::conv2d_backward_input(&self.kernels, dout, h, w, 1, self.pad)?),
+            _ => Ok(conv::conv2d_backward_input(
+                &self.kernels,
+                dout,
+                h,
+                w,
+                1,
+                self.pad,
+            )?),
         }
     }
 
@@ -365,7 +372,13 @@ pub enum Layer {
 
 impl Layer {
     /// Convolution layer: `filters` × `channels` × `kernel`² with `pad`.
-    pub fn conv2d(filters: usize, channels: usize, kernel: usize, pad: usize, rng: &mut Rng) -> Layer {
+    pub fn conv2d(
+        filters: usize,
+        channels: usize,
+        kernel: usize,
+        pad: usize,
+        rng: &mut Rng,
+    ) -> Layer {
         Layer::Conv2d(Conv2d::new(filters, channels, kernel, pad, rng))
     }
 
@@ -512,8 +525,13 @@ impl Layer {
     pub fn has_engine(&self) -> bool {
         matches!(
             self,
-            Layer::Conv2d(Conv2d { engine: Some(_), .. })
-                | Layer::Attention(Attention { engine: Some(_), .. })
+            Layer::Conv2d(Conv2d {
+                engine: Some(_),
+                ..
+            }) | Layer::Attention(Attention {
+                engine: Some(_),
+                ..
+            })
         )
     }
 }

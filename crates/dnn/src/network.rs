@@ -223,7 +223,6 @@ mod tests {
 
     #[test]
     fn layer_stats_populated_in_mercury_mode() {
-        let mut rng = Rng::new(6);
         let mut net = tiny_cnn(
             ExecMode::Mercury {
                 config: MercuryConfig::default(),
@@ -249,9 +248,7 @@ mod tests {
             7,
         );
         net.set_layer_detection(0, false);
-        let mut rng = Rng::new(8);
         let x = Tensor::full(&[1, 8, 8], 1.0);
-        let _ = rng;
         net.forward(&x).unwrap();
         let stats = net.layer_stats()[0].unwrap();
         assert!(!stats.detection_enabled);

@@ -158,11 +158,7 @@ impl Trainer {
             let stats = self.net.layer_stats();
             for (slot, &layer_idx) in self.engine_layers.iter().enumerate() {
                 if let Some(s) = stats[layer_idx] {
-                    let keep = controller.observe_layer(
-                        slot,
-                        s.cycles.total(),
-                        s.cycles.baseline,
-                    );
+                    let keep = controller.observe_layer(slot, s.cycles.total(), s.cycles.baseline);
                     if !keep {
                         self.net.set_layer_detection(layer_idx, false);
                     }
@@ -211,7 +207,11 @@ mod tests {
                 let mut img = Tensor::zeros(&[1, 8, 8]);
                 for dy in 0..4 {
                     for dx in 0..4 {
-                        let (y, x) = if class == 0 { (dy, dx) } else { (dy + 4, dx + 4) };
+                        let (y, x) = if class == 0 {
+                            (dy, dx)
+                        } else {
+                            (dy + 4, dx + 4)
+                        };
                         img.set(&[0, y, x], 1.0 + 0.1 * rng.next_normal());
                     }
                 }

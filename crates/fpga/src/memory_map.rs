@@ -34,15 +34,42 @@ pub struct MemoryMapping {
 pub fn memory_map() -> Vec<MemoryMapping> {
     use MemoryKind::*;
     vec![
-        MemoryMapping { component: "Global Buffer", kind: BlockMemory },
-        MemoryMapping { component: "Input Buffer", kind: BlockMemory },
-        MemoryMapping { component: "Signature Table", kind: BlockMemory },
-        MemoryMapping { component: "MCACHE", kind: SliceRegister },
-        MemoryMapping { component: "Filters", kind: SliceRegister },
-        MemoryMapping { component: "Hitmap", kind: SliceRegister },
-        MemoryMapping { component: "Input/Weight registers", kind: SliceRegister },
-        MemoryMapping { component: "InUse/FlUse flags", kind: SliceRegister },
-        MemoryMapping { component: "ORg", kind: SliceRegister },
+        MemoryMapping {
+            component: "Global Buffer",
+            kind: BlockMemory,
+        },
+        MemoryMapping {
+            component: "Input Buffer",
+            kind: BlockMemory,
+        },
+        MemoryMapping {
+            component: "Signature Table",
+            kind: BlockMemory,
+        },
+        MemoryMapping {
+            component: "MCACHE",
+            kind: SliceRegister,
+        },
+        MemoryMapping {
+            component: "Filters",
+            kind: SliceRegister,
+        },
+        MemoryMapping {
+            component: "Hitmap",
+            kind: SliceRegister,
+        },
+        MemoryMapping {
+            component: "Input/Weight registers",
+            kind: SliceRegister,
+        },
+        MemoryMapping {
+            component: "InUse/FlUse flags",
+            kind: SliceRegister,
+        },
+        MemoryMapping {
+            component: "ORg",
+            kind: SliceRegister,
+        },
     ]
 }
 

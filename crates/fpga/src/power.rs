@@ -56,32 +56,72 @@ pub fn mercury_power(sets: usize, ways: usize) -> PowerBreakdown {
     let w = ways as f64;
 
     // Per-component anchors vs sets at 16 ways (Table II-b).
-    let clocks_s = interp(&[(16.0, 0.138), (32.0, 0.154), (48.0, 0.155), (64.0, 0.166)], s);
-    let logic_s = interp(&[(16.0, 0.102), (32.0, 0.104), (48.0, 0.103), (64.0, 0.105)], s);
-    let signals_s = interp(&[(16.0, 0.18), (32.0, 0.175), (48.0, 0.201), (64.0, 0.216)], s);
-    let bram_s = interp(&[(16.0, 0.516), (32.0, 0.524), (48.0, 0.548), (64.0, 0.561)], s);
-    let static_s = interp(&[(16.0, 0.681), (32.0, 0.683), (48.0, 0.685), (64.0, 0.687)], s);
+    let clocks_s = interp(
+        &[(16.0, 0.138), (32.0, 0.154), (48.0, 0.155), (64.0, 0.166)],
+        s,
+    );
+    let logic_s = interp(
+        &[(16.0, 0.102), (32.0, 0.104), (48.0, 0.103), (64.0, 0.105)],
+        s,
+    );
+    let signals_s = interp(
+        &[(16.0, 0.18), (32.0, 0.175), (48.0, 0.201), (64.0, 0.216)],
+        s,
+    );
+    let bram_s = interp(
+        &[(16.0, 0.516), (32.0, 0.524), (48.0, 0.548), (64.0, 0.561)],
+        s,
+    );
+    let static_s = interp(
+        &[(16.0, 0.681), (32.0, 0.683), (48.0, 0.685), (64.0, 0.687)],
+        s,
+    );
 
     // Way-dependence as a multiplicative factor around the 16-way anchor
     // (Table III-b at 64 sets).
     let clocks_w = interp(
-        &[(2.0, 0.146 / 0.166), (4.0, 0.151 / 0.166), (8.0, 0.157 / 0.166), (16.0, 1.0)],
+        &[
+            (2.0, 0.146 / 0.166),
+            (4.0, 0.151 / 0.166),
+            (8.0, 0.157 / 0.166),
+            (16.0, 1.0),
+        ],
         w,
     );
     let logic_w = interp(
-        &[(2.0, 0.100 / 0.105), (4.0, 0.104 / 0.105), (8.0, 0.101 / 0.105), (16.0, 1.0)],
+        &[
+            (2.0, 0.100 / 0.105),
+            (4.0, 0.104 / 0.105),
+            (8.0, 0.101 / 0.105),
+            (16.0, 1.0),
+        ],
         w,
     );
     let signals_w = interp(
-        &[(2.0, 0.176 / 0.216), (4.0, 0.197 / 0.216), (8.0, 0.180 / 0.216), (16.0, 1.0)],
+        &[
+            (2.0, 0.176 / 0.216),
+            (4.0, 0.197 / 0.216),
+            (8.0, 0.180 / 0.216),
+            (16.0, 1.0),
+        ],
         w,
     );
     let bram_w = interp(
-        &[(2.0, 0.555 / 0.561), (4.0, 0.543 / 0.561), (8.0, 0.559 / 0.561), (16.0, 1.0)],
+        &[
+            (2.0, 0.555 / 0.561),
+            (4.0, 0.543 / 0.561),
+            (8.0, 0.559 / 0.561),
+            (16.0, 1.0),
+        ],
         w,
     );
     let static_w = interp(
-        &[(2.0, 0.686 / 0.687), (4.0, 0.686 / 0.687), (8.0, 0.686 / 0.687), (16.0, 1.0)],
+        &[
+            (2.0, 0.686 / 0.687),
+            (4.0, 0.686 / 0.687),
+            (8.0, 0.686 / 0.687),
+            (16.0, 1.0),
+        ],
         w,
     );
 

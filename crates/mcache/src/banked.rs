@@ -200,7 +200,11 @@ mod tests {
         for i in 0..200 {
             banks_used.insert(c.probe_insert(sig(i)).bank);
         }
-        assert!(banks_used.len() >= 6, "only {} banks used", banks_used.len());
+        assert!(
+            banks_used.len() >= 6,
+            "only {} banks used",
+            banks_used.len()
+        );
     }
 
     #[test]

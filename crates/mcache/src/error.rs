@@ -32,7 +32,10 @@ impl fmt::Display for McacheError {
                 write!(f, "entry id (set {set}, way {way}) is out of range")
             }
             McacheError::BadVersion { version, versions } => {
-                write!(f, "data version {version} out of range (cache has {versions})")
+                write!(
+                    f,
+                    "data version {version} out of range (cache has {versions})"
+                )
             }
             McacheError::TagNotValid => write!(f, "line has no valid tag"),
         }

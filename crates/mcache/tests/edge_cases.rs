@@ -1,0 +1,168 @@
+//! Edge-case tests for MCACHE: empty-cache behaviour, full sets and full
+//! banks under the no-replacement policy, and the signature-collision path
+//! through the [`SignatureTable`].
+
+use mercury_mcache::banked::BankedMCache;
+use mercury_mcache::{HitKind, MCache, MCacheConfig, SignatureTable};
+use mercury_rpq::Signature;
+
+fn sig(bits: u128) -> Signature {
+    Signature::from_bits(bits, 20)
+}
+
+#[test]
+fn empty_cache_has_no_hits_and_clean_stats() {
+    let mut cache = MCache::new(MCacheConfig::new(8, 4, 1).unwrap());
+    assert_eq!(cache.occupancy(), 0);
+    assert_eq!(cache.lookup(sig(1)), None);
+    let stats = cache.stats();
+    assert_eq!((stats.hits, stats.maus, stats.mnus), (0, 0, 0));
+
+    // The very first probe of an empty cache is always MAU: there is a
+    // free way in every set.
+    let first = cache.probe_insert(sig(1));
+    assert_eq!(first.kind, HitKind::Mau);
+    assert!(first.entry.is_some());
+    assert_eq!(cache.occupancy(), 1);
+
+    // The claimed line has a valid tag but no valid data yet (split VT/VD
+    // bits): reading before the producer writes yields None.
+    assert_eq!(cache.read(first.entry.unwrap(), 0), None);
+}
+
+#[test]
+fn full_set_rejects_without_evicting_residents() {
+    // One set, two ways: the third distinct signature cannot be inserted,
+    // and — unlike an ordinary cache — it must NOT displace a resident.
+    let mut cache = MCache::new(MCacheConfig::new(1, 2, 1).unwrap());
+    let a = cache.probe_insert(sig(10));
+    let b = cache.probe_insert(sig(20));
+    assert_eq!(a.kind, HitKind::Mau);
+    assert_eq!(b.kind, HitKind::Mau);
+    cache.write(a.entry.unwrap(), 0, 1.5).unwrap();
+    cache.write(b.entry.unwrap(), 0, 2.5).unwrap();
+
+    // Set is now full: new signatures are MNU forever (no replacement).
+    for extra in 30..40u128 {
+        assert_eq!(cache.probe_insert(sig(extra)).kind, HitKind::Mnu);
+    }
+    assert_eq!(cache.occupancy(), 2);
+
+    // Residents survive the rejected inserts, tags and data intact.
+    assert_eq!(cache.probe_insert(sig(10)).kind, HitKind::Hit);
+    assert_eq!(cache.read(a.entry.unwrap(), 0), Some(1.5));
+    assert_eq!(cache.read(b.entry.unwrap(), 0), Some(2.5));
+}
+
+#[test]
+fn full_bank_rejects_while_other_banks_accept() {
+    // Tiny banks: 1 set × 1 way each. Once a signature's home bank is
+    // full, every further distinct signature routed to that bank is MNU,
+    // while signatures homed in other banks still insert fine.
+    let mut cache = BankedMCache::new(4, MCacheConfig::new(1, 1, 1).unwrap()).unwrap();
+
+    let first = cache.probe_insert(sig(0));
+    assert_eq!(first.kind(), HitKind::Mau);
+    let home = first.entry().unwrap().bank;
+
+    // Find more signatures that land in the same bank and one that lands
+    // elsewhere, by probing distinct raw patterns.
+    let mut same_bank_mnu = 0;
+    let mut other_bank_mau = 0;
+    for raw in 1..64u128 {
+        let out = cache.probe_insert(sig(raw));
+        match out.kind() {
+            HitKind::Mnu => {
+                same_bank_mnu += 1;
+            }
+            HitKind::Mau => {
+                let bank = out.entry().unwrap().bank;
+                assert_ne!(bank, home, "home bank is full; MAU must be elsewhere");
+                other_bank_mau += 1;
+            }
+            HitKind::Hit => panic!("distinct signatures must not hit"),
+        }
+    }
+    assert!(
+        same_bank_mnu > 0,
+        "expected rejections in the full home bank"
+    );
+    assert!(other_bank_mau > 0, "expected inserts in other banks");
+    // Capacity is 4 lines total (one per bank); occupancy cannot exceed it.
+    assert!(cache.stats().maus <= 4);
+
+    // The original resident still hits in its bank.
+    assert_eq!(cache.probe_insert(sig(0)).kind(), HitKind::Hit);
+}
+
+#[test]
+fn sigtable_collision_path_shares_the_producer_entry() {
+    // Two *different* input vectors whose RPQ signatures collide: the
+    // second probe is a HIT, and recording its entry in the signature
+    // table routes the consumer to the producer's cached result — the
+    // approximation MERCURY deliberately accepts.
+    let mut cache = MCache::new(MCacheConfig::new(8, 2, 1).unwrap());
+    let mut table = SignatureTable::new();
+    let shared = sig(0b1011);
+
+    // Vector 0 (producer): MAU, then its dot-product result is written.
+    let v0 = cache.probe_insert(shared);
+    assert_eq!(v0.kind, HitKind::Mau);
+    table.push(shared, v0.entry);
+    cache.write(v0.entry.unwrap(), 0, 7.25).unwrap();
+
+    // Vector 1 (collider): same signature, distinct vector. HIT on the
+    // same line.
+    let v1 = cache.probe_insert(shared);
+    assert_eq!(v1.kind, HitKind::Hit);
+    assert_eq!(v1.entry, v0.entry);
+    table.push(shared, v1.entry);
+
+    // The table resolves both vectors to the same entry, and the consumer
+    // reads the producer's value through it.
+    assert_eq!(table.len(), 2);
+    assert_eq!(table.entry(0), table.entry(1));
+    assert_eq!(cache.read(table.entry(1).unwrap(), 0), Some(7.25));
+}
+
+#[test]
+fn sigtable_records_unresolved_mnu_vectors() {
+    // An MNU vector has a signature but no cache entry; the table must
+    // keep the signature (for the hitmap) with entry `None`.
+    let mut cache = MCache::new(MCacheConfig::new(1, 1, 1).unwrap());
+    let mut table = SignatureTable::new();
+
+    let first = cache.probe_insert(sig(1));
+    table.push(sig(1), first.entry);
+    let rejected = cache.probe_insert(sig(2));
+    assert_eq!(rejected.kind, HitKind::Mnu);
+    table.push(sig(2), rejected.entry);
+
+    assert_eq!(table.signature(1), Some(sig(2)));
+    assert_eq!(table.entry(1), None);
+
+    // Late resolution (e.g. after a channel clear) is possible via
+    // set_entry.
+    cache.clear();
+    let retry = cache.probe_insert(sig(2));
+    assert_eq!(retry.kind, HitKind::Mau);
+    table.set_entry(1, retry.entry);
+    assert_eq!(table.entry(1), retry.entry);
+}
+
+#[test]
+fn same_bits_different_length_signatures_do_not_collide() {
+    // A 20-bit signature and a 24-bit signature with identical raw bits
+    // are different signatures (the adaptation loop grows lengths at run
+    // time); the cache must not alias them.
+    let mut cache = MCache::new(MCacheConfig::new(8, 4, 1).unwrap());
+    let short = Signature::from_bits(0xABC, 20);
+    let long = Signature::from_bits(0xABC, 24);
+    assert_eq!(cache.probe_insert(short).kind, HitKind::Mau);
+    let second = cache.probe_insert(long);
+    assert_ne!(
+        second.kind,
+        HitKind::Hit,
+        "length must participate in tag identity"
+    );
+}

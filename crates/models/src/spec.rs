@@ -124,7 +124,11 @@ impl LayerSpec {
     pub fn macs(&self) -> u64 {
         match self {
             LayerSpec::Conv {
-                kernel, depthwise, in_ch, out_ch, ..
+                kernel,
+                depthwise,
+                in_ch,
+                out_ch,
+                ..
             } => {
                 let per_vector = (kernel * kernel) as u64;
                 let f = if *depthwise { 1 } else { *out_ch } as u64;

@@ -24,7 +24,13 @@ pub const SEQ_DIM: usize = 16;
 
 /// Builds a reduced CNN: `conv_plan` gives filters per conv layer, with a
 /// 2×2 pool after every `pool_every` conv layers.
-fn cnn(conv_plan: &[usize], pool_every: usize, classes: usize, mode: ExecMode, seed: u64) -> Network {
+fn cnn(
+    conv_plan: &[usize],
+    pool_every: usize,
+    classes: usize,
+    mode: ExecMode,
+    seed: u64,
+) -> Network {
     let mut rng = Rng::new(seed);
     let mut layers = Vec::new();
     let mut channels = 1;

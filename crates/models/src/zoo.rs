@@ -140,6 +140,7 @@ pub fn alexnet() -> ModelSpec {
 }
 
 /// One GoogleNet inception module flattened to its convolutions.
+#[allow(clippy::too_many_arguments)] // mirrors the module's six branch widths
 fn inception_module(
     layers: &mut Vec<LayerSpec>,
     tag: &str,
@@ -456,7 +457,15 @@ mod tests {
         let dw = m
             .layers
             .iter()
-            .filter(|l| matches!(l, LayerSpec::Conv { depthwise: true, .. }))
+            .filter(|l| {
+                matches!(
+                    l,
+                    LayerSpec::Conv {
+                        depthwise: true,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(dw, 17); // one per inverted-residual block
     }

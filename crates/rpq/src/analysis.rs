@@ -126,7 +126,10 @@ pub fn group_by_signature(signatures: &[Signature]) -> Vec<Vec<usize>> {
         });
         entry.push(i);
     }
-    order.into_iter().map(|sig| groups.remove(&sig).unwrap()).collect()
+    order
+        .into_iter()
+        .map(|sig| groups.remove(&sig).unwrap())
+        .collect()
 }
 
 #[cfg(test)]
@@ -134,7 +137,9 @@ mod tests {
     use super::*;
 
     fn sigs(raw: &[(u128, usize)]) -> Vec<Signature> {
-        raw.iter().map(|&(b, l)| Signature::from_bits(b, l)).collect()
+        raw.iter()
+            .map(|&(b, l)| Signature::from_bits(b, l))
+            .collect()
     }
 
     #[test]
@@ -189,7 +194,10 @@ mod tests {
         // At 1-2 bits most distinct vectors alias — Figure 3a's left edge.
         let exp = UniqueVectorExperiment::default();
         let found = exp.unique_by_rpq(1, &mut Rng::new(42));
-        assert!(found <= 3, "1-bit signature should alias heavily, found {found}");
+        assert!(
+            found <= 3,
+            "1-bit signature should alias heavily, found {found}"
+        );
     }
 
     #[test]

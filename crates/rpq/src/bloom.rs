@@ -46,11 +46,7 @@ impl BloomSignature {
         assert!(bits > 0, "signature must have at least one bit");
         assert!(hashes > 0, "need at least one hash function");
         assert!(step > 0.0, "quantization step must be positive");
-        BloomSignature {
-            bits,
-            hashes,
-            step,
-        }
+        BloomSignature { bits, hashes, step }
     }
 
     /// Signature width in bits.

@@ -164,7 +164,10 @@ mod tests {
                 collisions += 1;
             }
         }
-        assert!(collisions <= 2, "{collisions}/{trials} random pairs collided");
+        assert!(
+            collisions <= 2,
+            "{collisions}/{trials} random pairs collided"
+        );
     }
 
     #[test]
@@ -195,7 +198,9 @@ mod tests {
         let proj = setup(4, 12, 6);
         let generator = SignatureGenerator::new(&proj);
         let patches = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, -1.0, -2.0, -3.0, -4.0, 0.5, 0.5, 0.5, 0.5],
+            vec![
+                1.0, 2.0, 3.0, 4.0, -1.0, -2.0, -3.0, -4.0, 0.5, 0.5, 0.5, 0.5,
+            ],
             &[3, 4],
         )
         .unwrap();
@@ -217,11 +222,15 @@ mod tests {
         for _ in 0..100 {
             let a: Vec<f32> = (0..10).map(|_| rng.next_normal()).collect();
             let b: Vec<f32> = (0..10).map(|_| rng.next_normal()).collect();
-            let long_equal = generator.signature_prefix(&a, 64) == generator.signature_prefix(&b, 64);
+            let long_equal =
+                generator.signature_prefix(&a, 64) == generator.signature_prefix(&b, 64);
             let short_equal =
                 generator.signature_prefix(&a, 8) == generator.signature_prefix(&b, 8);
             if long_equal {
-                assert!(short_equal, "prefix equality must be implied by full equality");
+                assert!(
+                    short_equal,
+                    "prefix equality must be implied by full equality"
+                );
             }
         }
     }

@@ -75,7 +75,11 @@ impl Signature {
     ///
     /// Panics if `i >= len()`.
     pub fn bit(&self, i: usize) -> bool {
-        assert!(i < self.len(), "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len(),
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         (self.bits >> i) & 1 == 1
     }
 

@@ -227,11 +227,10 @@ pub fn conv2d_multi(
     let mut out = Tensor::zeros(&[f, oh, ow]);
     let plen = geom.patch_len();
     for ch in 0..c {
-        let channel = Tensor::from_vec(
-            input.data()[ch * h * w..(ch + 1) * h * w].to_vec(),
-            &[h, w],
-        )?;
+        let channel =
+            Tensor::from_vec(input.data()[ch * h * w..(ch + 1) * h * w].to_vec(), &[h, w])?;
         let patches = extract_patches(&channel, &geom)?; // [P, plen]
+
         // Filter rows for this channel: [F, plen].
         let mut filt = Tensor::zeros(&[f, plen]);
         for fi in 0..f {
@@ -303,8 +302,8 @@ pub fn conv2d_backward_weights(
                             let y = i as isize + m as isize - pad as isize;
                             let x = j as isize + n as isize - pad as isize;
                             if y >= 0 && x >= 0 && (y as usize) < h && (x as usize) < w {
-                                acc += dout.at(&[fi, i, j])
-                                    * input.at(&[ch, y as usize, x as usize]);
+                                acc +=
+                                    dout.at(&[fi, i, j]) * input.at(&[ch, y as usize, x as usize]);
                             }
                         }
                     }
@@ -369,10 +368,7 @@ pub fn conv2d_backward_input(
                         for n in 0..kw {
                             let y = i as isize + m as isize - pad as isize;
                             let x = j as isize + n as isize - pad as isize;
-                            if y >= 0
-                                && x >= 0
-                                && (y as usize) < input_h
-                                && (x as usize) < input_w
+                            if y >= 0 && x >= 0 && (y as usize) < input_h && (x as usize) < input_w
                             {
                                 let cur = dx.at(&[ch, y as usize, x as usize]);
                                 dx.set(
@@ -513,9 +509,11 @@ mod tests {
     #[test]
     fn conv2d_known_values() {
         // 1-channel 3x3 input, 2x2 averaging-like kernel.
-        let input =
-            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], &[1, 3, 3])
-                .unwrap();
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+            &[1, 3, 3],
+        )
+        .unwrap();
         let kernel = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], &[1, 2, 2]).unwrap();
         let out = conv2d(&input, &kernel, 1, 0).unwrap();
         assert_eq!(out.shape(), &[1, 2, 2]);

@@ -160,7 +160,10 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "normal mean {mean} should be ~0");
-        assert!((var - 1.0).abs() < 0.03, "normal variance {var} should be ~1");
+        assert!(
+            (var - 1.0).abs() < 0.03,
+            "normal variance {var} should be ~1"
+        );
     }
 
     #[test]

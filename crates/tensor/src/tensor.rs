@@ -36,7 +36,7 @@ impl Tensor {
     /// from the product of `shape`, and [`TensorError::ZeroDim`] if any
     /// dimension is zero.
     pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, TensorError> {
-        if shape.iter().any(|&d| d == 0) {
+        if shape.contains(&0) {
             return Err(TensorError::ZeroDim);
         }
         let expected: usize = shape.iter().product();
@@ -157,7 +157,10 @@ impl Tensor {
         );
         let mut off = 0;
         for (i, (&ix, &dim)) in idx.iter().zip(&self.shape).enumerate() {
-            assert!(ix < dim, "index {ix} out of bounds for dim {i} (size {dim})");
+            assert!(
+                ix < dim,
+                "index {ix} out of bounds for dim {i} (size {dim})"
+            );
             off = off * dim + ix;
         }
         off

@@ -57,6 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     let acc = trainer.evaluate(&val)?;
-    println!("\nvalidation accuracy with MERCURY reuse: {:.1}%", 100.0 * acc);
+    println!(
+        "\nvalidation accuracy with MERCURY reuse: {:.1}%",
+        100.0 * acc
+    );
     Ok(())
 }

@@ -13,7 +13,9 @@ use mercury_bench::{simulate_model, ModelSimConfig};
 use mercury_models::all_models;
 
 fn main() {
-    let wanted = std::env::args().nth(1).unwrap_or_else(|| "VGG-13".to_string());
+    let wanted = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "VGG-13".to_string());
     let Some(spec) = all_models().into_iter().find(|m| m.name == wanted) else {
         eprintln!("unknown model {wanted}; available:");
         for m in all_models() {
@@ -23,7 +25,10 @@ fn main() {
     };
 
     println!("model: {}", spec.name);
-    println!("{:<18} {:>14} {:>14} {:>8}", "dataflow", "mercury_cyc", "baseline_cyc", "speedup");
+    println!(
+        "{:<18} {:>14} {:>14} {:>8}",
+        "dataflow", "mercury_cyc", "baseline_cyc", "speedup"
+    );
     for flow in [
         Dataflow::RowStationary,
         Dataflow::WeightStationary,

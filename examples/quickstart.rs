@@ -25,9 +25,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for y in 0..32 {
         for x in 0..32 {
             let v = match (y / 8 + x / 8) % 3 {
-                0 => if y % 2 == 0 { 0.8 } else { -0.4 },          // stripes
-                1 => if (y + x) % 2 == 0 { 0.6 } else { -0.6 },    // checkers
-                _ => (y % 8) as f32 * 0.1 - 0.35,                  // ramp
+                0 => {
+                    if y % 2 == 0 {
+                        0.8
+                    } else {
+                        -0.4
+                    }
+                } // stripes
+                1 => {
+                    if (y + x) % 2 == 0 {
+                        0.6
+                    } else {
+                        -0.6
+                    }
+                } // checkers
+                _ => (y % 8) as f32 * 0.1 - 0.35, // ramp
             };
             image.set(&[0, y, x], v);
         }

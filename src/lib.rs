@@ -1,0 +1,35 @@
+//! Workspace facade for the MERCURY reproduction (HPCA 2023).
+//!
+//! Re-exports every subsystem crate under one roof so downstream users can
+//! depend on a single crate, and anchors the cross-crate integration tests
+//! (`tests/`) and runnable walkthroughs (`examples/`).
+//!
+//! The layering, bottom to top:
+//!
+//! | module        | crate               | role                                        |
+//! |---------------|---------------------|---------------------------------------------|
+//! | [`tensor`]    | `mercury-tensor`    | dense f32 tensors, im2col, deterministic RNG |
+//! | [`rpq`]       | `mercury-rpq`       | random-projection signatures                 |
+//! | [`mcache`]    | `mercury-mcache`    | signature-indexed memoization cache          |
+//! | [`accel`]     | `mercury-accel`     | cycle-level accelerator model                |
+//! | [`workloads`] | `mercury-workloads` | deterministic synthetic datasets             |
+//! | [`core`]      | `mercury-core`      | the reuse engines + run-time adaptation      |
+//! | [`dnn`]       | `mercury-dnn`       | from-scratch training substrate              |
+//! | [`models`]    | `mercury-models`    | the twelve evaluated network specs           |
+//! | [`baselines`] | `mercury-baselines` | upper-bound comparison schemes               |
+//! | [`fpga`]      | `mercury-fpga`      | Virtex-7 resource/power model                |
+//! | [`bench`]     | `mercury-bench`     | figure/table experiment harness              |
+
+#![warn(missing_docs)]
+
+pub use mercury_accel as accel;
+pub use mercury_baselines as baselines;
+pub use mercury_bench as bench;
+pub use mercury_core as core;
+pub use mercury_dnn as dnn;
+pub use mercury_fpga as fpga;
+pub use mercury_mcache as mcache;
+pub use mercury_models as models;
+pub use mercury_rpq as rpq;
+pub use mercury_tensor as tensor;
+pub use mercury_workloads as workloads;

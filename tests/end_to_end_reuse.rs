@@ -110,8 +110,10 @@ fn signature_growth_shrinks_reuse_monotonically() {
     let image = Tensor::randn(&[1, 12, 12], &mut rng).scale(0.02);
     let kernels = Tensor::randn(&[4, 1, 3, 3], &mut rng);
 
-    let mut config = MercuryConfig::default();
-    config.initial_signature_bits = 4;
+    let config = MercuryConfig {
+        initial_signature_bits: 4,
+        ..MercuryConfig::default()
+    };
     let mut engine = ConvEngine::new(config, 21);
     let mut previous_hits = u64::MAX;
     for _ in 0..4 {
