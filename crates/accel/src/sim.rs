@@ -258,11 +258,12 @@ impl LayerSim {
         // design hides the filter change behind its shared M-filter buffer
         // and double input buffers (≥2 slots required — a single slot
         // degenerates to the synchronous barrier).
-        let total_work: u64 = work
-            .outcomes
-            .iter()
-            .map(|&o| vector_cost(&self.cfg, o, x))
-            .sum();
+        // One pass over the outcomes serves both the work sum and the
+        // reuse bookkeeping: per-vector cost depends only on the outcome
+        // kind, so the sum factors through the kind counts exactly.
+        let (hits, maus, mnus) = count_kinds(work.outcomes);
+        let total_work: u64 = hits as u64 * vector_cost(&self.cfg, HitKind::Hit, x)
+            + (maus + mnus) as u64 * vector_cost(&self.cfg, HitKind::Mnu, x);
         let f_count = work.num_filters.max(1) as u64;
         let per_filter = total_work.div_ceil(sets as u64);
 
@@ -281,7 +282,6 @@ impl LayerSim {
         }
 
         // ---- Bookkeeping -------------------------------------------------
-        let (hits, maus, mnus) = count_kinds(work.outcomes);
         self.totals.reused_dots += hits as u64 * f_count;
         self.totals.computed_dots += (maus + mnus) as u64 * f_count;
 

@@ -1,0 +1,112 @@
+//! Phase-level wall-clock attribution for the two hot paths: the
+//! model-level simulator's per-stream pipeline (cluster ids → signature
+//! synthesis → MCACHE probes → outcome tally → cycle sim) and the conv
+//! engine's per-channel pipeline (im2col → signatures → probes → GEMM +
+//! scatter). Prints TSV of microseconds per phase so regressions are easy
+//! to localize without a system profiler.
+
+use mercury_accel::sim::{ChannelWork, LayerSim};
+use mercury_bench::{f3, tsv_header, ModelSimConfig};
+use mercury_core::{ConvEngine, MercuryConfig};
+use mercury_mcache::MCache;
+use mercury_rpq::Signature;
+use mercury_tensor::rng::Rng;
+use mercury_tensor::Tensor;
+use mercury_workloads::stream::{OutcomeMix, VectorStream};
+use std::time::Instant;
+
+fn us(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e6
+}
+
+fn main() {
+    let cfg = ModelSimConfig::default();
+
+    // One VGG-13 conv1-scale stream: 224×224 patches at 0.75 similarity.
+    let vectors = 224 * 224;
+    let stream = VectorStream::with_similarity(vectors, 0.75, cfg.signature_bits);
+    let mut cache = MCache::new(cfg.cache);
+    let mut rng = Rng::new(1);
+
+    tsv_header(&["phase", "microseconds"]);
+
+    let t = Instant::now();
+    let ids = stream.cluster_ids(&mut rng);
+    println!("stream/cluster_ids\t{}", f3(us(t)));
+
+    let t = Instant::now();
+    let (outcomes, conflicts) = stream.probe(&mut cache, &mut rng);
+    println!("stream/probe_total\t{}", f3(us(t)));
+
+    // Isolate the probe_insert loop: same cluster structure, synthetic
+    // signatures prepared outside the timed region.
+    let max_id = ids.iter().copied().max().unwrap_or(0);
+    let sigs: Vec<Signature> = (0..=max_id)
+        .map(|_| {
+            let hi = (rng.next_u64() as u128) << 64;
+            let lo = rng.next_u64() as u128;
+            Signature::from_bits(hi | lo, cfg.signature_bits)
+        })
+        .collect();
+    cache.clear();
+    cache.begin_insert_batch();
+    let t = Instant::now();
+    let mut tally = 0usize;
+    for &id in &ids {
+        tally += cache.probe_insert(sigs[id]).entry.is_some() as usize;
+    }
+    println!("stream/probe_insert_only\t{}", f3(us(t)));
+    eprintln!("(probe tally {tally})");
+
+    let t = Instant::now();
+    let mix = OutcomeMix::from_outcomes(&outcomes);
+    println!("stream/outcome_mix\t{}", f3(us(t)));
+
+    let t = Instant::now();
+    let mut sim = LayerSim::new(cfg.accelerator);
+    let work =
+        ChannelWork::new(&outcomes, 64, 3, cfg.signature_bits).with_insert_conflicts(conflicts);
+    sim.push_channel(&work);
+    let cycles = sim.finish();
+    println!("stream/cycle_sim\t{}", f3(us(t)));
+    eprintln!(
+        "(stream: {} ids, {} hits / {} maus / {} mnus, speedup {:.2})",
+        ids.len(),
+        mix.hits,
+        mix.maus,
+        mix.mnus,
+        cycles.speedup()
+    );
+
+    // Batched signature generation at the engine's per-forward volume:
+    // 2048 patches of 9 elements, 20-bit signatures.
+    let mut srng = Rng::new(3);
+    let proj = mercury_rpq::ProjectionMatrix::generate(9, 20, &mut srng);
+    let generator = mercury_rpq::SignatureGenerator::new(&proj);
+    let patches = Tensor::randn(&[2048, 9], &mut srng);
+    generator.signatures_for_rows_prefix(patches.data(), 20); // warm-up
+    let t = Instant::now();
+    let runs = 20;
+    for _ in 0..runs {
+        std::hint::black_box(generator.signatures_for_rows_prefix(patches.data(), 20));
+    }
+    println!("rpq/signatures_2048x9\t{}", f3(us(t) / runs as f64));
+
+    // Conv-engine channel at the bench shape: 8×16×16 input, 16 filters.
+    let mut erng = Rng::new(5);
+    let kernels = Tensor::randn(&[16, 8, 3, 3], &mut erng);
+    let random_input = Tensor::randn(&[8, 16, 16], &mut erng);
+    let smooth_input = Tensor::full(&[8, 16, 16], 0.7);
+    let mut engine = ConvEngine::new(MercuryConfig::default(), 1);
+    engine.forward(&random_input, &kernels, 1, 1).unwrap(); // warm-up
+    let t = Instant::now();
+    for _ in 0..runs {
+        engine.forward(&random_input, &kernels, 1, 1).unwrap();
+    }
+    println!("engine/forward_random\t{}", f3(us(t) / runs as f64));
+    let t = Instant::now();
+    for _ in 0..runs {
+        engine.forward(&smooth_input, &kernels, 1, 1).unwrap();
+    }
+    println!("engine/forward_smooth\t{}", f3(us(t) / runs as f64));
+}

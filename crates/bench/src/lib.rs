@@ -7,6 +7,19 @@
 //! accelerator simulator, and returns a [`RunReport`] — the machinery
 //! behind Figures 14–18.
 //!
+//! # Seeding and sharding
+//!
+//! Every `(layer, pass)` of a run — forward, input-gradient, and
+//! weight-gradient — draws from its own RNG stream and probes its own
+//! MCACHE. The seed is derived deterministically: starting from
+//! `config seed ⊕ fnv(model name)`, FNV-mix in the layer's name, its
+//! index (names may repeat), and the pass discriminant (0/1/2). Layers
+//! are therefore independent, and [`simulate_model`] shards them across
+//! `std::thread::scope` workers while staying bit-identical to
+//! [`simulate_model_serial`] — the contract `tests/determinism.rs` pins.
+//! Changing the scheme changes every simulated number, so treat it as
+//! part of the output format.
+//!
 //! Each binary in `src/bin/` regenerates one figure or table of the paper
 //! (see `DESIGN.md` §4 for the index) and prints TSV to stdout.
 
@@ -205,81 +218,169 @@ fn apply_stoppage(stats: &mut LayerStats) {
     }
 }
 
-/// Simulates a full training iteration of `spec` (forward plus, when
-/// configured, the two backward convolutions per conv layer) and returns
-/// the per-layer report.
-pub fn simulate_model(spec: &ModelSpec, cfg: &ModelSimConfig) -> RunReport {
-    let mut report = RunReport::new(spec.name.clone());
-    let mut cache = MCache::new(cfg.cache);
-    let mut rng = Rng::new(cfg.seed ^ hash_name(&spec.name));
+/// One simulated pass over a layer. Each `(layer, pass)` pair draws from
+/// its own deterministic RNG stream and probes its own MCACHE (see
+/// [`layer_pass_seed`]), which is what makes layers independent and
+/// therefore shardable across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LayerPass {
+    /// Forward convolution / dense product.
+    Forward = 0,
+    /// Input-gradient convolution (eq. 2) or dense backward.
+    BackwardInput = 1,
+    /// Weight-gradient convolution (eq. 1).
+    BackwardWeights = 2,
+}
 
-    // Kernel sizes of the *next* conv layer, for the backward
-    // signature-reuse dimension check (§III-C2).
-    let conv_kernels: Vec<(usize, usize)> = spec
-        .layers
+/// Derives the RNG seed for one `(layer, pass)` of a run: the base seed
+/// XOR-folded with the model name (the pre-existing `hash_name` scheme),
+/// then FNV-mixed with the layer's name, its index (names may repeat), and
+/// the pass discriminant. Every pass therefore owns an independent,
+/// reproducible stream regardless of which thread simulates it or in what
+/// order.
+fn layer_pass_seed(cfg: &ModelSimConfig, spec: &ModelSpec, index: usize, pass: LayerPass) -> u64 {
+    const FNV_PRIME: u64 = 0x100000001b3;
+    let mut h = cfg.seed ^ hash_name(&spec.name);
+    h = (h ^ hash_name(spec.layers[index].name())).wrapping_mul(FNV_PRIME);
+    h = (h ^ index as u64).wrapping_mul(FNV_PRIME);
+    (h ^ pass as u64).wrapping_mul(FNV_PRIME)
+}
+
+/// Simulates every configured pass of layer `index` (forward plus, when
+/// enabled, the backward convolutions), applying the stoppage policy, with
+/// fresh per-pass MCACHE and RNG state.
+fn simulate_layer(
+    spec: &ModelSpec,
+    index: usize,
+    conv_kernels: &[(usize, usize)],
+    cfg: &ModelSimConfig,
+) -> LayerStats {
+    let layer = &spec.layers[index];
+    let similarity = spec.layer_similarity(index);
+    let run_pass = |pass: LayerPass, sim: f64, precomputed: bool| -> LayerStats {
+        let mut cache = MCache::new(cfg.cache);
+        let mut rng = Rng::new(layer_pass_seed(cfg, spec, index, pass));
+        match layer {
+            LayerSpec::Conv { .. } => {
+                simulate_conv_layer(layer, sim, cfg, &mut cache, &mut rng, precomputed)
+            }
+            _ => simulate_dense_layer(layer, sim, cfg, &mut cache, &mut rng, precomputed),
+        }
+    };
+
+    let mut stats = run_pass(LayerPass::Forward, similarity, false);
+    if cfg.include_backward {
+        // Gradient similarity runs slightly below input similarity
+        // (Figure 1b vs 1a).
+        let grad_sim = similarity * 0.9;
+        match layer {
+            LayerSpec::Conv { .. } => {
+                // Input-gradient conv (eq. 2): signatures reusable when the
+                // next conv layer shares this kernel size (§III-C2).
+                let next_same_kernel = conv_kernels
+                    .iter()
+                    .skip(index + 1)
+                    .find(|&&k| k != (0, 0))
+                    .map(|&k| k == conv_kernels[index])
+                    .unwrap_or(false);
+                let dx = run_pass(LayerPass::BackwardInput, grad_sim, next_same_kernel);
+                stats.accumulate(&dx);
+                // Weight-gradient conv (eq. 1): fresh signatures.
+                let dw = run_pass(LayerPass::BackwardWeights, grad_sim, false);
+                stats.accumulate(&dw);
+            }
+            _ => {
+                // FC/attention backward reuses the forward signatures (the
+                // inputs are the same rows).
+                let grad = run_pass(LayerPass::BackwardInput, grad_sim, true);
+                stats.accumulate(&grad);
+            }
+        }
+    }
+    if cfg.adaptive {
+        apply_stoppage(&mut stats);
+    }
+    stats
+}
+
+/// Kernel sizes of each conv layer, for the backward signature-reuse
+/// dimension check (§III-C2); non-conv layers record `(0, 0)`.
+fn conv_kernel_sizes(spec: &ModelSpec) -> Vec<(usize, usize)> {
+    spec.layers
         .iter()
         .map(|l| match l {
             LayerSpec::Conv { kernel, .. } => (*kernel, *kernel),
             _ => (0, 0),
         })
-        .collect();
+        .collect()
+}
 
-    for (i, layer) in spec.layers.iter().enumerate() {
-        let similarity = spec.layer_similarity(i);
-        let mut stats = match layer {
-            LayerSpec::Conv { .. } => {
-                let mut s =
-                    simulate_conv_layer(layer, similarity, cfg, &mut cache, &mut rng, false);
-                if cfg.include_backward {
-                    // Input-gradient conv (eq. 2): signatures reusable when
-                    // the next conv layer shares this kernel size.
-                    let next_same_kernel = conv_kernels
-                        .iter()
-                        .skip(i + 1)
-                        .find(|&&k| k != (0, 0))
-                        .map(|&k| k == conv_kernels[i])
-                        .unwrap_or(false);
-                    // Gradient similarity runs slightly below input
-                    // similarity (Figure 1b vs 1a).
-                    let grad_sim = similarity * 0.9;
-                    let dx = simulate_conv_layer(
-                        layer,
-                        grad_sim,
-                        cfg,
-                        &mut cache,
-                        &mut rng,
-                        next_same_kernel,
-                    );
-                    s.accumulate(&dx);
-                    // Weight-gradient conv (eq. 1): fresh signatures.
-                    let dw = simulate_conv_layer(layer, grad_sim, cfg, &mut cache, &mut rng, false);
-                    s.accumulate(&dw);
-                }
-                s
+/// Simulates a full training iteration of `spec` (forward plus, when
+/// configured, the two backward convolutions per conv layer) and returns
+/// the per-layer report.
+///
+/// Layers are sharded across `std::thread::scope` workers: every
+/// `(layer, pass)` is seeded independently (see [`layer_pass_seed`]), so
+/// reports are bit-identical to [`simulate_model_serial`] — the contract
+/// `tests/determinism.rs` pins — while wall-clock time drops with core
+/// count.
+pub fn simulate_model(spec: &ModelSpec, cfg: &ModelSimConfig) -> RunReport {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    simulate_model_with_workers(spec, cfg, workers)
+}
+
+/// [`simulate_model`] with an explicit worker count (clamped to
+/// `1..=layers`). One worker runs serially on the calling thread. Exposed
+/// so the determinism suite can pin the sharded path even on single-core
+/// machines, where `simulate_model` would otherwise fall back to serial.
+pub fn simulate_model_with_workers(
+    spec: &ModelSpec,
+    cfg: &ModelSimConfig,
+    workers: usize,
+) -> RunReport {
+    let n = spec.layers.len();
+    let workers = workers.min(n).max(1);
+    if workers <= 1 {
+        return simulate_model_serial(spec, cfg);
+    }
+    let conv_kernels = conv_kernel_sizes(spec);
+    let mut results: Vec<Option<LayerStats>> = vec![None; n];
+    std::thread::scope(|s| {
+        let conv_kernels = &conv_kernels;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                s.spawn(move || {
+                    (w..n)
+                        .step_by(workers)
+                        .map(|i| (i, simulate_layer(spec, i, conv_kernels, cfg)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, stats) in handle.join().expect("simulator worker panicked") {
+                results[i] = Some(stats);
             }
-            _ => {
-                let mut s =
-                    simulate_dense_layer(layer, similarity, cfg, &mut cache, &mut rng, false);
-                if cfg.include_backward {
-                    // FC/attention backward reuses the forward signatures
-                    // (the inputs are the same rows).
-                    let grad = simulate_dense_layer(
-                        layer,
-                        similarity * 0.9,
-                        cfg,
-                        &mut cache,
-                        &mut rng,
-                        true,
-                    );
-                    s.accumulate(&grad);
-                }
-                s
-            }
-        };
-        if cfg.adaptive {
-            apply_stoppage(&mut stats);
         }
-        report.push(stats);
+    });
+    let mut report = RunReport::new(spec.name.clone());
+    for stats in results {
+        report.push(stats.expect("every layer simulated exactly once"));
+    }
+    report
+}
+
+/// Serial reference for [`simulate_model`]: identical seeding, identical
+/// arithmetic, one layer after another on the calling thread. Kept public
+/// so the determinism suite (and anyone debugging a layer in isolation)
+/// can compare against the sharded path.
+pub fn simulate_model_serial(spec: &ModelSpec, cfg: &ModelSimConfig) -> RunReport {
+    let conv_kernels = conv_kernel_sizes(spec);
+    let mut report = RunReport::new(spec.name.clone());
+    for i in 0..spec.layers.len() {
+        report.push(simulate_layer(spec, i, &conv_kernels, cfg));
     }
     report
 }

@@ -1,10 +1,10 @@
 use crate::stats::LayerStats;
 use crate::{MercuryConfig, MercuryError};
 use mercury_accel::sim::{ChannelWork, LayerSim};
-use mercury_mcache::{HitKind, Hitmap, MCache, SignatureTable};
+use mercury_mcache::{EntryId, HitKind, Hitmap, MCache, SignatureTable};
 use mercury_rpq::analysis::unique_signature_count;
 use mercury_rpq::{ProjectionMatrix, Signature, SignatureGenerator};
-use mercury_tensor::conv::{extract_patches, ConvGeometry};
+use mercury_tensor::conv::{extract_patches_into, ConvGeometry};
 use mercury_tensor::rng::Rng;
 use mercury_tensor::{ops, Tensor, TensorError};
 use std::collections::HashMap;
@@ -26,6 +26,10 @@ pub struct SavedSignatures {
 impl SavedSignatures {
     /// Whether these signatures apply to a convolution with the given
     /// kernel size and per-channel patch count.
+    ///
+    /// Note this cannot see the consuming convolution's channel count;
+    /// [`ConvEngine::forward_reusing`] additionally requires one saved
+    /// list per input channel before reusing.
     pub fn compatible(&self, kernel: (usize, usize), patches_per_channel: usize) -> bool {
         self.kernel == kernel
             && self
@@ -51,6 +55,16 @@ pub struct ConvForward {
 /// The MERCURY convolution engine: similarity detection + computation
 /// reuse for one layer at a time, with a persistent MCACHE and projection
 /// matrices shared across calls.
+///
+/// The engine's internal MCACHE data path is an optimized software
+/// realization of the hardware dataflow: a producer's value is written
+/// and read once per filter and fanned out to all its HIT consumers, and
+/// producers with no consumers skip the (dead) write. Outputs, HIT/MAU/
+/// MNU statistics, and cycle accounting are identical to the one-access-
+/// per-PE-set hardware schedule — [`LayerSim`] charges one MCACHE read
+/// per HIT consumer and one write per MAU — but the engine's private
+/// cache's raw `data_reads`/`data_writes` counters reflect the
+/// deduplicated software accesses, not per-consumer hardware traffic.
 ///
 /// See the [crate docs](crate) for the full pipeline and an example.
 #[derive(Debug)]
@@ -207,6 +221,7 @@ impl ConvEngine {
         let patches_n = geom.num_patches();
         let plen = geom.patch_len();
 
+        let spatial = oh * ow;
         let mut output = Tensor::zeros(&[f, oh, ow]);
         let mut stats = LayerStats {
             detection_enabled: self.detection_enabled,
@@ -215,19 +230,76 @@ impl ConvEngine {
         let mut sim = LayerSim::new(self.config.accelerator);
         let mut saved_out: Vec<Vec<Signature>> = Vec::with_capacity(c);
 
-        let reuse_saved = saved
-            .map(|s| s.compatible((kh, kw), patches_n) && s.bits == self.signature_bits)
-            .unwrap_or(false);
+        // Saved signatures are only consulted while detection is on; with
+        // detection off the pass neither reads nor produces signatures.
+        // Reuse also requires one saved list per input channel —
+        // `compatible` cannot check that (it does not know `c`), and a
+        // shorter `per_channel` would otherwise be indexed out of bounds.
+        let reuse_saved = self.detection_enabled
+            && saved
+                .map(|s| {
+                    s.per_channel.len() == c
+                        && s.compatible((kh, kw), patches_n)
+                        && s.bits == self.signature_bits
+                })
+                .unwrap_or(false);
+
+        // Per-channel scratch, allocated once and reused: the im2col patch
+        // matrix, the channel's filter rows as a dense `[f, plen]` matrix,
+        // the packed to-compute submatrix in `[plen, rows]` (transposed)
+        // layout, its `[f, rows]` GEMM output, and per-cache-entry maps
+        // from entry to producer packed row / consumer group.
+        let mut patch_buf: Vec<f32> = Vec::new();
+        let mut filt_rows: Vec<f32> = vec![0.0; f * plen];
+        let mut packed_t: Vec<f32> = Vec::new();
+        let mut contrib_t: Vec<f32> = Vec::new();
+        let cache_entries = self.config.cache.sets * self.config.cache.ways;
+        let mut entry_row: Vec<u32> = vec![u32::MAX; cache_entries];
+        let mut entry_group: Vec<u32> = vec![u32::MAX; cache_entries];
+        let mut groups: Vec<(EntryId, Option<usize>, Vec<usize>)> = Vec::new();
+        let mut compute_rows: Vec<usize> = Vec::new();
 
         for ch in 0..c {
-            let channel =
-                Tensor::from_vec(input.data()[ch * h * w..(ch + 1) * h * w].to_vec(), &[h, w])
-                    .map_err(MercuryError::Tensor)?;
-            let patches = extract_patches(&channel, &geom).map_err(MercuryError::Tensor)?;
+            extract_patches_into(
+                &input.data()[ch * h * w..(ch + 1) * h * w],
+                &geom,
+                &mut patch_buf,
+            )
+            .map_err(MercuryError::Tensor)?;
+            for fi in 0..f {
+                let src = &kernels.data()[(fi * kc + ch) * plen..(fi * kc + ch + 1) * plen];
+                filt_rows[fi * plen..(fi + 1) * plen].copy_from_slice(src);
+            }
 
             if !self.detection_enabled {
-                // Detection off: plain exact convolution at baseline cost.
-                self.accumulate_exact(&mut output, &patches, kernels, ch, f, plen);
+                // Detection off: plain exact convolution at baseline cost,
+                // as one dense [f, plen] × [plen, n] product whose output
+                // rows accumulate straight into the output feature maps.
+                packed_t.clear();
+                packed_t.resize(plen * patches_n, 0.0);
+                for v in 0..patches_n {
+                    for p in 0..plen {
+                        packed_t[p * patches_n + v] = patch_buf[v * plen + p];
+                    }
+                }
+                contrib_t.clear();
+                contrib_t.resize(f * patches_n, 0.0);
+                ops::gemm_blocked(
+                    &mut contrib_t,
+                    &filt_rows,
+                    &packed_t,
+                    f,
+                    plen,
+                    patches_n,
+                    patches_n,
+                );
+                let od = output.data_mut();
+                for fi in 0..f {
+                    let orow = &mut od[fi * spatial..fi * spatial + patches_n];
+                    for (o, &x) in orow.iter_mut().zip(&contrib_t[fi * patches_n..]) {
+                        *o += x;
+                    }
+                }
                 let outcomes = vec![HitKind::Mnu; patches_n];
                 let work = ChannelWork::new(&outcomes, f, kh, 0);
                 sim.push_channel(&work);
@@ -238,13 +310,20 @@ impl ConvEngine {
             }
 
             // ---- Similarity detection ------------------------------------
-            let sigs: Vec<Signature> = if reuse_saved {
-                saved.unwrap().per_channel[ch].clone()
+            // Fresh signatures come from one batched GEMM + sign
+            // quantization; saved ones are borrowed, never cloned, on the
+            // hot path.
+            let sigs_owned: Option<Vec<Signature>> = if reuse_saved {
+                None
             } else {
                 let bits = self.signature_bits;
                 let proj = self.projection_for(plen);
                 let generator = SignatureGenerator::new(proj);
-                generator.signatures_for_patches_prefix(&patches, bits)
+                Some(generator.signatures_for_rows_prefix(&patch_buf, bits))
+            };
+            let sigs: &[Signature] = match &sigs_owned {
+                Some(s) => s,
+                None => &saved.unwrap().per_channel[ch],
             };
 
             // New channel: MCACHE, signature table, and hitmap restart.
@@ -253,40 +332,101 @@ impl ConvEngine {
             let conflicts_before = self.cache.stats().insert_conflicts;
             let mut table = SignatureTable::with_capacity(patches_n);
             let mut hitmap = Hitmap::with_capacity(patches_n);
-            for &sig in &sigs {
+            for &sig in sigs {
                 let outcome = self.cache.probe_insert(sig);
                 table.push(sig, outcome.entry);
                 hitmap.push(outcome.kind, outcome.entry);
             }
             let conflicts = self.cache.stats().insert_conflicts - conflicts_before;
 
+            // ---- Reuse plan ----------------------------------------------
+            // Partition the vector indices by outcome once, hoisting every
+            // hitmap lookup and entry resolution out of the per-filter
+            // loop. MAU and MNU rows — the ones that actually compute —
+            // become rows of a dense packed submatrix; HIT rows are grouped
+            // by producer entry, so each producer's value is written to and
+            // read from MCACHE once per filter and fanned out to all its
+            // consumers. Producers nobody consumes skip the cache write
+            // entirely (the write is dead: tags reset at the next channel,
+            // so no later read can observe it).
+            groups.clear();
+            compute_rows.clear();
+            entry_row[..cache_entries].fill(u32::MAX);
+            entry_group[..cache_entries].fill(u32::MAX);
+            for v in 0..patches_n {
+                let (kind, entry) = hitmap.outcome(v).expect("hitmap covers all vectors");
+                match kind {
+                    HitKind::Hit => {
+                        let entry = entry.expect("hit entries resolve");
+                        let e = entry.set * self.config.cache.ways + entry.way;
+                        let g = entry_group[e];
+                        if g == u32::MAX {
+                            entry_group[e] = groups.len() as u32;
+                            let row = entry_row[e];
+                            let row = (row != u32::MAX).then_some(row as usize);
+                            groups.push((entry, row, vec![v]));
+                        } else {
+                            groups[g as usize].2.push(v);
+                        }
+                    }
+                    HitKind::Mau => {
+                        let entry = entry.expect("mau entries resolve");
+                        entry_row[entry.set * self.config.cache.ways + entry.way] =
+                            compute_rows.len() as u32;
+                        compute_rows.push(v);
+                    }
+                    HitKind::Mnu => compute_rows.push(v),
+                }
+            }
+            let rows = compute_rows.len();
+            packed_t.clear();
+            packed_t.resize(plen * rows, 0.0);
+            for (r, &v) in compute_rows.iter().enumerate() {
+                for p in 0..plen {
+                    packed_t[p * rows + r] = patch_buf[v * plen + p];
+                }
+            }
+
             // ---- Reuse-aware computation ---------------------------------
+            // Every dot product the channel actually performs, across all
+            // filters, in one dense [f, plen] × [plen, rows] product.
+            contrib_t.clear();
+            contrib_t.resize(f * rows, 0.0);
+            ops::gemm_blocked(&mut contrib_t, &filt_rows, &packed_t, f, plen, rows, rows);
+
+            let od = output.data_mut();
             for fi in 0..f {
                 // Filter change: flash-clear VD bits, keep tags (§III-C1).
                 self.cache.invalidate_all_data();
-                let filt = &kernels.data()[(fi * kc + ch) * plen..(fi * kc + ch + 1) * plen];
-                for v in 0..patches_n {
-                    let row = &patches.data()[v * plen..(v + 1) * plen];
-                    let value = match hitmap.get(v).expect("hitmap covers all vectors") {
-                        HitKind::Hit => {
-                            let entry = hitmap.entry(v).expect("hit entries resolve");
-                            match self.cache.read_counted(entry, 0) {
-                                Some(cached) => cached,
-                                // Producer result unavailable (should not
-                                // happen in stream order); compute exactly.
-                                None => ops::dot(row, filt),
+                // Each producer (MAU) writes its result before its
+                // consumers (HITs) read; within a channel every producer
+                // precedes its consumers in stream order, so grouping
+                // preserves the stream-order data dependencies.
+                for &(entry, row, ref consumers) in &groups {
+                    match row {
+                        Some(r) => {
+                            let value = contrib_t[fi * rows + r];
+                            self.cache.write(entry, 0, value)?;
+                            let value = self.cache.read_counted(entry, 0).unwrap_or(value);
+                            for &v in consumers {
+                                od[fi * spatial + v] += value;
                             }
                         }
-                        HitKind::Mau => {
-                            let value = ops::dot(row, filt);
-                            let entry = hitmap.entry(v).expect("mau entries resolve");
-                            self.cache.write(entry, 0, value)?;
-                            value
+                        // Producer row unresolved (should not happen in
+                        // stream order); each consumer computes exactly.
+                        None => {
+                            for &v in consumers {
+                                od[fi * spatial + v] += ops::dot(
+                                    &patch_buf[v * plen..(v + 1) * plen],
+                                    &filt_rows[fi * plen..(fi + 1) * plen],
+                                );
+                            }
                         }
-                        HitKind::Mnu => ops::dot(row, filt),
-                    };
-                    let od = output.data_mut();
-                    od[fi * oh * ow + v] += value;
+                    }
+                }
+                let crow = &contrib_t[fi * rows..(fi + 1) * rows];
+                for (&v, &x) in compute_rows.iter().zip(crow) {
+                    od[fi * spatial + v] += x;
                 }
             }
 
@@ -302,42 +442,29 @@ impl ConvEngine {
             stats.hits += hits as u64;
             stats.maus += maus as u64;
             stats.mnus += mnus as u64;
-            stats.unique_vectors += unique_signature_count(&sigs) as u64;
-            saved_out.push(sigs);
+            stats.unique_vectors += unique_signature_count(sigs) as u64;
+            if let Some(s) = sigs_owned {
+                saved_out.push(s);
+            }
         }
 
         stats.cycles = sim.finish();
+        let per_channel = if reuse_saved {
+            // The pass consumed the saved signatures unchanged; clone them
+            // once here, outside the per-channel hot path.
+            saved.unwrap().per_channel.clone()
+        } else {
+            saved_out
+        };
         Ok(ConvForward {
             output,
             stats,
             signatures: SavedSignatures {
                 kernel: (kh, kw),
                 bits: self.signature_bits,
-                per_channel: saved_out,
+                per_channel,
             },
         })
-    }
-
-    fn accumulate_exact(
-        &self,
-        output: &mut Tensor,
-        patches: &Tensor,
-        kernels: &Tensor,
-        ch: usize,
-        f: usize,
-        plen: usize,
-    ) {
-        let kc = kernels.shape()[1];
-        let patches_n = patches.shape()[0];
-        let spatial = output.shape()[1] * output.shape()[2];
-        let od = output.data_mut();
-        for fi in 0..f {
-            let filt = &kernels.data()[(fi * kc + ch) * plen..(fi * kc + ch + 1) * plen];
-            for v in 0..patches_n {
-                let row = &patches.data()[v * plen..(v + 1) * plen];
-                od[fi * spatial + v] += ops::dot(row, filt);
-            }
-        }
     }
 }
 
@@ -448,6 +575,48 @@ mod tests {
         assert!(second.stats.cycles.total() < first.stats.cycles.total());
         // Outcomes identical since signatures identical.
         assert_eq!(second.stats.hits, first.stats.hits);
+    }
+
+    #[test]
+    fn channel_count_mismatch_falls_back_to_fresh_signatures() {
+        // Signatures saved from a 2-channel input must not be reused for a
+        // 3-channel input of the same spatial/kernel geometry: per-channel
+        // lists would run out at channel 2. The engine must recompute
+        // instead of panicking.
+        let mut rng = Rng::new(14);
+        let kernels2 = Tensor::randn(&[2, 2, 3, 3], &mut rng);
+        let kernels3 = Tensor::randn(&[2, 3, 3, 3], &mut rng);
+        let input2 = Tensor::randn(&[2, 8, 8], &mut rng);
+        let input3 = Tensor::randn(&[3, 8, 8], &mut rng);
+        let mut e = engine(14);
+        let saved = e.forward(&input2, &kernels2, 1, 0).unwrap().signatures;
+        assert_eq!(saved.per_channel.len(), 2);
+        let out = e.forward_reusing(&input3, &kernels3, 1, 0, &saved).unwrap();
+        assert!(out.stats.cycles.signature > 0, "signatures were recomputed");
+        assert_eq!(out.signatures.per_channel.len(), 3);
+    }
+
+    #[test]
+    fn detection_off_signatures_are_not_reusable() {
+        // A detection-off pass records one empty signature list per
+        // channel; feeding that back into a detection-on pass must be
+        // treated as incompatible (lengths differ from the patch count)
+        // and fall back to fresh signatures rather than indexing into the
+        // empty lists.
+        let mut rng = Rng::new(13);
+        let input = Tensor::randn(&[2, 8, 8], &mut rng);
+        let kernels = Tensor::randn(&[3, 2, 3, 3], &mut rng);
+        let mut e = engine(13);
+        e.set_detection(false);
+        let off = e.forward(&input, &kernels, 1, 0).unwrap();
+        assert_eq!(off.signatures.per_channel.len(), 2);
+        assert!(off.signatures.per_channel.iter().all(|s| s.is_empty()));
+        e.set_detection(true);
+        let on = e
+            .forward_reusing(&input, &kernels, 1, 0, &off.signatures)
+            .unwrap();
+        assert!(on.stats.cycles.signature > 0, "signatures were recomputed");
+        assert_eq!(on.signatures.per_channel[0].len(), 36);
     }
 
     #[test]

@@ -99,27 +99,17 @@ impl MCacheStats {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Line {
-    tag: Signature,
-    valid_tag: bool,
-    data: Vec<f32>,
-    valid_data: Vec<bool>,
-}
-
-impl Line {
-    fn new(versions: usize) -> Self {
-        Line {
-            tag: Signature::empty(),
-            valid_tag: false,
-            data: vec![0.0; versions],
-            valid_data: vec![false; versions],
-        }
-    }
-}
-
 /// The MERCURY memoization cache (see the [crate docs](crate) for the
 /// design rationale).
+///
+/// Storage is structure-of-arrays — one flat buffer per field across all
+/// `sets × ways` lines — so set scans touch contiguous memory, and VD
+/// ("valid data") bits are epoch counters: a version is valid when its
+/// line's epoch matches the version's current epoch, which makes the
+/// hardware's flash-clear (`invalidate_all_data`, one bitline in the FPGA)
+/// an O(1) epoch bump instead of a walk over every line. These are
+/// representation choices only; observable behaviour is identical to the
+/// naive line-array model.
 ///
 /// # Examples
 ///
@@ -127,7 +117,26 @@ impl Line {
 #[derive(Debug, Clone)]
 pub struct MCache {
     config: MCacheConfig,
-    lines: Vec<Line>, // sets × ways, row-major by set
+    /// Tag bit patterns, `sets × ways`, row-major by set. Stored split
+    /// from the lengths so a set scan streams packed 16-byte words; a tag
+    /// matches when both its bits and its length equal the probe's.
+    tag_bits: Vec<u128>,
+    /// Tag signature lengths, same layout as `tag_bits`.
+    tag_len: Vec<u8>,
+    /// Number of occupied ways per set. Ways fill strictly in order (an
+    /// insert always claims the lowest free way and nothing short of
+    /// [`clear`](Self::clear) ever frees one), so the valid tags of a set
+    /// are exactly the prefix `0..set_len[set]` — a set scan never needs
+    /// per-way valid bits.
+    set_len: Vec<u32>,
+    /// Data versions, `sets × ways × versions`, version fastest.
+    data: Vec<f32>,
+    /// Per-(line, version) epoch; the version is valid iff this equals
+    /// `version_epoch[version]`. Zero is reserved as "never valid".
+    vd_epoch: Vec<u64>,
+    /// Current epoch per version, starting at 1; bumping one invalidates
+    /// that version everywhere at once.
+    version_epoch: Vec<u64>,
     stats: MCacheStats,
     /// Per-set count of inserts in the current batch window, for modelling
     /// the per-set insertion queue of the FPGA implementation.
@@ -139,9 +148,12 @@ impl MCache {
     pub fn new(config: MCacheConfig) -> Self {
         MCache {
             config,
-            lines: (0..config.entries())
-                .map(|_| Line::new(config.versions))
-                .collect(),
+            tag_bits: vec![0; config.entries()],
+            tag_len: vec![0; config.entries()],
+            set_len: vec![0; config.sets],
+            data: vec![0.0; config.entries() * config.versions],
+            vd_epoch: vec![0; config.entries() * config.versions],
+            version_epoch: vec![1; config.versions],
             stats: MCacheStats::default(),
             batch_inserts: vec![0; config.sets],
         }
@@ -163,39 +175,52 @@ impl MCache {
     }
 
     fn set_of(&self, sig: Signature) -> usize {
-        (sig.mix64() % self.config.sets as u64) as usize
+        let sets = self.config.sets as u64;
+        let h = sig.mix64();
+        // Same value either way; the mask avoids a hardware divide on the
+        // power-of-two geometries every shipped configuration uses.
+        if sets.is_power_of_two() {
+            (h & (sets - 1)) as usize
+        } else {
+            (h % sets) as usize
+        }
     }
 
-    fn line(&self, id: EntryId) -> Result<&Line, McacheError> {
+    fn line_index(&self, id: EntryId) -> Result<usize, McacheError> {
         if id.set >= self.config.sets || id.way >= self.config.ways {
             return Err(McacheError::BadEntry {
                 set: id.set,
                 way: id.way,
             });
         }
-        Ok(&self.lines[id.set * self.config.ways + id.way])
+        Ok(id.set * self.config.ways + id.way)
     }
 
-    fn line_mut(&mut self, id: EntryId) -> Result<&mut Line, McacheError> {
-        if id.set >= self.config.sets || id.way >= self.config.ways {
-            return Err(McacheError::BadEntry {
-                set: id.set,
-                way: id.way,
-            });
+    /// Scans the occupied prefix of a set for a tag match. The hot scan
+    /// compares only the packed bit patterns; lengths — which differ for
+    /// equal bits essentially never — are verified on candidate matches.
+    fn scan_set(&self, set: usize, sig: Signature) -> Option<usize> {
+        let base = set * self.config.ways;
+        let len = self.set_len[set] as usize;
+        let (bits, slen) = (sig.bits(), sig.len() as u8);
+        let mut way = 0;
+        while let Some(pos) = self.tag_bits[base + way..base + len]
+            .iter()
+            .position(|&b| b == bits)
+        {
+            way += pos;
+            if self.tag_len[base + way] == slen {
+                return Some(way);
+            }
+            way += 1;
         }
-        Ok(&mut self.lines[id.set * self.config.ways + id.way])
+        None
     }
 
     /// Looks a signature up without modifying the cache.
     pub fn lookup(&self, sig: Signature) -> Option<EntryId> {
         let set = self.set_of(sig);
-        for way in 0..self.config.ways {
-            let line = &self.lines[set * self.config.ways + way];
-            if line.valid_tag && line.tag == sig {
-                return Some(EntryId { set, way });
-            }
-        }
-        None
+        self.scan_set(set, sig).map(|way| EntryId { set, way })
     }
 
     /// Probes for a signature and inserts it on a miss if the set has a
@@ -203,31 +228,36 @@ impl MCache {
     ///
     /// Returns HIT with the existing entry, MAU with the newly claimed
     /// entry, or MNU with no entry when the set is full (no replacement).
+    ///
+    /// The set is scanned once: a tag match anywhere in the set wins (HIT),
+    /// otherwise the lowest free way is claimed (MAU), exactly as a
+    /// lookup-then-insert pair would decide.
     pub fn probe_insert(&mut self, sig: Signature) -> AccessOutcome {
-        if let Some(entry) = self.lookup(sig) {
+        let set = self.set_of(sig);
+        if let Some(way) = self.scan_set(set, sig) {
             self.stats.hits += 1;
             return AccessOutcome {
                 kind: HitKind::Hit,
-                entry: Some(entry),
+                entry: Some(EntryId { set, way }),
             };
         }
-        let set = self.set_of(sig);
-        for way in 0..self.config.ways {
-            let line = &mut self.lines[set * self.config.ways + way];
-            if !line.valid_tag {
-                line.tag = sig;
-                line.valid_tag = true;
-                line.valid_data.fill(false);
-                self.stats.maus += 1;
-                if self.batch_inserts[set] > 0 {
-                    self.stats.insert_conflicts += 1;
-                }
-                self.batch_inserts[set] += 1;
-                return AccessOutcome {
-                    kind: HitKind::Mau,
-                    entry: Some(EntryId { set, way }),
-                };
+        let len = self.set_len[set] as usize;
+        if len < self.config.ways {
+            let way = len;
+            let line = set * self.config.ways + way;
+            self.tag_bits[line] = sig.bits();
+            self.tag_len[line] = sig.len() as u8;
+            self.set_len[set] += 1;
+            self.vd_epoch[line * self.config.versions..(line + 1) * self.config.versions].fill(0);
+            self.stats.maus += 1;
+            if self.batch_inserts[set] > 0 {
+                self.stats.insert_conflicts += 1;
             }
+            self.batch_inserts[set] += 1;
+            return AccessOutcome {
+                kind: HitKind::Mau,
+                entry: Some(EntryId { set, way }),
+            };
         }
         self.stats.mnus += 1;
         AccessOutcome {
@@ -247,11 +277,15 @@ impl MCache {
     /// Out-of-range ids or versions also read as `None` — the hardware
     /// cannot fabricate data for them.
     pub fn read(&self, id: EntryId, version: usize) -> Option<f32> {
-        let line = self.line(id).ok()?;
-        if version >= self.config.versions || !line.valid_data[version] {
+        let line = self.line_index(id).ok()?;
+        if version >= self.config.versions {
             return None;
         }
-        Some(line.data[version])
+        let idx = line * self.config.versions + version;
+        if self.vd_epoch[idx] != self.version_epoch[version] {
+            return None;
+        }
+        Some(self.data[idx])
     }
 
     /// Reads with statistics: counts a data hit or miss.
@@ -274,25 +308,27 @@ impl MCache {
     /// has no valid tag (the hardware never writes data before a tag).
     pub fn write(&mut self, id: EntryId, version: usize, value: f32) -> Result<(), McacheError> {
         let versions = self.config.versions;
-        let line = self.line_mut(id)?;
+        let line = self.line_index(id)?;
         if version >= versions {
             return Err(McacheError::BadVersion { version, versions });
         }
-        if !line.valid_tag {
+        if id.way >= self.set_len[id.set] as usize {
             return Err(McacheError::TagNotValid);
         }
-        line.data[version] = value;
-        line.valid_data[version] = true;
+        let idx = line * versions + version;
+        self.data[idx] = value;
+        self.vd_epoch[idx] = self.version_epoch[version];
         self.stats.data_writes += 1;
         Ok(())
     }
 
     /// Flash-clears every VD bit ("a bitline connecting all VD bits is used
     /// for this purpose") while keeping tags — the synchronous design's
-    /// filter advance.
+    /// filter advance. O(1): bumps every version's epoch rather than
+    /// touching any line.
     pub fn invalidate_all_data(&mut self) {
-        for line in &mut self.lines {
-            line.valid_data.fill(false);
+        for epoch in &mut self.version_epoch {
+            *epoch += 1;
         }
     }
 
@@ -309,25 +345,21 @@ impl MCache {
                 versions: self.config.versions,
             });
         }
-        for line in &mut self.lines {
-            line.valid_data[version] = false;
-        }
+        self.version_epoch[version] += 1;
         Ok(())
     }
 
     /// Clears tags and data — a channel boundary, after which signatures
     /// are recalculated from scratch.
     pub fn clear(&mut self) {
-        for line in &mut self.lines {
-            line.valid_tag = false;
-            line.valid_data.fill(false);
-        }
+        self.set_len.fill(0);
+        self.invalidate_all_data();
         self.batch_inserts.fill(0);
     }
 
     /// Number of lines currently holding a valid tag.
     pub fn occupancy(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid_tag).count()
+        self.set_len.iter().map(|&l| l as usize).sum()
     }
 }
 

@@ -65,6 +65,13 @@ impl Hitmap {
         self.entries.get(i).and_then(|&(_, e)| e)
     }
 
+    /// Kind and entry id for input vector `i` in one lookup, or `None` past
+    /// the end. Hot loops should prefer this over calling [`get`](Self::get)
+    /// and [`entry`](Self::entry) back to back, which indexes the map twice.
+    pub fn outcome(&self, i: usize) -> Option<(HitKind, Option<EntryId>)> {
+        self.entries.get(i).copied()
+    }
+
     /// Number of recorded vectors.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -131,6 +138,9 @@ mod tests {
         assert_eq!(map.get(3), None);
         assert_eq!(map.entry(1), Some(id(0, 1)));
         assert_eq!(map.entry(2), None);
+        assert_eq!(map.outcome(0), Some((HitKind::Mau, Some(id(0, 1)))));
+        assert_eq!(map.outcome(2), Some((HitKind::Mnu, None)));
+        assert_eq!(map.outcome(3), None);
     }
 
     #[test]

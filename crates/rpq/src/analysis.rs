@@ -5,12 +5,18 @@ use crate::bloom::BloomSignature;
 use crate::{ProjectionMatrix, Signature, SignatureGenerator};
 use mercury_tensor::rng::Rng;
 use mercury_tensor::Tensor;
-use std::collections::HashSet;
 
 /// Number of distinct signatures in a batch — the "unique vectors found" of
 /// Figure 3a and Figure 15c.
+///
+/// Sort-and-dedup over the packed `(bits, len)` keys: for the
+/// channel-sized batches the engine tallies every pass, this runs well
+/// ahead of hashing each 17-byte signature.
 pub fn unique_signature_count(signatures: &[Signature]) -> usize {
-    signatures.iter().collect::<HashSet<_>>().len()
+    let mut keys: Vec<(u128, usize)> = signatures.iter().map(|s| (s.bits(), s.len())).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys.len()
 }
 
 /// Fraction of vectors whose signature was already produced by an *earlier*
@@ -107,7 +113,8 @@ impl UniqueVectorExperiment {
         // Bin width of 8ε: perturbed copies almost always stay in-bin while
         // distinct standard-normal values usually do not.
         let bloom = BloomSignature::new(signature_bits, 2, self.epsilon * 8.0);
-        let sigs: HashSet<Vec<u64>> = population.iter().map(|v| bloom.signature(v)).collect();
+        let sigs: std::collections::HashSet<Vec<u64>> =
+            population.iter().map(|v| bloom.signature(v)).collect();
         sigs.len()
     }
 }

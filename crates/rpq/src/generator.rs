@@ -101,17 +101,89 @@ impl<'a> SignatureGenerator<'a> {
     /// Panics on rank/length mismatch, as above.
     pub fn signatures_for_patches_prefix(&self, patches: &Tensor, bits: usize) -> Vec<Signature> {
         assert_eq!(patches.rank(), 2, "patch matrix must be 2-D");
-        let plen = patches.shape()[1];
         assert_eq!(
-            plen,
+            patches.shape()[1],
             self.projection.input_len(),
             "patch length {} does not match projection input length {}",
-            plen,
+            patches.shape()[1],
             self.projection.input_len()
         );
-        let n = patches.shape()[0];
+        self.signatures_for_rows_prefix(patches.data(), bits)
+    }
+
+    /// Batched signature generation over a borrowed row-major `[n,
+    /// input_len]` slice: a blocked `[n, input_len] × [input_len, bits]`
+    /// product against the projection's transposed layout with sign
+    /// quantization fused into the kernel — replacing `n × bits` scalar
+    /// dot products, and never materializing the projected matrix.
+    ///
+    /// The kernel mirrors
+    /// [`gemm_blocked`](mercury_tensor::ops::gemm_blocked): fixed-width
+    /// register accumulators, accumulation in ascending input order — so
+    /// every signature is bit-identical to
+    /// [`signature_prefix`](Self::signature_prefix) of the same row. Each
+    /// accumulator block quantizes straight from registers into the
+    /// signature's bit word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of the projection input
+    /// length or `bits` exceeds the number of filters.
+    pub fn signatures_for_rows_prefix(&self, rows: &[f32], bits: usize) -> Vec<Signature> {
+        let plen = self.projection.input_len();
+        assert_eq!(
+            rows.len() % plen,
+            0,
+            "row matrix length {} is not a multiple of projection input length {plen}",
+            rows.len()
+        );
+        assert!(
+            bits <= self.signature_len(),
+            "requested {bits} bits but projection has {} filters",
+            self.signature_len()
+        );
+        let n = rows.len() / plen;
+        if bits == 0 {
+            return vec![Signature::empty(); n];
+        }
+        let t = self.projection.transposed();
+        let ldb = self.projection.num_filters();
+        const JB: usize = 16;
+        // Repack the needed filter columns into block-contiguous panels
+        // (`[block][input element][JB lanes]`, zero-padded), so the inner
+        // loop reads full fixed-width lanes with no stride and no ragged
+        // tail. Padding lanes accumulate exact zeros and are masked out of
+        // the signature word.
+        let nb = bits.div_ceil(JB);
+        let mut panels = vec![0.0f32; nb * plen * JB];
+        for bi in 0..nb {
+            let jb = bi * JB;
+            let jl = JB.min(bits - jb);
+            for p in 0..plen {
+                panels[(bi * plen + p) * JB..(bi * plen + p) * JB + jl]
+                    .copy_from_slice(&t[p * ldb + jb..p * ldb + jb + jl]);
+            }
+        }
         (0..n)
-            .map(|i| self.signature_prefix(&patches.data()[i * plen..(i + 1) * plen], bits))
+            .map(|i| {
+                let row = &rows[i * plen..(i + 1) * plen];
+                let mut word = 0u128;
+                for bi in 0..nb {
+                    let panel = &panels[bi * plen * JB..(bi + 1) * plen * JB];
+                    let mut acc = [0.0f32; JB];
+                    for (p, &aip) in row.iter().enumerate() {
+                        let lanes = &panel[p * JB..(p + 1) * JB];
+                        for (a, &tv) in acc.iter_mut().zip(lanes) {
+                            *a += aip * tv;
+                        }
+                    }
+                    let jb = bi * JB;
+                    for (lane, &a) in acc[..JB.min(bits - jb)].iter().enumerate() {
+                        word |= ((a < 0.0) as u128) << (jb + lane);
+                    }
+                }
+                Signature::from_bits(word, bits)
+            })
             .collect()
     }
 }

@@ -31,6 +31,11 @@ use mercury_tensor::rng::Rng;
 pub struct ProjectionMatrix {
     /// Filters in row-major order: `filters[j * input_len .. (j+1) * input_len]`.
     filters: Vec<f32>,
+    /// The same coefficients in `[input_len, num_filters]` row-major layout
+    /// (filter index fastest), kept in sync with `filters` so batched
+    /// signature generation can run one `[n, input_len] × [input_len, bits]`
+    /// product without transposing per call.
+    transposed: Vec<f32>,
     input_len: usize,
     num_filters: usize,
 }
@@ -53,10 +58,24 @@ impl ProjectionMatrix {
         for v in &mut filters {
             *v = rng.next_normal();
         }
-        ProjectionMatrix {
+        let mut proj = ProjectionMatrix {
             filters,
+            transposed: Vec::new(),
             input_len,
             num_filters,
+        };
+        proj.rebuild_transposed();
+        proj
+    }
+
+    fn rebuild_transposed(&mut self) {
+        self.transposed.clear();
+        self.transposed
+            .resize(self.input_len * self.num_filters, 0.0);
+        for j in 0..self.num_filters {
+            for i in 0..self.input_len {
+                self.transposed[i * self.num_filters + j] = self.filters[j * self.input_len + i];
+            }
         }
     }
 
@@ -80,6 +99,15 @@ impl ProjectionMatrix {
         &self.filters[j * self.input_len..(j + 1) * self.input_len]
     }
 
+    /// The whole matrix in `[input_len, num_filters]` row-major layout —
+    /// element `[i, j]` is component `i` of filter `j`. This is the operand
+    /// shape for batched signature generation: `patches [n, input_len] ×
+    /// transposed [input_len, num_filters]` projects every patch against
+    /// every filter in one GEMM.
+    pub fn transposed(&self) -> &[f32] {
+        &self.transposed
+    }
+
     /// Appends `extra` fresh random filters, growing the signature length
     /// without disturbing existing filters.
     ///
@@ -95,6 +123,7 @@ impl ProjectionMatrix {
             self.filters.push(rng.next_normal());
         }
         self.num_filters += extra;
+        self.rebuild_transposed();
     }
 }
 
@@ -137,6 +166,23 @@ mod tests {
         assert_eq!(p.num_filters(), 13);
         assert_eq!(p.filter(3), before.as_slice());
         assert_eq!(p.filter(12).len(), 4);
+    }
+
+    #[test]
+    fn transposed_mirrors_filters() {
+        let mut rng = Rng::new(13);
+        let mut p = ProjectionMatrix::generate(5, 7, &mut rng);
+        let check = |p: &ProjectionMatrix| {
+            for j in 0..p.num_filters() {
+                for i in 0..p.input_len() {
+                    assert_eq!(p.transposed()[i * p.num_filters() + j], p.filter(j)[i]);
+                }
+            }
+        };
+        check(&p);
+        p.extend_filters(3, &mut rng);
+        assert_eq!(p.transposed().len(), 5 * 10);
+        check(&p);
     }
 
     #[test]

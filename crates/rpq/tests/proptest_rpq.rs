@@ -87,6 +87,29 @@ proptest! {
         }
     }
 
+    /// Batched signature generation (one GEMM over the patch matrix) is
+    /// bit-identical to the per-vector scalar path, for any patch matrix
+    /// shape and any prefix length — the equivalence the engine's batched
+    /// hot path relies on.
+    #[test]
+    fn batched_signatures_match_per_vector_path(
+        seed in 0u64..10_000,
+        n in 1usize..48,
+        dim in 1usize..32,
+        bits in 1usize..28
+    ) {
+        let proj = ProjectionMatrix::generate(dim, 28, &mut Rng::new(seed));
+        let generator = SignatureGenerator::new(&proj);
+        let mut rng = Rng::new(seed ^ 0x5157);
+        let patches = mercury_tensor::Tensor::randn(&[n, dim], &mut rng);
+        let batched = generator.signatures_for_patches_prefix(&patches, bits);
+        prop_assert_eq!(batched.len(), n);
+        for (i, sig) in batched.iter().enumerate() {
+            let row = &patches.data()[i * dim..(i + 1) * dim];
+            prop_assert_eq!(*sig, generator.signature_prefix(row, bits));
+        }
+    }
+
     /// Hamming distance is a metric on equal-length signatures (symmetry +
     /// triangle inequality).
     #[test]

@@ -124,11 +124,37 @@ pub fn extract_patches(channel: &Tensor, geom: &ConvGeometry) -> Result<Tensor, 
             right: vec![geom.height, geom.width],
         });
     }
+    let mut buf = Vec::new();
+    extract_patches_into(channel.data(), geom, &mut buf)?;
+    Tensor::from_vec(buf, &[geom.num_patches(), geom.patch_len()])
+}
+
+/// Like [`extract_patches`], but reading the channel from a borrowed
+/// row-major `height × width` slice and writing the im2col matrix into a
+/// reusable buffer (resized to `num_patches × patch_len`), so per-channel
+/// hot loops allocate nothing after the first iteration.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `channel.len()` differs from
+/// `geom.height * geom.width`.
+pub fn extract_patches_into(
+    channel: &[f32],
+    geom: &ConvGeometry,
+    out: &mut Vec<f32>,
+) -> Result<(), TensorError> {
+    if channel.len() != geom.height * geom.width {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![channel.len()],
+            right: vec![geom.height, geom.width],
+        });
+    }
     let (oh, ow) = (geom.out_h(), geom.out_w());
     let plen = geom.patch_len();
-    let mut out = Tensor::zeros(&[oh * ow, plen]);
-    let data = out.data_mut();
-    let ch = channel.data();
+    out.clear();
+    out.resize(oh * ow * plen, 0.0);
+    let data = out.as_mut_slice();
+    let ch = channel;
     let mut row = 0;
     for oy in 0..oh {
         for ox in 0..ow {
@@ -153,7 +179,7 @@ pub fn extract_patches(channel: &Tensor, geom: &ConvGeometry) -> Result<Tensor, 
             row += 1;
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Convolves a `[C, H, W]` input with one `[C, k1, k2]` kernel, producing a
@@ -504,6 +530,25 @@ mod tests {
             &p.data()[0..9],
             &[0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]
         );
+    }
+
+    #[test]
+    fn extract_patches_into_matches_and_reuses_buffer() {
+        let mut rng = Rng::new(77);
+        let a = Tensor::randn(&[6, 7], &mut rng);
+        let geom_a = ConvGeometry::new(6, 7, 3, 3, 1, 1).unwrap();
+        let b = Tensor::randn(&[5, 5], &mut rng);
+        let geom_b = ConvGeometry::new(5, 5, 3, 3, 2, 0).unwrap();
+
+        let mut buf = Vec::new();
+        extract_patches_into(a.data(), &geom_a, &mut buf).unwrap();
+        assert_eq!(buf, extract_patches(&a, &geom_a).unwrap().data());
+        // Reusing the same (larger) buffer for a smaller geometry must not
+        // leak stale rows.
+        extract_patches_into(b.data(), &geom_b, &mut buf).unwrap();
+        assert_eq!(buf, extract_patches(&b, &geom_b).unwrap().data());
+
+        assert!(extract_patches_into(&[0.0; 3], &geom_b, &mut buf).is_err());
     }
 
     #[test]

@@ -74,6 +74,104 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     Ok(out)
 }
 
+/// Blocked GEMM over raw row-major slices: `out[m, n] += a[m, k] · b[k, n]`,
+/// where `b`'s rows are `ldb` elements long and only its first `n` columns
+/// participate (`ldb >= n`). The leading-dimension parameter lets callers
+/// multiply against a column prefix of a wider matrix — e.g. the first
+/// `bits` filters of a transposed projection matrix — without copying.
+///
+/// The k-dimension is tiled so a block of `b` stays cache-resident across
+/// all rows of `a`, while the innermost loop streams `out` and `b` rows
+/// contiguously (auto-vectorizable). Accumulation over `k` runs in
+/// ascending order per output element, so results are bit-identical to a
+/// sequential [`dot`] of the corresponding row and column.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `m`/`k`/`n`/`ldb` or
+/// `ldb < n`.
+pub fn gemm_blocked(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ldb: usize,
+) {
+    assert!(ldb >= n, "ldb {ldb} must be at least n {n}");
+    assert_eq!(a.len(), m * k, "a must be [m, k]");
+    assert_eq!(b.len(), k * ldb, "b must be [k, ldb]");
+    assert_eq!(out.len(), m * n, "out must be [m, n]");
+    // Register-blocked along j: full JB-wide blocks keep the running
+    // accumulator in registers across the whole k loop (the constant-width
+    // inner loop unrolls into vector ops); the sub-JB tail streams the
+    // output row instead, so no variable-length block defeats unrolling.
+    const JB: usize = 16;
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        let mut jb = 0;
+        while jb + JB <= n {
+            let mut acc = [0.0f32; JB];
+            acc.copy_from_slice(&orow[jb..jb + JB]);
+            for (p, &aip) in arow.iter().enumerate() {
+                let brow = &b[p * ldb + jb..p * ldb + jb + JB];
+                for (aj, &bv) in acc.iter_mut().zip(brow) {
+                    *aj += aip * bv;
+                }
+            }
+            orow[jb..jb + JB].copy_from_slice(&acc);
+            jb += JB;
+        }
+        if jb < n {
+            let orow = &mut orow[jb..];
+            for (p, &aip) in arow.iter().enumerate() {
+                let brow = &b[p * ldb + jb..p * ldb + n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += aip * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Blocked matrix multiplication of a `[m, k]` tensor by a `[k, n]` tensor.
+///
+/// Same contract as [`matmul`], computed via [`gemm_blocked`]: tiled over
+/// the inner dimension for cache locality, with per-element accumulation in
+/// ascending `k` order (bit-identical to [`dot`] of row and column).
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-2-D operands and
+/// [`TensorError::ShapeMismatch`] when the inner dimensions differ.
+pub fn matmul_blocked(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: a.rank(),
+        });
+    }
+    if b.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: b.rank(),
+        });
+    }
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().to_vec(),
+            right: b.shape().to_vec(),
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    gemm_blocked(out.data_mut(), a.data(), b.data(), m, k, n, n);
+    Ok(out)
+}
+
 /// Transpose of a 2-D tensor.
 ///
 /// # Errors
@@ -188,6 +286,80 @@ mod tests {
             matmul(&v, &b).unwrap_err(),
             TensorError::RankMismatch { .. }
         ));
+    }
+
+    #[test]
+    fn matmul_blocked_matches_matmul() {
+        let mut rng = Rng::new(17);
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 4),
+            (17, 130, 9),
+            (64, 9, 20),
+        ] {
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[k, n], &mut rng);
+            let plain = matmul(&a, &b).unwrap();
+            let blocked = matmul_blocked(&a, &b).unwrap();
+            assert_eq!(blocked.shape(), plain.shape());
+            for (x, y) in blocked.data().iter().zip(plain.data()) {
+                assert!((x - y).abs() < 1e-4, "blocked {x} vs plain {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_blocked_is_bit_identical_to_dot() {
+        // The engine's equivalence contract depends on gemm accumulating in
+        // the same order as `dot`: identical bits, not merely close.
+        let mut rng = Rng::new(18);
+        let (m, k, n) = (7, 200, 13);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let bt = transpose(&b).unwrap();
+        let mut out = vec![0.0; m * n];
+        gemm_blocked(&mut out, a.data(), b.data(), m, k, n, n);
+        for i in 0..m {
+            for j in 0..n {
+                let want = dot(
+                    &a.data()[i * k..(i + 1) * k],
+                    &bt.data()[j * k..(j + 1) * k],
+                );
+                assert!(
+                    out[i * n + j].to_bits() == want.to_bits(),
+                    "gemm[{i},{j}] = {} differs in bits from dot {}",
+                    out[i * n + j],
+                    want
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_blocked_column_prefix_via_ldb() {
+        // Multiplying against the first n columns of a wider matrix (the
+        // signature-prefix case) must agree with a copied-out prefix.
+        let mut rng = Rng::new(19);
+        let (m, k, full, n) = (5, 9, 24, 10);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, full], &mut rng);
+        let mut prefix = Tensor::zeros(&[k, n]);
+        for p in 0..k {
+            for j in 0..n {
+                prefix.set(&[p, j], b.at(&[p, j]));
+            }
+        }
+        let mut wide = vec![0.0; m * n];
+        gemm_blocked(&mut wide, a.data(), b.data(), m, k, n, full);
+        let narrow = matmul_blocked(&a, &prefix).unwrap();
+        assert_eq!(wide.as_slice(), narrow.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "ldb")]
+    fn gemm_blocked_rejects_narrow_ldb() {
+        let mut out = vec![0.0; 4];
+        gemm_blocked(&mut out, &[1.0, 2.0], &[1.0, 2.0], 2, 1, 2, 1);
     }
 
     #[test]

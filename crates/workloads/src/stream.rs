@@ -92,6 +92,17 @@ impl VectorStream {
     ///
     /// The cache is cleared first — each stream models one channel, and
     /// channels restart MCACHE (§III-B3).
+    ///
+    /// Only a cluster's *first* occurrence physically probes the cache;
+    /// repeats replay its steady outcome, which is invariant within a
+    /// channel: an inserted tag (MAU, or a HIT on a colliding signature)
+    /// stays resident — no replacement, no tag invalidation short of
+    /// `clear` — so every later probe of that cluster is a HIT on the same
+    /// entry, and a full set (MNU) only ever fills further, so every later
+    /// probe stays an MNU. Outcome vectors are bit-identical to probing
+    /// each vector; the cache's aggregate hit/miss counters tally distinct
+    /// clusters rather than raw probes (`insert_conflicts`, which only
+    /// first occurrences can raise, is unaffected).
     pub fn probe(&self, cache: &mut MCache, rng: &mut Rng) -> (Vec<HitKind>, u64) {
         let ids = self.cluster_ids(rng);
         let max_id = ids.iter().copied().max().unwrap_or(0);
@@ -105,9 +116,18 @@ impl VectorStream {
         cache.clear();
         cache.begin_insert_batch();
         let before = cache.stats().insert_conflicts;
+        let mut first_outcome: Vec<Option<HitKind>> = vec![None; sigs.len()];
         let outcomes: Vec<HitKind> = ids
             .iter()
-            .map(|&id| cache.probe_insert(sigs[id]).kind)
+            .map(|&id| match first_outcome[id] {
+                Some(HitKind::Mnu) => HitKind::Mnu,
+                Some(_) => HitKind::Hit,
+                None => {
+                    let kind = cache.probe_insert(sigs[id]).kind;
+                    first_outcome[id] = Some(kind);
+                    kind
+                }
+            })
             .collect();
         let conflicts = cache.stats().insert_conflicts - before;
         (outcomes, conflicts)

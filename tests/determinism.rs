@@ -6,9 +6,11 @@
 //! sharded/threaded execution has to reduce to the same stats as the
 //! sequential reference for the same `mercury_tensor::rng` seed.
 
-use mercury_bench::{simulate_model, ModelSimConfig};
+use mercury_bench::{
+    simulate_model, simulate_model_serial, simulate_model_with_workers, ModelSimConfig,
+};
 use mercury_core::{ConvEngine, FcEngine, MercuryConfig};
-use mercury_models::vgg13;
+use mercury_models::{mobilenet_v2, transformer, vgg13};
 use mercury_tensor::rng::Rng;
 use mercury_tensor::Tensor;
 
@@ -105,4 +107,48 @@ fn model_simulation_is_bit_identical_for_equal_configs() {
     };
     let c = simulate_model(&vgg13(), &different_seed);
     assert_ne!(a, c, "simulation seed has no observable effect");
+}
+
+#[test]
+fn sharded_simulation_matches_serial_reference() {
+    // The sharded `simulate_model` distributes layers across threads; every
+    // (layer, pass) is independently seeded, so the full per-layer report —
+    // stats, cycle accounting, detection flags — must be bit-identical to
+    // the serial reference, for every model family (conv-heavy, depthwise,
+    // and attention).
+    let cfg = ModelSimConfig {
+        sampled_channels: 2,
+        ..ModelSimConfig::default()
+    };
+    for spec in [vgg13(), mobilenet_v2(), transformer()] {
+        let serial = simulate_model_serial(&spec, &cfg);
+        // Pin an explicit multi-worker run: on single-core machines the
+        // auto-sized `simulate_model` would fall back to serial and this
+        // test would silently compare serial against itself.
+        for workers in [2, 4] {
+            let sharded = simulate_model_with_workers(&spec, &cfg, workers);
+            assert_eq!(
+                sharded, serial,
+                "{}-worker and serial reports diverge for {}",
+                workers, spec.name
+            );
+        }
+        let auto = simulate_model(&spec, &cfg);
+        assert_eq!(
+            auto, serial,
+            "auto-sized sharded report diverges for {}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn sharded_simulation_bitwise_stable_across_runs() {
+    // Thread scheduling must not leak into results: repeated sharded runs
+    // agree exactly, including totals.
+    let cfg = ModelSimConfig::default();
+    let a = simulate_model(&mobilenet_v2(), &cfg);
+    let b = simulate_model(&mobilenet_v2(), &cfg);
+    assert_eq!(a, b);
+    assert_eq!(a.total_cycles(), b.total_cycles());
 }
