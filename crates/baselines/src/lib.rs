@@ -18,9 +18,15 @@
 //! * [`unlimited_similarity`] — skip every repeated `(input element,
 //!   weight element)` product, with repeats measured on quantized
 //!   synthetic activations.
+//!
+//! The [`measured`] module adds a non-idealized companion number: a real
+//! [`MercurySession`](mercury_core::MercurySession) streamed over a
+//! synthetic tiled workload, with the speedup read from the engine's own
+//! cycle ledger rather than assumed.
 
 #![warn(missing_docs)]
 
+pub mod measured;
 pub mod ucnn;
 pub mod unlimited_similarity;
 pub mod zero_prune;

@@ -1,8 +1,10 @@
 //! End-to-end benchmarks of the MERCURY convolution engine against exact
-//! convolution, on high- and low-similarity inputs.
+//! convolution, on high- and low-similarity inputs — in batch mode
+//! (MCACHE cleared per forward, the PR 2 numbers) and in session mode
+//! (persistent banked MCACHE, no per-forward clear, eviction by epoch).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mercury_core::{ConvEngine, MercuryConfig};
+use mercury_core::{ConvEngine, LayerOp, MercuryConfig, MercurySession, ReuseEngine};
 use mercury_tensor::conv::conv2d_multi;
 use mercury_tensor::rng::Rng;
 use mercury_tensor::Tensor;
@@ -20,20 +22,33 @@ fn bench_exact_vs_mercury(c: &mut Criterion) {
         b.iter(|| conv2d_multi(black_box(&random_input), &kernels, 1, 1).unwrap())
     });
     group.bench_function("mercury_random_input", |b| {
-        let mut engine = ConvEngine::new(MercuryConfig::default(), 1);
+        let mut engine = ConvEngine::try_new(MercuryConfig::default(), 1).unwrap();
         b.iter(|| {
             engine
-                .forward(black_box(&random_input), &kernels, 1, 1)
+                .forward(LayerOp::conv(black_box(&random_input), &kernels, 1, 1))
                 .unwrap()
         })
     });
     group.bench_function("mercury_smooth_input", |b| {
-        let mut engine = ConvEngine::new(MercuryConfig::default(), 2);
+        let mut engine = ConvEngine::try_new(MercuryConfig::default(), 2).unwrap();
         b.iter(|| {
             engine
-                .forward(black_box(&smooth_input), &kernels, 1, 1)
+                .forward(LayerOp::conv(black_box(&smooth_input), &kernels, 1, 1))
                 .unwrap()
         })
+    });
+    // Session mode: the persistent cache pays cold-start once (outside the
+    // timed region via the shim's warm-up iteration), then every timed
+    // submit runs against resident tags with no per-forward clear.
+    group.bench_function("session_smooth_input", |b| {
+        let mut session = MercurySession::new(MercuryConfig::default(), 2).unwrap();
+        let conv = session.register_conv(kernels.clone(), 1, 1).unwrap();
+        b.iter(|| session.submit(conv, black_box(&smooth_input)).unwrap())
+    });
+    group.bench_function("session_random_input", |b| {
+        let mut session = MercurySession::new(MercuryConfig::default(), 1).unwrap();
+        let conv = session.register_conv(kernels.clone(), 1, 1).unwrap();
+        b.iter(|| session.submit(conv, black_box(&random_input)).unwrap())
     });
     group.finish();
 }

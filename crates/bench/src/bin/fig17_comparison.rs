@@ -6,7 +6,7 @@
 //! 6-bit; beats unlimited zero pruning by ~4% and unlimited similarity by
 //! ~2% on average.
 
-use mercury_baselines::{ucnn, unlimited_similarity, zero_prune};
+use mercury_baselines::{measured, ucnn, unlimited_similarity, zero_prune};
 use mercury_bench::{simulate_model, ModelSimConfig};
 use mercury_models::all_models;
 use mercury_tensor::rng::Rng;
@@ -45,5 +45,15 @@ fn main() {
         ucnn::accuracy_drop_percent(6),
         ucnn::accuracy_drop_percent(7),
         ucnn::accuracy_drop_percent(8)
+    );
+    // Unlike the upper bounds above, this one is *measured*: a real
+    // MercurySession streamed over a tiled workload, speedup read off the
+    // engine's cycle ledger.
+    let m = measured::conv_session_measurement(32, 4, 8, 1717).expect("default config is valid");
+    println!(
+        "# Measured session-mode MERCURY (32x32 img, 4px tiles, 8 submits): \
+         {:.3}x at {:.1}% reuse",
+        m.speedup,
+        100.0 * m.similarity
     );
 }

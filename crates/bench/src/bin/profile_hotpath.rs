@@ -7,7 +7,7 @@
 
 use mercury_accel::sim::{ChannelWork, LayerSim};
 use mercury_bench::{f3, tsv_header, ModelSimConfig};
-use mercury_core::{ConvEngine, MercuryConfig};
+use mercury_core::{ConvEngine, LayerOp, MercuryConfig, MercurySession, ReuseEngine};
 use mercury_mcache::MCache;
 use mercury_rpq::Signature;
 use mercury_tensor::rng::Rng;
@@ -32,7 +32,13 @@ fn main() {
 
     let t = Instant::now();
     let ids = stream.cluster_ids(&mut rng);
-    println!("stream/cluster_ids\t{}", f3(us(t)));
+    println!("stream/cluster_ids_cold\t{}", f3(us(t)));
+
+    // Same (stream, state) again: served from the process-wide memo.
+    let t = Instant::now();
+    let ids_memo = stream.cluster_ids(&mut Rng::new(1));
+    println!("stream/cluster_ids_memoized\t{}", f3(us(t)));
+    assert_eq!(ids, ids_memo);
 
     let t = Instant::now();
     let (outcomes, conflicts) = stream.probe(&mut cache, &mut rng);
@@ -97,16 +103,37 @@ fn main() {
     let kernels = Tensor::randn(&[16, 8, 3, 3], &mut erng);
     let random_input = Tensor::randn(&[8, 16, 16], &mut erng);
     let smooth_input = Tensor::full(&[8, 16, 16], 0.7);
-    let mut engine = ConvEngine::new(MercuryConfig::default(), 1);
-    engine.forward(&random_input, &kernels, 1, 1).unwrap(); // warm-up
+    let mut engine = ConvEngine::try_new(MercuryConfig::default(), 1).unwrap();
+    let fwd = |engine: &mut ConvEngine, input: &Tensor| {
+        engine
+            .forward(LayerOp::conv(input, &kernels, 1, 1))
+            .unwrap()
+    };
+    fwd(&mut engine, &random_input); // warm-up
     let t = Instant::now();
     for _ in 0..runs {
-        engine.forward(&random_input, &kernels, 1, 1).unwrap();
+        fwd(&mut engine, &random_input);
     }
     println!("engine/forward_random\t{}", f3(us(t) / runs as f64));
     let t = Instant::now();
     for _ in 0..runs {
-        engine.forward(&smooth_input, &kernels, 1, 1).unwrap();
+        fwd(&mut engine, &smooth_input);
     }
     println!("engine/forward_smooth\t{}", f3(us(t) / runs as f64));
+
+    // Session mode at the same shape: persistent banked MCACHE, no
+    // per-forward clear — the streaming hot path.
+    let mut session = MercurySession::new(MercuryConfig::default(), 1).unwrap();
+    let conv = session.register_conv(kernels.clone(), 1, 1).unwrap();
+    session.submit(conv, &smooth_input).unwrap(); // warm-up + tag fill
+    let t = Instant::now();
+    for _ in 0..runs {
+        session.submit(conv, &smooth_input).unwrap();
+    }
+    println!("session/submit_smooth_warm\t{}", f3(us(t) / runs as f64));
+    let t = Instant::now();
+    for _ in 0..runs {
+        session.advance_epoch();
+    }
+    println!("session/advance_epoch\t{}", f3(us(t) / runs as f64));
 }

@@ -320,7 +320,7 @@ fn conv_kernel_sizes(spec: &ModelSpec) -> Vec<(usize, usize)> {
 /// the per-layer report.
 ///
 /// Layers are sharded across `std::thread::scope` workers: every
-/// `(layer, pass)` is seeded independently (see [`layer_pass_seed`]), so
+/// `(layer, pass)` is seeded independently (see `layer_pass_seed` in the module source), so
 /// reports are bit-identical to [`simulate_model_serial`] — the contract
 /// `tests/determinism.rs` pins — while wall-clock time drops with core
 /// count.

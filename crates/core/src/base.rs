@@ -1,0 +1,409 @@
+//! Shared engine plumbing: the state every reuse engine carries (config,
+//! cache, RNG, projection matrices, signature length, detection flag) and
+//! the [`EngineCache`] abstraction that lets one hot path run against
+//! either the monolithic per-scope MCACHE of §III-B3 or the banked,
+//! epoch-evicted MCACHE of §V that [`MercurySession`](crate::MercurySession)
+//! streams through.
+
+use crate::config::ConfigError;
+use crate::MercuryConfig;
+use mercury_mcache::banked::{BankedEntryId, BankedMCache};
+use mercury_mcache::{AccessOutcome, EntryId, MCache, MCacheConfig, MCacheStats, McacheError};
+use mercury_rpq::{ProjectionMatrix, Signature, SignatureGenerator};
+use mercury_tensor::rng::Rng;
+use mercury_tensor::Tensor;
+use std::collections::HashMap;
+
+/// An engine's MCACHE, monolithic or banked, addressed through flattened
+/// [`EntryId`]s.
+///
+/// Banked entries are flattened by stacking the banks' set ranges:
+/// bank `b`, set `s` becomes flat set `b * sets_per_bank + s`. The flat id
+/// space keeps the engines' per-entry scratch arrays (`entry_row`,
+/// `entry_group`, producer maps) oblivious to banking.
+#[derive(Debug)]
+pub(crate) enum EngineCache {
+    /// One monolithic cache, restarted per reuse scope (§III-B3). Boxed
+    /// so the enum stays small next to the `Banked` variant.
+    Mono(Box<MCache>),
+    /// Bank-partitioned cache (§V), persisted across scopes and evicted by
+    /// epoch.
+    Banked {
+        /// The banks.
+        banks: BankedMCache,
+        /// Sets per bank, for flattening entry ids.
+        sets_per_bank: usize,
+    },
+}
+
+/// Expands to the six [`ReuseEngine`](crate::ReuseEngine) lifecycle
+/// methods, delegating to the engine's `base: EngineBase` field. Every
+/// engine family uses this inside its trait impl so the lifecycle
+/// behaviour (including the grow-time persistent-cache flush) can never
+/// diverge between families; only `forward`/`forward_reusing` are written
+/// per engine.
+macro_rules! reuse_engine_lifecycle {
+    () => {
+        fn signature_bits(&self) -> usize {
+            self.base.signature_bits
+        }
+
+        fn grow_signature(&mut self) -> usize {
+            self.base.grow_signature()
+        }
+
+        fn set_detection(&mut self, enabled: bool) {
+            self.base.detection_enabled = enabled;
+        }
+
+        fn detection_enabled(&self) -> bool {
+            self.base.detection_enabled
+        }
+
+        fn config(&self) -> &crate::MercuryConfig {
+            &self.base.config
+        }
+
+        fn end_epoch(&mut self) {
+            self.base.end_epoch();
+        }
+    };
+}
+pub(crate) use reuse_engine_lifecycle;
+
+/// The single owner of the bank-split constraint: `banks` must be
+/// positive and divide `sets` with at least one set per bank. Returns the
+/// resulting sets-per-bank. Both [`EngineCache::banked`] and
+/// `MercurySession` construction validate through here so the two can
+/// never drift.
+pub(crate) fn validate_bank_split(sets: usize, banks: usize) -> Result<usize, ConfigError> {
+    if banks == 0 {
+        return Err(ConfigError::ZeroBanks);
+    }
+    if sets % banks != 0 || sets / banks == 0 {
+        return Err(ConfigError::BankSplit { sets, banks });
+    }
+    Ok(sets / banks)
+}
+
+impl EngineCache {
+    /// A monolithic cache with the configured geometry.
+    pub fn mono(config: MCacheConfig) -> Self {
+        EngineCache::Mono(Box::new(MCache::new(config)))
+    }
+
+    /// Splits the configured geometry across `num_banks` banks.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ZeroBanks`] for zero banks and
+    /// [`ConfigError::BankSplit`] when the set count does not divide
+    /// evenly (each bank must keep at least one set).
+    pub fn banked(config: MCacheConfig, num_banks: usize) -> Result<Self, ConfigError> {
+        let sets_per_bank = validate_bank_split(config.sets, num_banks)?;
+        let per_bank = MCacheConfig::new(sets_per_bank, config.ways, config.versions)
+            .expect("per-bank geometry is positive by construction");
+        let banks =
+            BankedMCache::new(num_banks, per_bank).expect("bank count checked positive above");
+        Ok(EngineCache::Banked {
+            banks,
+            sets_per_bank,
+        })
+    }
+
+    fn unflatten(sets_per_bank: usize, id: EntryId) -> BankedEntryId {
+        BankedEntryId {
+            bank: id.set / sets_per_bank,
+            entry: EntryId {
+                set: id.set % sets_per_bank,
+                way: id.way,
+            },
+        }
+    }
+
+    /// Probes for a signature, inserting on a miss; banked entries come
+    /// back with flattened set indices.
+    pub fn probe_insert(&mut self, sig: Signature) -> AccessOutcome {
+        match self {
+            EngineCache::Mono(cache) => cache.probe_insert(sig),
+            EngineCache::Banked {
+                banks,
+                sets_per_bank,
+            } => {
+                let out = banks.probe_insert(sig);
+                AccessOutcome {
+                    kind: out.kind(),
+                    entry: out.entry().map(|id| EntryId {
+                        set: id.bank * *sets_per_bank + id.entry.set,
+                        way: id.entry.way,
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Writes a data version through a flattened entry id.
+    pub fn write(&mut self, id: EntryId, version: usize, value: f32) -> Result<(), McacheError> {
+        match self {
+            EngineCache::Mono(cache) => cache.write(id, version, value),
+            EngineCache::Banked {
+                banks,
+                sets_per_bank,
+            } => banks.write(Self::unflatten(*sets_per_bank, id), version, value),
+        }
+    }
+
+    /// Counted read through a flattened entry id.
+    pub fn read_counted(&mut self, id: EntryId, version: usize) -> Option<f32> {
+        match self {
+            EngineCache::Mono(cache) => cache.read_counted(id, version),
+            EngineCache::Banked {
+                banks,
+                sets_per_bank,
+            } => banks.read_counted(Self::unflatten(*sets_per_bank, id), version),
+        }
+    }
+
+    /// Flash-clears every VD bit (filter advance, §III-C1).
+    pub fn invalidate_all_data(&mut self) {
+        match self {
+            EngineCache::Mono(cache) => cache.invalidate_all_data(),
+            EngineCache::Banked { banks, .. } => banks.invalidate_all_data(),
+        }
+    }
+
+    /// Evicts everything: tags and data.
+    pub fn clear(&mut self) {
+        match self {
+            EngineCache::Mono(cache) => cache.clear(),
+            EngineCache::Banked { banks, .. } => banks.clear(),
+        }
+    }
+
+    /// Starts a new insertion batch window (per-set conflict counting).
+    pub fn begin_insert_batch(&mut self) {
+        match self {
+            EngineCache::Mono(cache) => cache.begin_insert_batch(),
+            EngineCache::Banked { banks, .. } => banks.begin_insert_batch(),
+        }
+    }
+
+    /// Lifetime counters (summed over banks).
+    pub fn stats(&self) -> MCacheStats {
+        match self {
+            EngineCache::Mono(cache) => cache.stats(),
+            EngineCache::Banked { banks, .. } => banks.stats(),
+        }
+    }
+
+    /// Ways per set (uniform across banks).
+    pub fn ways(&self) -> usize {
+        match self {
+            EngineCache::Mono(cache) => cache.config().ways,
+            EngineCache::Banked { banks, .. } => banks.bank_config().ways,
+        }
+    }
+
+    /// Total entries across the whole cache.
+    pub fn total_entries(&self) -> usize {
+        match self {
+            EngineCache::Mono(cache) => cache.config().entries(),
+            EngineCache::Banked { banks, .. } => banks.entries(),
+        }
+    }
+}
+
+/// State shared by every engine family — the fields the old `ConvEngine` /
+/// `FcEngine` pair used to copy-paste.
+#[derive(Debug)]
+pub(crate) struct EngineBase {
+    pub config: MercuryConfig,
+    pub cache: EngineCache,
+    /// Persistent engines keep MCACHE state across reuse scopes and evict
+    /// only at epoch boundaries; batch engines restart per scope.
+    pub persistent: bool,
+    rng: Rng,
+    /// One projection matrix per vector length, grown lazily.
+    projections: HashMap<usize, ProjectionMatrix>,
+    pub signature_bits: usize,
+    pub detection_enabled: bool,
+}
+
+impl EngineBase {
+    /// Batch-mode base: monolithic cache, cleared per reuse scope.
+    pub fn new(config: MercuryConfig, seed: u64) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(EngineBase {
+            config,
+            cache: EngineCache::mono(config.cache),
+            persistent: false,
+            rng: Rng::new(seed),
+            projections: HashMap::new(),
+            signature_bits: config.initial_signature_bits,
+            detection_enabled: true,
+        })
+    }
+
+    /// Persistent base: banked cache, evicted only by
+    /// [`end_epoch`](Self::end_epoch).
+    pub fn persistent(config: MercuryConfig, seed: u64, banks: usize) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(EngineBase {
+            config,
+            cache: EngineCache::banked(config.cache, banks)?,
+            persistent: true,
+            rng: Rng::new(seed),
+            projections: HashMap::new(),
+            signature_bits: config.initial_signature_bits,
+            detection_enabled: true,
+        })
+    }
+
+    /// Opens a reuse scope (a channel for conv, a call for FC/attention):
+    /// batch engines restart the cache, persistent engines keep it; both
+    /// start a fresh insertion-conflict window.
+    pub fn begin_reuse_scope(&mut self) {
+        if !self.persistent {
+            self.cache.clear();
+        }
+        self.cache.begin_insert_batch();
+    }
+
+    /// Evicts all MCACHE state (tags and data) — the epoch boundary.
+    pub fn end_epoch(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Grows the signature by one bit, up to the configured maximum.
+    ///
+    /// A persistent cache is flushed when the length actually changes:
+    /// tags at the old length can never match again (signatures compare
+    /// length-sensitively) but would keep occupying ways under the
+    /// no-replacement policy, silently turning every later probe into an
+    /// MNU — "MCACHE is flushed whenever the signature length grows", as
+    /// the hardware does. Batch engines restart per reuse scope anyway.
+    pub fn grow_signature(&mut self) -> usize {
+        if self.signature_bits < self.config.max_signature_bits {
+            self.signature_bits += 1;
+            if self.persistent {
+                self.cache.clear();
+            }
+        }
+        self.signature_bits
+    }
+
+    /// The projection matrix for vectors of `len` elements, generated (or
+    /// extended to the current signature length) on demand.
+    pub fn projection_for(&mut self, len: usize) -> &ProjectionMatrix {
+        let bits = self.signature_bits;
+        let rng = &mut self.rng;
+        let proj = self
+            .projections
+            .entry(len)
+            .or_insert_with(|| ProjectionMatrix::generate(len, bits, rng));
+        if proj.num_filters() < bits {
+            proj.extend_filters(bits - proj.num_filters(), rng);
+        }
+        proj
+    }
+
+    /// Signatures for the rows of a `[n, len]` tensor at the current
+    /// signature length.
+    pub fn signatures_for_rows(&mut self, rows: &Tensor) -> Vec<Signature> {
+        let len = rows.shape()[1];
+        let bits = self.signature_bits;
+        let proj = self.projection_for(len);
+        let generator = SignatureGenerator::new(proj);
+        generator.signatures_for_patches_prefix(rows, bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercury_mcache::HitKind;
+
+    fn sig(bits: u128) -> Signature {
+        Signature::from_bits(bits, 20)
+    }
+
+    #[test]
+    fn banked_flat_ids_round_trip() {
+        let mut cache = EngineCache::banked(MCacheConfig::new(8, 2, 1).unwrap(), 4).unwrap();
+        assert_eq!(cache.total_entries(), 16);
+        assert_eq!(cache.ways(), 2);
+        for i in 0..40u128 {
+            let out = cache.probe_insert(sig(i));
+            if let Some(entry) = out.entry {
+                assert!(entry.set < 8, "flat set {} out of range", entry.set);
+                if out.kind == HitKind::Mau {
+                    cache.write(entry, 0, i as f32).unwrap();
+                    assert_eq!(cache.read_counted(entry, 0), Some(i as f32));
+                }
+            }
+        }
+        // Same signature must flatten to the same entry again.
+        let a = cache.probe_insert(sig(1));
+        let b = cache.probe_insert(sig(1));
+        assert_eq!(a.entry, b.entry);
+        assert_eq!(b.kind, HitKind::Hit);
+    }
+
+    #[test]
+    fn banked_rejects_bad_splits() {
+        let cfg = MCacheConfig::new(8, 2, 1).unwrap();
+        assert_eq!(
+            EngineCache::banked(cfg, 0).unwrap_err(),
+            ConfigError::ZeroBanks
+        );
+        assert_eq!(
+            EngineCache::banked(cfg, 3).unwrap_err(),
+            ConfigError::BankSplit { sets: 8, banks: 3 }
+        );
+        assert_eq!(
+            EngineCache::banked(cfg, 16).unwrap_err(),
+            ConfigError::BankSplit { sets: 8, banks: 16 }
+        );
+    }
+
+    #[test]
+    fn growing_signature_flushes_persistent_tags() {
+        let config = MercuryConfig::default();
+        let mut p = EngineBase::persistent(config, 1, 8).unwrap();
+        p.cache.probe_insert(sig(5));
+        p.grow_signature();
+        // The old-length tag was evicted, so the entry is re-insertable
+        // rather than left as unmatchable dead weight in the set.
+        assert_eq!(p.cache.probe_insert(sig(5)).kind, HitKind::Mau);
+
+        // Saturated growth changes nothing and must not flush.
+        let saturated = MercuryConfig {
+            initial_signature_bits: 64,
+            ..config
+        };
+        let mut s = EngineBase::persistent(saturated, 1, 8).unwrap();
+        s.cache.probe_insert(Signature::from_bits(6, 64));
+        s.grow_signature();
+        assert_eq!(
+            s.cache.probe_insert(Signature::from_bits(6, 64)).kind,
+            HitKind::Hit
+        );
+    }
+
+    #[test]
+    fn persistent_scope_keeps_tags_batch_scope_drops_them() {
+        let config = MercuryConfig::default();
+        let mut batch = EngineBase::new(config, 1).unwrap();
+        batch.cache.probe_insert(sig(9));
+        batch.begin_reuse_scope();
+        assert_eq!(batch.cache.probe_insert(sig(9)).kind, HitKind::Mau);
+
+        let mut persistent = EngineBase::persistent(config, 1, 8).unwrap();
+        persistent.cache.probe_insert(sig(9));
+        persistent.begin_reuse_scope();
+        assert_eq!(persistent.cache.probe_insert(sig(9)).kind, HitKind::Hit);
+        persistent.end_epoch();
+        persistent.begin_reuse_scope();
+        assert_eq!(persistent.cache.probe_insert(sig(9)).kind, HitKind::Mau);
+    }
+}

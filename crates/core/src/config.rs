@@ -1,5 +1,71 @@
 use mercury_accel::config::AcceleratorConfig;
 use mercury_mcache::MCacheConfig;
+use std::error::Error;
+use std::fmt;
+
+/// A structurally invalid [`MercuryConfig`].
+///
+/// Every way a configuration can be rejected is its own variant, so
+/// callers can match on the failure instead of parsing a message — the
+/// typed replacement for the old `Result<(), String>` validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `initial_signature_bits` was zero; signatures need at least one bit.
+    ZeroInitialSignatureBits,
+    /// `max_signature_bits` was below `initial_signature_bits`, leaving the
+    /// adaptive growth of §III-D nowhere to go.
+    SignatureBoundsInverted {
+        /// Configured starting length.
+        initial: usize,
+        /// Configured (smaller) upper bound.
+        max: usize,
+    },
+    /// `max_signature_bits` exceeded what [`mercury_rpq`] can represent.
+    SignatureBitsUnsupported {
+        /// Configured upper bound.
+        max: usize,
+        /// Largest supported length ([`mercury_rpq::MAX_SIGNATURE_BITS`]).
+        supported: usize,
+    },
+    /// The plateau window `K` was zero.
+    ZeroPlateauWindow,
+    /// The stoppage window `T` was zero.
+    ZeroStoppageWindow,
+    /// A session/banked engine was asked to split the cache across a bank
+    /// count that does not divide the set count evenly.
+    BankSplit {
+        /// Total sets in the configured cache.
+        sets: usize,
+        /// Requested bank count.
+        banks: usize,
+    },
+    /// A banked engine was requested with zero banks.
+    ZeroBanks,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroInitialSignatureBits => {
+                write!(f, "initial signature length must be positive")
+            }
+            ConfigError::SignatureBoundsInverted { initial, max } => {
+                write!(f, "max signature bits {max} below initial {initial}")
+            }
+            ConfigError::SignatureBitsUnsupported { max, supported } => {
+                write!(f, "max signature bits {max} exceeds supported {supported}")
+            }
+            ConfigError::ZeroPlateauWindow => write!(f, "plateau window must be positive"),
+            ConfigError::ZeroStoppageWindow => write!(f, "stoppage window must be positive"),
+            ConfigError::BankSplit { sets, banks } => {
+                write!(f, "{banks} banks do not divide {sets} cache sets evenly")
+            }
+            ConfigError::ZeroBanks => write!(f, "need at least one cache bank"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
 
 /// Configuration of the full MERCURY system.
 ///
@@ -8,6 +74,11 @@ use mercury_mcache::MCacheConfig;
 /// at most 64 bits, K = 5 plateau iterations per growth step, and T = 3
 /// consecutive losing batches before a layer's similarity detection is
 /// switched off.
+///
+/// Prefer [`MercuryConfig::builder`] for constructing non-default
+/// configurations: the builder funnels every instance through
+/// [`validate`](Self::validate) and reports failures as a typed
+/// [`ConfigError`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MercuryConfig {
     /// Simulated accelerator (PE count, dataflow, sync/async design).
@@ -30,31 +101,41 @@ pub struct MercuryConfig {
 }
 
 impl MercuryConfig {
+    /// Starts a builder seeded with the paper-default configuration.
+    pub fn builder() -> MercuryConfigBuilder {
+        MercuryConfigBuilder {
+            config: MercuryConfig::default(),
+        }
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
     ///
-    /// Returns a message when signature bounds are inverted or zero, or
-    /// windows are zero.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the [`ConfigError`] variant describing the first violated
+    /// constraint: inverted or zero signature bounds, or zero adaptation
+    /// windows.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.initial_signature_bits == 0 {
-            return Err("initial signature length must be positive".to_string());
+            return Err(ConfigError::ZeroInitialSignatureBits);
         }
         if self.max_signature_bits < self.initial_signature_bits {
-            return Err(format!(
-                "max signature bits {} below initial {}",
-                self.max_signature_bits, self.initial_signature_bits
-            ));
+            return Err(ConfigError::SignatureBoundsInverted {
+                initial: self.initial_signature_bits,
+                max: self.max_signature_bits,
+            });
         }
         if self.max_signature_bits > mercury_rpq::MAX_SIGNATURE_BITS {
-            return Err(format!(
-                "max signature bits {} exceeds supported {}",
-                self.max_signature_bits,
-                mercury_rpq::MAX_SIGNATURE_BITS
-            ));
+            return Err(ConfigError::SignatureBitsUnsupported {
+                max: self.max_signature_bits,
+                supported: mercury_rpq::MAX_SIGNATURE_BITS,
+            });
         }
-        if self.plateau_window == 0 || self.stoppage_window == 0 {
-            return Err("adaptation windows must be positive".to_string());
+        if self.plateau_window == 0 {
+            return Err(ConfigError::ZeroPlateauWindow);
+        }
+        if self.stoppage_window == 0 {
+            return Err(ConfigError::ZeroStoppageWindow);
         }
         Ok(())
     }
@@ -74,6 +155,83 @@ impl Default for MercuryConfig {
     }
 }
 
+/// Typed builder for [`MercuryConfig`].
+///
+/// Starts from the paper defaults; every setter overrides one field and
+/// [`build`](Self::build) validates the result once, returning a
+/// [`ConfigError`] instead of panicking or stringly-typed failure.
+///
+/// # Examples
+///
+/// ```
+/// use mercury_core::MercuryConfig;
+///
+/// let config = MercuryConfig::builder()
+///     .initial_signature_bits(16)
+///     .max_signature_bits(48)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(config.initial_signature_bits, 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MercuryConfigBuilder {
+    config: MercuryConfig,
+}
+
+impl MercuryConfigBuilder {
+    /// Sets the simulated accelerator.
+    pub fn accelerator(mut self, accelerator: AcceleratorConfig) -> Self {
+        self.config.accelerator = accelerator;
+        self
+    }
+
+    /// Sets the MCACHE geometry.
+    pub fn cache(mut self, cache: MCacheConfig) -> Self {
+        self.config.cache = cache;
+        self
+    }
+
+    /// Sets the starting signature length in bits.
+    pub fn initial_signature_bits(mut self, bits: usize) -> Self {
+        self.config.initial_signature_bits = bits;
+        self
+    }
+
+    /// Sets the upper bound on adaptive signature growth.
+    pub fn max_signature_bits(mut self, bits: usize) -> Self {
+        self.config.max_signature_bits = bits;
+        self
+    }
+
+    /// Sets the plateau window `K` (§III-D).
+    pub fn plateau_window(mut self, window: usize) -> Self {
+        self.config.plateau_window = window;
+        self
+    }
+
+    /// Sets the relative plateau tolerance.
+    pub fn plateau_tolerance(mut self, tolerance: f64) -> Self {
+        self.config.plateau_tolerance = tolerance;
+        self
+    }
+
+    /// Sets the stoppage window `T` (§III-D).
+    pub fn stoppage_window(mut self, window: usize) -> Self {
+        self.config.stoppage_window = window;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] the configuration violates.
+    pub fn build(self) -> Result<MercuryConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,19 +246,72 @@ mod tests {
     }
 
     #[test]
-    fn validation_catches_bad_bounds() {
-        let mut c = MercuryConfig {
+    fn validation_reports_typed_errors() {
+        let c = MercuryConfig {
             max_signature_bits: 10,
             ..MercuryConfig::default()
         };
-        assert!(c.validate().is_err());
-        c.max_signature_bits = 500;
-        assert!(c.validate().is_err());
-        c = MercuryConfig::default();
-        c.plateau_window = 0;
-        assert!(c.validate().is_err());
-        c = MercuryConfig::default();
-        c.initial_signature_bits = 0;
-        assert!(c.validate().is_err());
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::SignatureBoundsInverted {
+                initial: 20,
+                max: 10
+            })
+        );
+        let c = MercuryConfig {
+            max_signature_bits: 500,
+            ..MercuryConfig::default()
+        };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::SignatureBitsUnsupported {
+                max: 500,
+                supported: mercury_rpq::MAX_SIGNATURE_BITS
+            })
+        );
+        let c = MercuryConfig {
+            plateau_window: 0,
+            ..MercuryConfig::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroPlateauWindow));
+        let c = MercuryConfig {
+            stoppage_window: 0,
+            ..MercuryConfig::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroStoppageWindow));
+        let c = MercuryConfig {
+            initial_signature_bits: 0,
+            ..MercuryConfig::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroInitialSignatureBits));
+    }
+
+    #[test]
+    fn builder_round_trips_and_validates() {
+        let c = MercuryConfig::builder()
+            .initial_signature_bits(8)
+            .max_signature_bits(32)
+            .plateau_window(7)
+            .plateau_tolerance(1e-4)
+            .stoppage_window(2)
+            .build()
+            .unwrap();
+        assert_eq!(c.initial_signature_bits, 8);
+        assert_eq!(c.max_signature_bits, 32);
+        assert_eq!(c.plateau_window, 7);
+        assert_eq!(c.stoppage_window, 2);
+
+        let err = MercuryConfig::builder()
+            .initial_signature_bits(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroInitialSignatureBits);
+    }
+
+    #[test]
+    fn config_error_displays_and_sources() {
+        let e = ConfigError::BankSplit { sets: 64, banks: 7 };
+        assert!(e.to_string().contains("7 banks"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

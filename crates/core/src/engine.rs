@@ -1,60 +1,19 @@
+use crate::base::EngineBase;
+use crate::config::ConfigError;
+use crate::reuse::{LayerForward, LayerOp, ReuseEngine, ReuseReport, ReuseSignatures};
 use crate::stats::LayerStats;
-use crate::{MercuryConfig, MercuryError};
+use crate::{MercuryConfig, MercuryError, SavedSignatures};
 use mercury_accel::sim::{ChannelWork, LayerSim};
-use mercury_mcache::{EntryId, HitKind, Hitmap, MCache, SignatureTable};
+use mercury_mcache::{EntryId, HitKind, Hitmap};
 use mercury_rpq::analysis::unique_signature_count;
-use mercury_rpq::{ProjectionMatrix, Signature, SignatureGenerator};
+use mercury_rpq::{Signature, SignatureGenerator};
 use mercury_tensor::conv::{extract_patches_into, ConvGeometry};
-use mercury_tensor::rng::Rng;
 use mercury_tensor::{ops, Tensor, TensorError};
-use std::collections::HashMap;
-
-/// Signatures saved by a forward pass, to be reloaded during the backward
-/// pass of the previous layer (paper §III-C2: `Oᵢ = Iᵢ₊₁`, so layer `i+1`'s
-/// input signatures describe layer `i`'s output gradients' similarity
-/// structure when the kernel dimensions match).
-#[derive(Debug, Clone, PartialEq)]
-pub struct SavedSignatures {
-    /// Kernel size `(k1, k2)` the signatures were generated for.
-    pub kernel: (usize, usize),
-    /// Signature length in bits at generation time.
-    pub bits: usize,
-    /// One signature list per channel, in patch order.
-    pub per_channel: Vec<Vec<Signature>>,
-}
-
-impl SavedSignatures {
-    /// Whether these signatures apply to a convolution with the given
-    /// kernel size and per-channel patch count.
-    ///
-    /// Note this cannot see the consuming convolution's channel count;
-    /// [`ConvEngine::forward_reusing`] additionally requires one saved
-    /// list per input channel before reusing.
-    pub fn compatible(&self, kernel: (usize, usize), patches_per_channel: usize) -> bool {
-        self.kernel == kernel
-            && self
-                .per_channel
-                .iter()
-                .all(|sigs| sigs.len() == patches_per_channel)
-    }
-}
-
-/// Result of a MERCURY convolution pass.
-#[derive(Debug, Clone)]
-pub struct ConvForward {
-    /// Layer output `[F, out_h, out_w]`. Where MCACHE hits occurred, the
-    /// producer vector's results stand in for the consumer's — the
-    /// approximation whose accuracy impact Figure 13 measures.
-    pub output: Tensor,
-    /// Per-pass statistics and cycle accounting.
-    pub stats: LayerStats,
-    /// Signatures generated (or reused) by this pass, for backward reuse.
-    pub signatures: SavedSignatures,
-}
 
 /// The MERCURY convolution engine: similarity detection + computation
-/// reuse for one layer at a time, with a persistent MCACHE and projection
-/// matrices shared across calls.
+/// reuse for one layer at a time, with an MCACHE and projection matrices
+/// shared across calls. Implements [`ReuseEngine`] for
+/// [`LayerOp::Conv`] requests.
 ///
 /// The engine's internal MCACHE data path is an optimized software
 /// realization of the hardware dataflow: a producer's value is written
@@ -66,118 +25,60 @@ pub struct ConvForward {
 /// cache's raw `data_reads`/`data_writes` counters reflect the
 /// deduplicated software accesses, not per-consumer hardware traffic.
 ///
+/// In **persistent mode** ([`ConvEngine::persistent`], the mode
+/// [`MercurySession`](crate::MercurySession) uses) the MCACHE is banked
+/// (§V) and survives across channels and submits: signatures repeated
+/// from earlier requests classify as HITs immediately. A HIT whose
+/// producer value is not resident this pass promotes its first consumer
+/// to producer — it computes (charged as an MAU in the cycle accounting)
+/// and fans its value out to the remaining consumers. Eviction happens
+/// only at [`end_epoch`](ReuseEngine::end_epoch).
+///
 /// See the [crate docs](crate) for the full pipeline and an example.
 #[derive(Debug)]
 pub struct ConvEngine {
-    config: MercuryConfig,
-    cache: MCache,
-    rng: Rng,
-    /// One projection matrix per patch length, grown lazily.
-    projections: HashMap<usize, ProjectionMatrix>,
-    signature_bits: usize,
-    detection_enabled: bool,
+    base: EngineBase,
 }
 
 impl ConvEngine {
-    /// Creates an engine with the given configuration and RNG seed (the
-    /// seed pins down the random projection matrices).
+    /// Creates a batch-mode engine (MCACHE restarts per channel, §III-B3)
+    /// with the given configuration and RNG seed (the seed pins down the
+    /// random projection matrices).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] the configuration violates.
+    pub fn try_new(config: MercuryConfig, seed: u64) -> Result<Self, ConfigError> {
+        Ok(ConvEngine {
+            base: EngineBase::new(config, seed)?,
+        })
+    }
+
+    /// Creates a persistent engine: the MCACHE is split across `banks`
+    /// banks, survives across forward passes, and is evicted only by
+    /// [`end_epoch`](ReuseEngine::end_epoch).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for an invalid configuration or a bank
+    /// count that does not divide the cache's set count.
+    pub fn persistent(config: MercuryConfig, seed: u64, banks: usize) -> Result<Self, ConfigError> {
+        Ok(ConvEngine {
+            base: EngineBase::persistent(config, seed, banks)?,
+        })
+    }
+
+    /// Creates a batch-mode engine, panicking on an invalid configuration.
     ///
     /// # Panics
     ///
-    /// Panics if the configuration fails
-    /// [`MercuryConfig::validate`] — configurations are build-time
-    /// constants in every caller, so this is treated as a programming
-    /// error.
+    /// Panics if the configuration fails [`MercuryConfig::validate`].
+    #[deprecated(note = "use `ConvEngine::try_new` (typed errors) or drive a `MercurySession`")]
     pub fn new(config: MercuryConfig, seed: u64) -> Self {
-        if let Err(msg) = config.validate() {
-            panic!("invalid MercuryConfig: {msg}");
+        match Self::try_new(config, seed) {
+            Ok(engine) => engine,
+            Err(e) => panic!("invalid MercuryConfig: {e}"),
         }
-        ConvEngine {
-            config,
-            cache: MCache::new(config.cache),
-            rng: Rng::new(seed),
-            projections: HashMap::new(),
-            signature_bits: config.initial_signature_bits,
-            detection_enabled: true,
-        }
-    }
-
-    /// Current signature length in bits.
-    pub fn signature_bits(&self) -> usize {
-        self.signature_bits
-    }
-
-    /// Grows the signature by one bit, up to the configured maximum.
-    /// Returns the new length.
-    pub fn grow_signature(&mut self) -> usize {
-        if self.signature_bits < self.config.max_signature_bits {
-            self.signature_bits += 1;
-        }
-        self.signature_bits
-    }
-
-    /// Enables or disables similarity detection (the stoppage mechanism of
-    /// §III-D). With detection off, passes run at baseline cost.
-    pub fn set_detection(&mut self, enabled: bool) {
-        self.detection_enabled = enabled;
-    }
-
-    /// Whether similarity detection is currently enabled.
-    pub fn detection_enabled(&self) -> bool {
-        self.detection_enabled
-    }
-
-    /// The engine's configuration.
-    pub fn config(&self) -> &MercuryConfig {
-        &self.config
-    }
-
-    fn projection_for(&mut self, patch_len: usize) -> &ProjectionMatrix {
-        let bits = self.signature_bits;
-        let rng = &mut self.rng;
-        let proj = self
-            .projections
-            .entry(patch_len)
-            .or_insert_with(|| ProjectionMatrix::generate(patch_len, bits, rng));
-        if proj.num_filters() < bits {
-            proj.extend_filters(bits - proj.num_filters(), rng);
-        }
-        proj
-    }
-
-    /// Runs a MERCURY convolution: `input` `[C, H, W]` against `kernels`
-    /// `[F, C, k1, k2]`, generating fresh signatures per channel.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`MercuryError::Tensor`] for malformed operand shapes.
-    pub fn forward(
-        &mut self,
-        input: &Tensor,
-        kernels: &Tensor,
-        stride: usize,
-        pad: usize,
-    ) -> Result<ConvForward, MercuryError> {
-        self.run(input, kernels, stride, pad, None)
-    }
-
-    /// Runs a MERCURY convolution reusing previously saved signatures
-    /// (backward-pass reuse, §III-C2). When `saved` is incompatible with
-    /// this convolution's geometry, signatures are recalculated, exactly
-    /// as the paper prescribes.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`MercuryError::Tensor`] for malformed operand shapes.
-    pub fn forward_reusing(
-        &mut self,
-        input: &Tensor,
-        kernels: &Tensor,
-        stride: usize,
-        pad: usize,
-        saved: &SavedSignatures,
-    ) -> Result<ConvForward, MercuryError> {
-        self.run(input, kernels, stride, pad, Some(saved))
     }
 
     fn run(
@@ -187,7 +88,7 @@ impl ConvEngine {
         stride: usize,
         pad: usize,
         saved: Option<&SavedSignatures>,
-    ) -> Result<ConvForward, MercuryError> {
+    ) -> Result<LayerForward, MercuryError> {
         if input.rank() != 3 {
             return Err(TensorError::RankMismatch {
                 expected: 3,
@@ -224,10 +125,10 @@ impl ConvEngine {
         let spatial = oh * ow;
         let mut output = Tensor::zeros(&[f, oh, ow]);
         let mut stats = LayerStats {
-            detection_enabled: self.detection_enabled,
+            detection_enabled: self.base.detection_enabled,
             ..LayerStats::default()
         };
-        let mut sim = LayerSim::new(self.config.accelerator);
+        let mut sim = LayerSim::new(self.base.config.accelerator);
         let mut saved_out: Vec<Vec<Signature>> = Vec::with_capacity(c);
 
         // Saved signatures are only consulted while detection is on; with
@@ -235,12 +136,12 @@ impl ConvEngine {
         // Reuse also requires one saved list per input channel —
         // `compatible` cannot check that (it does not know `c`), and a
         // shorter `per_channel` would otherwise be indexed out of bounds.
-        let reuse_saved = self.detection_enabled
+        let reuse_saved = self.base.detection_enabled
             && saved
                 .map(|s| {
                     s.per_channel.len() == c
                         && s.compatible((kh, kw), patches_n)
-                        && s.bits == self.signature_bits
+                        && s.bits == self.base.signature_bits
                 })
                 .unwrap_or(false);
 
@@ -253,11 +154,13 @@ impl ConvEngine {
         let mut filt_rows: Vec<f32> = vec![0.0; f * plen];
         let mut packed_t: Vec<f32> = Vec::new();
         let mut contrib_t: Vec<f32> = Vec::new();
-        let cache_entries = self.config.cache.sets * self.config.cache.ways;
+        let ways = self.base.cache.ways();
+        let cache_entries = self.base.cache.total_entries();
         let mut entry_row: Vec<u32> = vec![u32::MAX; cache_entries];
         let mut entry_group: Vec<u32> = vec![u32::MAX; cache_entries];
-        let mut groups: Vec<(EntryId, Option<usize>, Vec<usize>)> = Vec::new();
+        let mut groups: Vec<(EntryId, usize, Vec<usize>)> = Vec::new();
         let mut compute_rows: Vec<usize> = Vec::new();
+        let mut stale_producers: Vec<usize> = Vec::new();
 
         for ch in 0..c {
             extract_patches_into(
@@ -271,7 +174,7 @@ impl ConvEngine {
                 filt_rows[fi * plen..(fi + 1) * plen].copy_from_slice(src);
             }
 
-            if !self.detection_enabled {
+            if !self.base.detection_enabled {
                 // Detection off: plain exact convolution at baseline cost,
                 // as one dense [f, plen] × [plen, n] product whose output
                 // rows accumulate straight into the output feature maps.
@@ -316,8 +219,8 @@ impl ConvEngine {
             let sigs_owned: Option<Vec<Signature>> = if reuse_saved {
                 None
             } else {
-                let bits = self.signature_bits;
-                let proj = self.projection_for(plen);
+                let bits = self.base.signature_bits;
+                let proj = self.base.projection_for(plen);
                 let generator = SignatureGenerator::new(proj);
                 Some(generator.signatures_for_rows_prefix(&patch_buf, bits))
             };
@@ -326,18 +229,17 @@ impl ConvEngine {
                 None => &saved.unwrap().per_channel[ch],
             };
 
-            // New channel: MCACHE, signature table, and hitmap restart.
-            self.cache.clear();
-            self.cache.begin_insert_batch();
-            let conflicts_before = self.cache.stats().insert_conflicts;
-            let mut table = SignatureTable::with_capacity(patches_n);
+            // New reuse scope: batch engines restart MCACHE here (§III-B3);
+            // persistent engines keep tags resident across channels and
+            // submits, evicting only at epoch boundaries.
+            self.base.begin_reuse_scope();
+            let conflicts_before = self.base.cache.stats().insert_conflicts;
             let mut hitmap = Hitmap::with_capacity(patches_n);
             for &sig in sigs {
-                let outcome = self.cache.probe_insert(sig);
-                table.push(sig, outcome.entry);
+                let outcome = self.base.cache.probe_insert(sig);
                 hitmap.push(outcome.kind, outcome.entry);
             }
-            let conflicts = self.cache.stats().insert_conflicts - conflicts_before;
+            let conflicts = self.base.cache.stats().insert_conflicts - conflicts_before;
 
             // ---- Reuse plan ----------------------------------------------
             // Partition the vector indices by outcome once, hoisting every
@@ -347,10 +249,16 @@ impl ConvEngine {
             // by producer entry, so each producer's value is written to and
             // read from MCACHE once per filter and fanned out to all its
             // consumers. Producers nobody consumes skip the cache write
-            // entirely (the write is dead: tags reset at the next channel,
-            // so no later read can observe it).
+            // entirely (the write is dead: batch engines reset tags at the
+            // next channel, and persistent entries are rewritten before any
+            // later read). A HIT on a tag that persisted from an earlier
+            // pass has no producer row here; its first consumer is promoted
+            // to producer — it joins the compute plan exactly like an MAU
+            // (and is charged as one), so a group forms only once a second
+            // same-entry HIT actually has something to reuse.
             groups.clear();
             compute_rows.clear();
+            stale_producers.clear();
             entry_row[..cache_entries].fill(u32::MAX);
             entry_group[..cache_entries].fill(u32::MAX);
             for v in 0..patches_n {
@@ -358,21 +266,24 @@ impl ConvEngine {
                 match kind {
                     HitKind::Hit => {
                         let entry = entry.expect("hit entries resolve");
-                        let e = entry.set * self.config.cache.ways + entry.way;
+                        let e = entry.set * ways + entry.way;
                         let g = entry_group[e];
-                        if g == u32::MAX {
-                            entry_group[e] = groups.len() as u32;
-                            let row = entry_row[e];
-                            let row = (row != u32::MAX).then_some(row as usize);
-                            groups.push((entry, row, vec![v]));
-                        } else {
+                        if g != u32::MAX {
                             groups[g as usize].2.push(v);
+                        } else if entry_row[e] != u32::MAX {
+                            entry_group[e] = groups.len() as u32;
+                            groups.push((entry, entry_row[e] as usize, vec![v]));
+                        } else {
+                            // Persistent tag without a producer this pass:
+                            // promote this consumer to MAU-shaped producer.
+                            entry_row[e] = compute_rows.len() as u32;
+                            stale_producers.push(v);
+                            compute_rows.push(v);
                         }
                     }
                     HitKind::Mau => {
                         let entry = entry.expect("mau entries resolve");
-                        entry_row[entry.set * self.config.cache.ways + entry.way] =
-                            compute_rows.len() as u32;
+                        entry_row[entry.set * ways + entry.way] = compute_rows.len() as u32;
                         compute_rows.push(v);
                     }
                     HitKind::Mnu => compute_rows.push(v),
@@ -397,31 +308,17 @@ impl ConvEngine {
             let od = output.data_mut();
             for fi in 0..f {
                 // Filter change: flash-clear VD bits, keep tags (§III-C1).
-                self.cache.invalidate_all_data();
-                // Each producer (MAU) writes its result before its
-                // consumers (HITs) read; within a channel every producer
-                // precedes its consumers in stream order, so grouping
-                // preserves the stream-order data dependencies.
+                self.base.cache.invalidate_all_data();
+                // Each producer (MAU or promoted consumer) writes its
+                // result before its consumers (HITs) read; within a channel
+                // every producer precedes its consumers in stream order, so
+                // grouping preserves the stream-order data dependencies.
                 for &(entry, row, ref consumers) in &groups {
-                    match row {
-                        Some(r) => {
-                            let value = contrib_t[fi * rows + r];
-                            self.cache.write(entry, 0, value)?;
-                            let value = self.cache.read_counted(entry, 0).unwrap_or(value);
-                            for &v in consumers {
-                                od[fi * spatial + v] += value;
-                            }
-                        }
-                        // Producer row unresolved (should not happen in
-                        // stream order); each consumer computes exactly.
-                        None => {
-                            for &v in consumers {
-                                od[fi * spatial + v] += ops::dot(
-                                    &patch_buf[v * plen..(v + 1) * plen],
-                                    &filt_rows[fi * plen..(fi + 1) * plen],
-                                );
-                            }
-                        }
+                    let value = contrib_t[fi * rows + row];
+                    self.base.cache.write(entry, 0, value)?;
+                    let value = self.base.cache.read_counted(entry, 0).unwrap_or(value);
+                    for &v in consumers {
+                        od[fi * spatial + v] += value;
                     }
                 }
                 let crow = &contrib_t[fi * rows..(fi + 1) * rows];
@@ -431,14 +328,21 @@ impl ConvEngine {
             }
 
             // ---- Accounting ----------------------------------------------
-            let outcomes: Vec<HitKind> = hitmap.iter().map(|(k, _)| k).collect();
-            let mut work = ChannelWork::new(&outcomes, f, kh, self.signature_bits)
+            // Statistics report the raw probe outcomes (cross-pass repeats
+            // are HITs — the similarity the hardware observed); the cycle
+            // simulator is charged with promoted producers flipped to MAU,
+            // since those vectors computed and wrote rather than reused.
+            let mut outcomes: Vec<HitKind> = hitmap.iter().map(|(k, _)| k).collect();
+            let (hits, maus, mnus) = hitmap.counts();
+            for &v in &stale_producers {
+                outcomes[v] = HitKind::Mau;
+            }
+            let mut work = ChannelWork::new(&outcomes, f, kh, self.base.signature_bits)
                 .with_insert_conflicts(conflicts);
             if reuse_saved {
                 work = work.with_precomputed_signatures();
             }
             sim.push_channel(&work);
-            let (hits, maus, mnus) = hitmap.counts();
             stats.hits += hits as u64;
             stats.maus += maus as u64;
             stats.mnus += mnus as u64;
@@ -456,25 +360,82 @@ impl ConvEngine {
         } else {
             saved_out
         };
-        Ok(ConvForward {
+        Ok(LayerForward {
             output,
-            stats,
-            signatures: SavedSignatures {
-                kernel: (kh, kw),
-                bits: self.signature_bits,
-                per_channel,
+            report: ReuseReport {
+                stats,
+                signatures: ReuseSignatures::Conv(SavedSignatures {
+                    kernel: (kh, kw),
+                    bits: self.base.signature_bits,
+                    per_channel,
+                }),
             },
         })
     }
+}
+
+impl ReuseEngine for ConvEngine {
+    fn forward(&mut self, op: LayerOp<'_>) -> Result<LayerForward, MercuryError> {
+        match op {
+            LayerOp::Conv {
+                input,
+                kernels,
+                stride,
+                pad,
+            } => self.run(input, kernels, stride, pad, None),
+            other => Err(MercuryError::UnsupportedOp {
+                engine: "conv",
+                op: other.family(),
+            }),
+        }
+    }
+
+    fn forward_reusing(
+        &mut self,
+        op: LayerOp<'_>,
+        saved: &ReuseSignatures,
+    ) -> Result<LayerForward, MercuryError> {
+        match op {
+            LayerOp::Conv {
+                input,
+                kernels,
+                stride,
+                pad,
+            } => self.run(input, kernels, stride, pad, saved.as_conv()),
+            other => Err(MercuryError::UnsupportedOp {
+                engine: "conv",
+                op: other.family(),
+            }),
+        }
+    }
+
+    crate::base::reuse_engine_lifecycle!();
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use mercury_tensor::conv::conv2d_multi;
+    use mercury_tensor::rng::Rng;
 
     fn engine(seed: u64) -> ConvEngine {
-        ConvEngine::new(MercuryConfig::default(), seed)
+        ConvEngine::try_new(MercuryConfig::default(), seed).unwrap()
+    }
+
+    fn forward(
+        engine: &mut ConvEngine,
+        input: &Tensor,
+        kernels: &Tensor,
+        stride: usize,
+        pad: usize,
+    ) -> LayerForward {
+        engine
+            .forward(LayerOp::conv(input, kernels, stride, pad))
+            .unwrap()
+    }
+
+    fn conv_sigs(fwd: &LayerForward) -> &SavedSignatures {
+        fwd.report.signatures.as_conv().expect("conv signatures")
     }
 
     #[test]
@@ -482,7 +443,7 @@ mod tests {
         let mut rng = Rng::new(1);
         let input = Tensor::randn(&[2, 7, 7], &mut rng);
         let kernels = Tensor::randn(&[3, 2, 3, 3], &mut rng);
-        let out = engine(1).forward(&input, &kernels, 1, 0).unwrap();
+        let out = forward(&mut engine(1), &input, &kernels, 1, 0);
         assert_eq!(out.output.shape(), &[3, 5, 5]);
     }
 
@@ -493,7 +454,7 @@ mod tests {
         let mut rng = Rng::new(2);
         let input = Tensor::randn(&[1, 6, 6], &mut rng);
         let kernels = Tensor::randn(&[2, 1, 3, 3], &mut rng);
-        let got = engine(2).forward(&input, &kernels, 1, 0).unwrap();
+        let got = forward(&mut engine(2), &input, &kernels, 1, 0);
         let want = conv2d_multi(&input, &kernels, 1, 0).unwrap();
         for (g, w) in got.output.data().iter().zip(want.data()) {
             assert!((g - w).abs() < 1e-4, "got {g}, want {w}");
@@ -510,15 +471,15 @@ mod tests {
         let input = Tensor::full(&[1, 16, 16], 0.5);
         let mut rng = Rng::new(3);
         let kernels = Tensor::randn(&[64, 1, 3, 3], &mut rng);
-        let out = engine(3).forward(&input, &kernels, 1, 0).unwrap();
-        assert_eq!(out.stats.maus, 1);
-        assert_eq!(out.stats.hits, 196 - 1);
-        assert_eq!(out.stats.unique_vectors, 1);
+        let out = forward(&mut engine(3), &input, &kernels, 1, 0);
+        assert_eq!(out.stats().maus, 1);
+        assert_eq!(out.stats().hits, 196 - 1);
+        assert_eq!(out.stats().unique_vectors, 1);
         let want = conv2d_multi(&input, &kernels, 1, 0).unwrap();
         for (g, w) in out.output.data().iter().zip(want.data()) {
             assert!((g - w).abs() < 1e-4);
         }
-        assert!(out.stats.cycles.speedup() > 1.0);
+        assert!(out.stats().cycles.speedup() > 1.0);
     }
 
     #[test]
@@ -537,11 +498,11 @@ mod tests {
         .unwrap();
         let mut rng = Rng::new(4);
         let kernels = Tensor::randn(&[1, 1, 3, 3], &mut rng);
-        let out = engine(4).forward(&img, &kernels, 1, 0).unwrap();
+        let out = forward(&mut engine(4), &img, &kernels, 1, 0);
         assert_eq!(out.output.shape(), &[1, 1, 2]);
         // Both patches identical → outputs identical.
         assert_eq!(out.output.data()[0], out.output.data()[1]);
-        assert_eq!(out.stats.hits, 1);
+        assert_eq!(out.stats().hits, 1);
     }
 
     #[test]
@@ -551,10 +512,10 @@ mod tests {
         let kernels = Tensor::randn(&[2, 2, 3, 3], &mut rng);
         let mut e = engine(5);
         e.set_detection(false);
-        let out = e.forward(&input, &kernels, 1, 0).unwrap();
-        assert!(!out.stats.detection_enabled);
-        assert_eq!(out.stats.hits, 0);
-        assert_eq!(out.stats.cycles.signature, 0);
+        let out = forward(&mut e, &input, &kernels, 1, 0);
+        assert!(!out.stats().detection_enabled);
+        assert_eq!(out.stats().hits, 0);
+        assert_eq!(out.stats().cycles.signature, 0);
         let want = conv2d_multi(&input, &kernels, 1, 0).unwrap();
         for (g, w) in out.output.data().iter().zip(want.data()) {
             assert!((g - w).abs() < 1e-4);
@@ -567,14 +528,17 @@ mod tests {
         let mut rng = Rng::new(6);
         let kernels = Tensor::randn(&[2, 1, 3, 3], &mut rng);
         let mut e = engine(6);
-        let first = e.forward(&input, &kernels, 1, 0).unwrap();
+        let first = forward(&mut e, &input, &kernels, 1, 0);
         let second = e
-            .forward_reusing(&input, &kernels, 1, 0, &first.signatures)
+            .forward_reusing(
+                LayerOp::conv(&input, &kernels, 1, 0),
+                &first.report.signatures,
+            )
             .unwrap();
-        assert_eq!(second.stats.cycles.signature, 0);
-        assert!(second.stats.cycles.total() < first.stats.cycles.total());
+        assert_eq!(second.stats().cycles.signature, 0);
+        assert!(second.stats().cycles.total() < first.stats().cycles.total());
         // Outcomes identical since signatures identical.
-        assert_eq!(second.stats.hits, first.stats.hits);
+        assert_eq!(second.stats().hits, first.stats().hits);
     }
 
     #[test]
@@ -589,11 +553,16 @@ mod tests {
         let input2 = Tensor::randn(&[2, 8, 8], &mut rng);
         let input3 = Tensor::randn(&[3, 8, 8], &mut rng);
         let mut e = engine(14);
-        let saved = e.forward(&input2, &kernels2, 1, 0).unwrap().signatures;
-        assert_eq!(saved.per_channel.len(), 2);
-        let out = e.forward_reusing(&input3, &kernels3, 1, 0, &saved).unwrap();
-        assert!(out.stats.cycles.signature > 0, "signatures were recomputed");
-        assert_eq!(out.signatures.per_channel.len(), 3);
+        let saved = forward(&mut e, &input2, &kernels2, 1, 0).report.signatures;
+        assert_eq!(saved.as_conv().unwrap().per_channel.len(), 2);
+        let out = e
+            .forward_reusing(LayerOp::conv(&input3, &kernels3, 1, 0), &saved)
+            .unwrap();
+        assert!(
+            out.stats().cycles.signature > 0,
+            "signatures were recomputed"
+        );
+        assert_eq!(conv_sigs(&out).per_channel.len(), 3);
     }
 
     #[test]
@@ -608,15 +577,18 @@ mod tests {
         let kernels = Tensor::randn(&[3, 2, 3, 3], &mut rng);
         let mut e = engine(13);
         e.set_detection(false);
-        let off = e.forward(&input, &kernels, 1, 0).unwrap();
-        assert_eq!(off.signatures.per_channel.len(), 2);
-        assert!(off.signatures.per_channel.iter().all(|s| s.is_empty()));
+        let off = forward(&mut e, &input, &kernels, 1, 0);
+        assert!(off.report.signatures.is_empty());
+        assert_eq!(conv_sigs(&off).per_channel.len(), 2);
         e.set_detection(true);
         let on = e
-            .forward_reusing(&input, &kernels, 1, 0, &off.signatures)
+            .forward_reusing(
+                LayerOp::conv(&input, &kernels, 1, 0),
+                &off.report.signatures,
+            )
             .unwrap();
-        assert!(on.stats.cycles.signature > 0, "signatures were recomputed");
-        assert_eq!(on.signatures.per_channel[0].len(), 36);
+        assert!(on.stats().cycles.signature > 0, "signatures recomputed");
+        assert_eq!(conv_sigs(&on).per_channel[0].len(), 36);
     }
 
     #[test]
@@ -626,13 +598,30 @@ mod tests {
         let kernels3 = Tensor::randn(&[1, 1, 3, 3], &mut rng);
         let kernels5 = Tensor::randn(&[1, 1, 5, 5], &mut rng);
         let mut e = engine(7);
-        let first = e.forward(&input, &kernels3, 1, 0).unwrap();
+        let first = forward(&mut e, &input, &kernels3, 1, 0);
         // 5x5 kernels: saved 3x3 signatures are incompatible → fresh ones.
         let second = e
-            .forward_reusing(&input, &kernels5, 1, 0, &first.signatures)
+            .forward_reusing(
+                LayerOp::conv(&input, &kernels5, 1, 0),
+                &first.report.signatures,
+            )
             .unwrap();
-        assert!(second.stats.cycles.signature > 0);
-        assert_eq!(second.signatures.kernel, (5, 5));
+        assert!(second.stats().cycles.signature > 0);
+        assert_eq!(conv_sigs(&second).kernel, (5, 5));
+    }
+
+    #[test]
+    fn foreign_ops_are_rejected() {
+        let mut e = engine(20);
+        let x = Tensor::zeros(&[4, 4]);
+        let err = e.forward(LayerOp::attention(&x)).unwrap_err();
+        assert_eq!(
+            err,
+            MercuryError::UnsupportedOp {
+                engine: "conv",
+                op: "attention"
+            }
+        );
     }
 
     #[test]
@@ -642,7 +631,7 @@ mod tests {
             max_signature_bits: 64,
             ..MercuryConfig::default()
         };
-        let mut e = ConvEngine::new(config, 8);
+        let mut e = ConvEngine::try_new(config, 8).unwrap();
         assert_eq!(e.grow_signature(), 64);
         assert_eq!(e.grow_signature(), 64); // saturates
     }
@@ -653,13 +642,13 @@ mod tests {
         let mut rng = Rng::new(9);
         let kernels = Tensor::randn(&[1, 1, 3, 3], &mut rng);
         let mut e = engine(9);
-        let a = e.forward(&input, &kernels, 1, 0).unwrap();
+        let a = forward(&mut e, &input, &kernels, 1, 0);
         e.grow_signature();
-        let b = e.forward(&input, &kernels, 1, 0).unwrap();
-        assert_eq!(a.signatures.bits, 20);
-        assert_eq!(b.signatures.bits, 21);
+        let b = forward(&mut e, &input, &kernels, 1, 0);
+        assert_eq!(conv_sigs(&a).bits, 20);
+        assert_eq!(conv_sigs(&b).bits, 21);
         // Constant image still fully reuses at the longer signature.
-        assert_eq!(b.stats.hits, a.stats.hits);
+        assert_eq!(b.stats().hits, a.stats().hits);
     }
 
     #[test]
@@ -667,10 +656,12 @@ mod tests {
         let mut e = engine(10);
         let input = Tensor::zeros(&[2, 6, 6]);
         let bad_kernels = Tensor::zeros(&[2, 3, 3, 3]); // channel mismatch
-        assert!(e.forward(&input, &bad_kernels, 1, 0).is_err());
+        assert!(e
+            .forward(LayerOp::conv(&input, &bad_kernels, 1, 0))
+            .is_err());
         let flat = Tensor::zeros(&[6, 6]);
         let kernels = Tensor::zeros(&[1, 1, 3, 3]);
-        assert!(e.forward(&flat, &kernels, 1, 0).is_err());
+        assert!(e.forward(LayerOp::conv(&flat, &kernels, 1, 0)).is_err());
     }
 
     #[test]
@@ -678,7 +669,7 @@ mod tests {
         let mut rng = Rng::new(11);
         let input = Tensor::randn(&[1, 8, 8], &mut rng);
         let kernels = Tensor::randn(&[1, 1, 3, 3], &mut rng);
-        let out = engine(11).forward(&input, &kernels, 2, 1).unwrap();
+        let out = forward(&mut engine(11), &input, &kernels, 2, 1);
         let want = conv2d_multi(&input, &kernels, 2, 1).unwrap();
         assert_eq!(out.output.shape(), want.shape());
     }
@@ -688,10 +679,56 @@ mod tests {
         let mut rng = Rng::new(12);
         let input = Tensor::randn(&[3, 5, 5], &mut rng);
         let kernels = Tensor::randn(&[2, 3, 3, 3], &mut rng);
-        let out = engine(12).forward(&input, &kernels, 1, 0).unwrap();
+        let out = forward(&mut engine(12), &input, &kernels, 1, 0);
         let want = conv2d_multi(&input, &kernels, 1, 0).unwrap();
         for (g, w) in out.output.data().iter().zip(want.data()) {
             assert!((g - w).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn deprecated_constructor_still_works() {
+        #[allow(deprecated)]
+        let mut e = ConvEngine::new(MercuryConfig::default(), 15);
+        let input = Tensor::full(&[1, 6, 6], 1.0);
+        let kernels = Tensor::full(&[1, 1, 3, 3], 0.5);
+        let out = forward(&mut e, &input, &kernels, 1, 0);
+        assert_eq!(out.output.shape(), &[1, 4, 4]);
+    }
+
+    #[test]
+    fn persistent_engine_hits_across_submits_and_evicts_by_epoch() {
+        let input = Tensor::full(&[1, 8, 8], 0.25);
+        let mut rng = Rng::new(16);
+        let kernels = Tensor::randn(&[4, 1, 3, 3], &mut rng);
+        let mut e = ConvEngine::persistent(MercuryConfig::default(), 16, 8).unwrap();
+
+        // First submit: one MAU (constant image), the rest HITs.
+        let first = forward(&mut e, &input, &kernels, 1, 0);
+        assert_eq!(first.stats().maus, 1);
+        // Second submit: the tag persisted, so even the first patch HITs.
+        let second = forward(&mut e, &input, &kernels, 1, 0);
+        assert_eq!(second.stats().maus, 0);
+        assert_eq!(second.stats().hits, first.stats().hits + 1);
+        // Output is still the exact convolution (promoted producer).
+        assert_eq!(second.output, first.output);
+        // Epoch eviction restores the cold-start outcome mix.
+        e.end_epoch();
+        let third = forward(&mut e, &input, &kernels, 1, 0);
+        assert_eq!(third.stats().maus, 1);
+        assert_eq!(third.stats().hits, first.stats().hits);
+        assert_eq!(third.output, first.output);
+    }
+
+    #[test]
+    fn batch_engine_never_carries_state_across_submits() {
+        let input = Tensor::full(&[1, 8, 8], 0.25);
+        let mut rng = Rng::new(17);
+        let kernels = Tensor::randn(&[4, 1, 3, 3], &mut rng);
+        let mut e = engine(17);
+        let first = forward(&mut e, &input, &kernels, 1, 0);
+        let second = forward(&mut e, &input, &kernels, 1, 0);
+        assert_eq!(first.stats().maus, second.stats().maus);
+        assert_eq!(first.stats().hits, second.stats().hits);
     }
 }

@@ -1,9 +1,11 @@
+use crate::config::ConfigError;
+use crate::session::LayerId;
 use mercury_mcache::McacheError;
 use mercury_tensor::TensorError;
 use std::error::Error;
 use std::fmt;
 
-/// Error type for MERCURY engine operations.
+/// Error type for MERCURY engine and session operations.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MercuryError {
     /// An underlying tensor operation failed (shape mismatch etc.).
@@ -11,7 +13,22 @@ pub enum MercuryError {
     /// An underlying MCACHE operation failed.
     Cache(McacheError),
     /// The engine configuration is invalid.
-    InvalidConfig(String),
+    Config(ConfigError),
+    /// A [`ReuseEngine`](crate::ReuseEngine) was handed a
+    /// [`LayerOp`](crate::LayerOp) family it does not implement (e.g. an
+    /// attention op submitted to a convolution engine).
+    UnsupportedOp {
+        /// The engine that rejected the op.
+        engine: &'static str,
+        /// The op family it was handed.
+        op: &'static str,
+    },
+    /// A [`MercurySession`](crate::MercurySession) call referenced a layer
+    /// id the session never issued.
+    UnknownLayer(LayerId),
+    /// A parameter update targeted a layer with no updatable parameters
+    /// (non-parametric self-attention).
+    NoParameters(LayerId),
 }
 
 impl fmt::Display for MercuryError {
@@ -19,7 +36,14 @@ impl fmt::Display for MercuryError {
         match self {
             MercuryError::Tensor(e) => write!(f, "tensor error: {e}"),
             MercuryError::Cache(e) => write!(f, "mcache error: {e}"),
-            MercuryError::InvalidConfig(msg) => write!(f, "invalid mercury configuration: {msg}"),
+            MercuryError::Config(e) => write!(f, "invalid mercury configuration: {e}"),
+            MercuryError::UnsupportedOp { engine, op } => {
+                write!(f, "{engine} engine does not support {op} ops")
+            }
+            MercuryError::UnknownLayer(id) => write!(f, "unknown session layer {id}"),
+            MercuryError::NoParameters(id) => {
+                write!(f, "session layer {id} has no updatable parameters")
+            }
         }
     }
 }
@@ -29,7 +53,10 @@ impl Error for MercuryError {
         match self {
             MercuryError::Tensor(e) => Some(e),
             MercuryError::Cache(e) => Some(e),
-            MercuryError::InvalidConfig(_) => None,
+            MercuryError::Config(e) => Some(e),
+            MercuryError::UnsupportedOp { .. }
+            | MercuryError::UnknownLayer(_)
+            | MercuryError::NoParameters(_) => None,
         }
     }
 }
@@ -48,6 +75,13 @@ impl From<McacheError> for MercuryError {
     }
 }
 
+#[doc(hidden)]
+impl From<ConfigError> for MercuryError {
+    fn from(e: ConfigError) -> Self {
+        MercuryError::Config(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,6 +91,19 @@ mod tests {
         let e = MercuryError::from(TensorError::ZeroDim);
         assert!(e.source().is_some());
         assert!(e.to_string().contains("tensor error"));
+        let c = MercuryError::from(ConfigError::ZeroPlateauWindow);
+        assert!(c.source().is_some());
+        assert!(c.to_string().contains("configuration"));
+    }
+
+    #[test]
+    fn leaf_variants_have_no_source() {
+        let e = MercuryError::UnsupportedOp {
+            engine: "conv",
+            op: "attention",
+        };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("attention"));
     }
 
     #[test]

@@ -16,29 +16,42 @@
 //!    switch similarity detection off per layer when it stops paying for
 //!    itself (§III-D).
 //!
-//! The two main entry points are [`ConvEngine`] (convolution layers,
-//! forward and backward) and [`FcEngine`] (fully-connected and attention
-//! layers). [`AdaptiveController`] implements the adaptation policy.
+//! # The unified API
+//!
+//! Every engine family — [`ConvEngine`], [`FcEngine`], and
+//! [`AttentionEngine`] — implements the [`ReuseEngine`] trait: one
+//! [`LayerOp`] request in, one [`LayerForward`] (output + [`ReuseReport`])
+//! out. For one-shot, batch-shaped use, construct an engine directly with
+//! `try_new` (the monolithic MCACHE restarts per reuse scope, §III-B3).
+//!
+//! For service-style workloads, drive a [`MercurySession`] instead: it
+//! owns one *persistent* engine per registered layer, keeps the banked
+//! MCACHE (§V) alive across an unbounded stream of
+//! [`submit`](MercurySession::submit) calls, and evicts by epoch rather
+//! than per forward pass. [`AdaptiveController`] implements the §III-D
+//! adaptation policy on top of either shape.
 //!
 //! # Examples
 //!
 //! ```
-//! use mercury_core::{ConvEngine, MercuryConfig};
+//! use mercury_core::{LayerOp, MercuryConfig, MercurySession, ReuseEngine};
 //! use mercury_tensor::{rng::Rng, Tensor};
 //!
 //! # fn main() -> Result<(), mercury_core::MercuryError> {
 //! let mut rng = Rng::new(7);
-//! let config = MercuryConfig::default();
-//! let mut engine = ConvEngine::new(config, 42);
+//! let config = MercuryConfig::builder().build()?;
+//! let mut session = MercurySession::new(config, 42)?;
+//!
+//! let kernels = Tensor::randn(&[4, 1, 3, 3], &mut rng);
+//! let conv = session.register_conv(kernels, 1, 0)?;
 //!
 //! let input = Tensor::randn(&[1, 8, 8], &mut rng);
-//! let kernels = Tensor::randn(&[4, 1, 3, 3], &mut rng);
-//! let out = engine.forward(&input, &kernels, 1, 0)?;
+//! let out = session.submit(conv, &input)?;
 //! assert_eq!(out.output.shape(), &[4, 6, 6]);
-//! // The exact same input produces 100% signature hits on a second call
-//! // within the same MCACHE lifetime... but channels clear the cache, so
-//! // here we just confirm the stats are wired through:
-//! assert!(out.stats.cycles.baseline > 0);
+//! // MCACHE state persists across submits: the same input again is pure
+//! // signature hits.
+//! let again = session.submit(conv, &input)?;
+//! assert!(again.stats().hits > out.stats().hits);
 //! # Ok(())
 //! # }
 //! ```
@@ -46,14 +59,21 @@
 #![warn(missing_docs)]
 
 pub mod adapt;
+mod base;
 mod config;
 mod engine;
 mod error;
 mod fc;
+mod reuse;
+mod session;
 pub mod stats;
 
 pub use adapt::{AdaptiveController, PlateauDetector, StoppageController};
-pub use config::MercuryConfig;
-pub use engine::{ConvEngine, ConvForward, SavedSignatures};
+pub use config::{ConfigError, MercuryConfig, MercuryConfigBuilder};
+pub use engine::ConvEngine;
 pub use error::MercuryError;
-pub use fc::{AttentionForward, FcEngine, FcForward};
+pub use fc::{AttentionEngine, FcEngine};
+pub use reuse::{
+    LayerForward, LayerOp, ReuseEngine, ReuseReport, ReuseSignatures, SavedSignatures,
+};
+pub use session::{LayerId, MercurySession};

@@ -1,0 +1,241 @@
+//! The unified reuse-engine surface: one trait ([`ReuseEngine`]) over the
+//! convolution, fully-connected, and attention engines, one request type
+//! ([`LayerOp`]), and one result type ([`LayerForward`]).
+//!
+//! Before this module existed, each engine family had its own forward
+//! signature and result struct; callers (the DNN layers, the benches, the
+//! examples) dispatched on the concrete type by hand. The trait makes a
+//! layer's engine a `Box<dyn ReuseEngine>` that any driver — most notably
+//! [`MercurySession`](crate::MercurySession) — can stream inputs through
+//! without knowing the family.
+
+use crate::stats::LayerStats;
+use crate::{MercuryConfig, MercuryError};
+use mercury_rpq::Signature;
+use mercury_tensor::Tensor;
+use std::fmt;
+
+/// Signatures saved by a forward pass, to be reloaded during the backward
+/// pass of the previous layer (paper §III-C2: `Oᵢ = Iᵢ₊₁`, so layer `i+1`'s
+/// input signatures describe layer `i`'s output gradients' similarity
+/// structure when the kernel dimensions match).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SavedSignatures {
+    /// Kernel size `(k1, k2)` the signatures were generated for.
+    pub kernel: (usize, usize),
+    /// Signature length in bits at generation time.
+    pub bits: usize,
+    /// One signature list per channel, in patch order.
+    pub per_channel: Vec<Vec<Signature>>,
+}
+
+impl SavedSignatures {
+    /// Whether these signatures apply to a convolution with the given
+    /// kernel size and per-channel patch count.
+    ///
+    /// Note this cannot see the consuming convolution's channel count;
+    /// the convolution engine additionally requires one saved list per
+    /// input channel before reusing.
+    pub fn compatible(&self, kernel: (usize, usize), patches_per_channel: usize) -> bool {
+        self.kernel == kernel
+            && self
+                .per_channel
+                .iter()
+                .all(|sigs| sigs.len() == patches_per_channel)
+    }
+}
+
+/// Signatures produced by one [`ReuseEngine`] pass, in the shape the
+/// engine family works with. Feed them back through
+/// [`ReuseEngine::forward_reusing`] to skip the signature-generation phase
+/// when the paper's dimension conditions hold (§III-C2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReuseSignatures {
+    /// Per-channel convolution patch signatures.
+    Conv(SavedSignatures),
+    /// Per-row signatures from a fully-connected or attention pass (one
+    /// signature per input row / sequence position).
+    Rows(Vec<Signature>),
+}
+
+impl ReuseSignatures {
+    /// The convolution signature bundle, when this came from a conv pass.
+    pub fn as_conv(&self) -> Option<&SavedSignatures> {
+        match self {
+            ReuseSignatures::Conv(saved) => Some(saved),
+            ReuseSignatures::Rows(_) => None,
+        }
+    }
+
+    /// The per-row signatures, when this came from an FC/attention pass.
+    pub fn as_rows(&self) -> Option<&[Signature]> {
+        match self {
+            ReuseSignatures::Rows(sigs) => Some(sigs),
+            ReuseSignatures::Conv(_) => None,
+        }
+    }
+
+    /// Whether the pass recorded no signatures (detection was off).
+    pub fn is_empty(&self) -> bool {
+        match self {
+            ReuseSignatures::Conv(saved) => saved.per_channel.iter().all(|s| s.is_empty()),
+            ReuseSignatures::Rows(sigs) => sigs.is_empty(),
+        }
+    }
+}
+
+/// One layer forward request, unified across the engine families.
+///
+/// Operands are borrowed per call so training loops can keep updating
+/// weights between passes; use the [`conv`](Self::conv) /
+/// [`fc`](Self::fc) / [`attention`](Self::attention) constructors.
+#[derive(Debug, Clone, Copy)]
+pub enum LayerOp<'a> {
+    /// Convolution: `input` `[C, H, W]` against `kernels` `[F, C, k1, k2]`.
+    Conv {
+        /// Layer input feature maps.
+        input: &'a Tensor,
+        /// Convolution kernels.
+        kernels: &'a Tensor,
+        /// Spatial stride.
+        stride: usize,
+        /// Zero padding on each border.
+        pad: usize,
+    },
+    /// Fully-connected: `inputs` `[N, L]` times `weights` `[L, M]`.
+    Fc {
+        /// Minibatch of input rows.
+        inputs: &'a Tensor,
+        /// Weight matrix.
+        weights: &'a Tensor,
+    },
+    /// Self-attention over `x` `[t, k]`: `Y = (X·Xᵀ)·X` (§III-C4).
+    Attention {
+        /// Sequence of input vectors.
+        x: &'a Tensor,
+    },
+}
+
+impl<'a> LayerOp<'a> {
+    /// A convolution op.
+    pub fn conv(input: &'a Tensor, kernels: &'a Tensor, stride: usize, pad: usize) -> Self {
+        LayerOp::Conv {
+            input,
+            kernels,
+            stride,
+            pad,
+        }
+    }
+
+    /// A fully-connected op.
+    pub fn fc(inputs: &'a Tensor, weights: &'a Tensor) -> Self {
+        LayerOp::Fc { inputs, weights }
+    }
+
+    /// A self-attention op.
+    pub fn attention(x: &'a Tensor) -> Self {
+        LayerOp::Attention { x }
+    }
+
+    /// The op family name, used in [`MercuryError::UnsupportedOp`].
+    pub fn family(&self) -> &'static str {
+        match self {
+            LayerOp::Conv { .. } => "conv",
+            LayerOp::Fc { .. } => "fc",
+            LayerOp::Attention { .. } => "attention",
+        }
+    }
+}
+
+/// Everything a reuse pass reports besides the numeric output: the
+/// HIT/MAU/MNU statistics with cycle accounting, and the signatures the
+/// pass generated (or reused) for backward-pass reuse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReuseReport {
+    /// Per-pass statistics and cycle accounting.
+    pub stats: LayerStats,
+    /// Signatures for §III-C2 backward reuse.
+    pub signatures: ReuseSignatures,
+}
+
+/// Result of one [`ReuseEngine`] forward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerForward {
+    /// The layer output. Where MCACHE hits occurred, producer results
+    /// stand in for consumers' — the approximation Figure 13 measures.
+    pub output: Tensor,
+    /// Statistics and saved signatures.
+    pub report: ReuseReport,
+}
+
+impl LayerForward {
+    /// Shorthand for the pass statistics.
+    pub fn stats(&self) -> &LayerStats {
+        &self.report.stats
+    }
+}
+
+/// A MERCURY detect-and-reuse engine for one layer: similarity detection
+/// via RPQ signatures, an MCACHE holding reusable results, and cycle
+/// accounting from the accelerator model.
+///
+/// Implemented by [`ConvEngine`](crate::ConvEngine) (conv ops),
+/// [`FcEngine`](crate::FcEngine) (fc ops), and
+/// [`AttentionEngine`](crate::AttentionEngine) (attention ops). Handing an
+/// engine an op family it does not implement returns
+/// [`MercuryError::UnsupportedOp`].
+///
+/// Engines come in two cache lifetimes:
+///
+/// * **batch mode** (`try_new`) — the monolithic MCACHE restarts at every
+///   reuse scope (channel for conv, call for FC/attention), the paper's
+///   §III-B3 behaviour;
+/// * **persistent mode** (`persistent`) — a banked MCACHE (§V) survives
+///   across passes and is evicted only by [`end_epoch`](Self::end_epoch),
+///   the behaviour [`MercurySession`](crate::MercurySession) streams
+///   through.
+pub trait ReuseEngine: fmt::Debug {
+    /// Runs one forward pass, generating fresh signatures.
+    ///
+    /// # Errors
+    ///
+    /// [`MercuryError::Tensor`] for malformed operand shapes and
+    /// [`MercuryError::UnsupportedOp`] for a foreign op family.
+    fn forward(&mut self, op: LayerOp<'_>) -> Result<LayerForward, MercuryError>;
+
+    /// Runs one forward pass reusing previously saved signatures
+    /// (backward-pass reuse, §III-C2). Incompatible signatures fall back
+    /// to fresh generation, exactly as the paper prescribes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`forward`](Self::forward).
+    fn forward_reusing(
+        &mut self,
+        op: LayerOp<'_>,
+        saved: &ReuseSignatures,
+    ) -> Result<LayerForward, MercuryError>;
+
+    /// Current signature length in bits.
+    fn signature_bits(&self) -> usize;
+
+    /// Grows the signature by one bit, up to the configured maximum;
+    /// returns the new length.
+    fn grow_signature(&mut self) -> usize;
+
+    /// Enables or disables similarity detection (the stoppage mechanism of
+    /// §III-D). With detection off, passes run at baseline cost.
+    fn set_detection(&mut self, enabled: bool);
+
+    /// Whether similarity detection is currently enabled.
+    fn detection_enabled(&self) -> bool;
+
+    /// The engine's configuration.
+    fn config(&self) -> &MercuryConfig;
+
+    /// Ends the current epoch: evicts all MCACHE state (tags and data).
+    /// For persistent engines this is the *only* eviction point; batch
+    /// engines already restart per reuse scope, so for them this is a
+    /// cheap extra flash-clear.
+    fn end_epoch(&mut self);
+}

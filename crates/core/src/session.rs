@@ -1,0 +1,542 @@
+//! The long-lived streaming facade over the reuse engines.
+//!
+//! MERCURY's value proposition is a *persistent* detect-and-reuse
+//! pipeline: signatures and MCACHE state outlive any single minibatch
+//! (paper §IV–V). A [`MercurySession`] makes that lifetime explicit: it
+//! owns one persistent [`ReuseEngine`] per registered layer, keeps each
+//! engine's banked MCACHE (§V) alive across an unbounded stream of
+//! [`submit`](MercurySession::submit) calls, and evicts by *epoch* —
+//! [`advance_epoch`](MercurySession::advance_epoch) flash-clears every
+//! engine's cache in O(sets) (a per-set occupancy reset plus an O(1)
+//! version-epoch bump; no per-entry walk) — instead of clearing per
+//! forward pass.
+//!
+//! # Examples
+//!
+//! ```
+//! use mercury_core::{MercuryConfig, MercurySession};
+//! use mercury_tensor::{rng::Rng, Tensor};
+//!
+//! # fn main() -> Result<(), mercury_core::MercuryError> {
+//! let mut rng = Rng::new(7);
+//! let config = MercuryConfig::builder().build()?;
+//! let mut session = MercurySession::new(config, 42)?;
+//!
+//! let kernels = Tensor::randn(&[4, 1, 3, 3], &mut rng);
+//! let conv = session.register_conv(kernels, 1, 1)?;
+//!
+//! // Stream requests; MCACHE state persists between submits, so repeated
+//! // content is detected as similar across requests, not just within one.
+//! let input = Tensor::full(&[1, 8, 8], 0.5);
+//! let first = session.submit(conv, &input)?;
+//! let second = session.submit(conv, &input)?;
+//! assert!(second.stats().hits > first.stats().hits);
+//!
+//! // Epoch boundary: evict everything, the next submit starts cold.
+//! session.advance_epoch();
+//! let third = session.submit(conv, &input)?;
+//! assert_eq!(third.stats().hits, first.stats().hits);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::config::ConfigError;
+use crate::fc::{AttentionEngine, FcEngine};
+use crate::reuse::{LayerForward, LayerOp, ReuseEngine};
+use crate::stats::LayerStats;
+use crate::{ConvEngine, MercuryConfig, MercuryError};
+use mercury_tensor::{Tensor, TensorError};
+use std::fmt;
+
+/// Handle to a layer registered with a [`MercurySession`]. Only valid for
+/// the session that issued it — ids carry a process-unique session token,
+/// so presenting one to a different session is a typed
+/// [`MercuryError::UnknownLayer`] rather than silently addressing
+/// whatever layer shares the index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayerId {
+    index: usize,
+    session: u64,
+}
+
+impl fmt::Display for LayerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "layer#{}", self.index)
+    }
+}
+
+/// Source of process-unique session tokens.
+static SESSION_TOKENS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// The operands a session layer binds at registration time; the input
+/// tensor is the only per-submit operand.
+#[derive(Debug)]
+enum LayerParams {
+    Conv {
+        kernels: Tensor,
+        stride: usize,
+        pad: usize,
+    },
+    Fc {
+        weights: Tensor,
+    },
+    Attention,
+}
+
+#[derive(Debug)]
+struct SessionLayer {
+    engine: Box<dyn ReuseEngine>,
+    params: LayerParams,
+    /// Statistics accumulated over every submit since session creation.
+    stats: LayerStats,
+    submits: u64,
+}
+
+/// A long-lived MERCURY service endpoint: registered layers with
+/// persistent engines, a streaming [`submit`](Self::submit) API, and
+/// epoch-based MCACHE eviction.
+///
+/// See the module-level docs in `session.rs` for the lifecycle; the
+/// example below mirrors them.
+#[derive(Debug)]
+pub struct MercurySession {
+    config: MercuryConfig,
+    seed: u64,
+    banks: usize,
+    /// Process-unique token stamped into every [`LayerId`] this session
+    /// issues, so foreign ids are rejected rather than misrouted.
+    token: u64,
+    layers: Vec<SessionLayer>,
+    epoch: u64,
+}
+
+impl MercurySession {
+    /// Creates a session with a default bank split: 8 banks when the
+    /// configured set count divides evenly (the paper-default 64-set cache
+    /// does), otherwise a single bank.
+    ///
+    /// Layer `i`'s engine draws its projection matrices from
+    /// `Rng::new(seed.wrapping_add(i))`, so a session is fully pinned by
+    /// `(config, seed)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] the configuration violates.
+    pub fn new(config: MercuryConfig, seed: u64) -> Result<Self, ConfigError> {
+        let banks = if config.cache.sets % 8 == 0 { 8 } else { 1 };
+        Self::with_banks(config, seed, banks)
+    }
+
+    /// Creates a session with an explicit MCACHE bank count (the §V
+    /// banked-cache knob; `ablation_banked_cache` measures the trade-off).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for an invalid configuration, zero banks,
+    /// or a bank count that does not divide the cache's set count.
+    pub fn with_banks(config: MercuryConfig, seed: u64, banks: usize) -> Result<Self, ConfigError> {
+        config.validate()?;
+        crate::base::validate_bank_split(config.cache.sets, banks)?;
+        Ok(MercurySession {
+            config,
+            seed,
+            banks,
+            token: SESSION_TOKENS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            layers: Vec::new(),
+            epoch: 0,
+        })
+    }
+
+    fn next_seed(&self) -> u64 {
+        self.seed.wrapping_add(self.layers.len() as u64)
+    }
+
+    /// Resolves an id to this session's layer slot, rejecting ids issued
+    /// by other sessions (token mismatch) or out of range.
+    fn slot_index(&self, layer: LayerId) -> Result<usize, MercuryError> {
+        if layer.session != self.token || layer.index >= self.layers.len() {
+            return Err(MercuryError::UnknownLayer(layer));
+        }
+        Ok(layer.index)
+    }
+
+    fn slot(&self, layer: LayerId) -> Option<&SessionLayer> {
+        self.slot_index(layer).ok().map(|i| &self.layers[i])
+    }
+
+    fn push_layer(&mut self, engine: Box<dyn ReuseEngine>, params: LayerParams) -> LayerId {
+        let id = LayerId {
+            index: self.layers.len(),
+            session: self.token,
+        };
+        self.layers.push(SessionLayer {
+            engine,
+            params,
+            stats: LayerStats::default(),
+            submits: 0,
+        });
+        id
+    }
+
+    /// Registers a convolution layer with fixed `kernels` `[F, C, k1, k2]`,
+    /// stride, and padding; submits supply the `[C, H, W]` input.
+    ///
+    /// # Errors
+    ///
+    /// [`MercuryError::Tensor`] if `kernels` is not rank 4.
+    pub fn register_conv(
+        &mut self,
+        kernels: Tensor,
+        stride: usize,
+        pad: usize,
+    ) -> Result<LayerId, MercuryError> {
+        if kernels.rank() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: kernels.rank(),
+            }
+            .into());
+        }
+        let engine = ConvEngine::persistent(self.config, self.next_seed(), self.banks)?;
+        Ok(self.push_layer(
+            Box::new(engine),
+            LayerParams::Conv {
+                kernels,
+                stride,
+                pad,
+            },
+        ))
+    }
+
+    /// Registers a fully-connected layer with fixed `weights` `[L, M]`;
+    /// submits supply the `[N, L]` input rows.
+    ///
+    /// # Errors
+    ///
+    /// [`MercuryError::Tensor`] if `weights` is not rank 2.
+    pub fn register_fc(&mut self, weights: Tensor) -> Result<LayerId, MercuryError> {
+        if weights.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: weights.rank(),
+            }
+            .into());
+        }
+        let engine = FcEngine::persistent(self.config, self.next_seed(), self.banks)?;
+        Ok(self.push_layer(Box::new(engine), LayerParams::Fc { weights }))
+    }
+
+    /// Registers a non-parametric self-attention layer; submits supply the
+    /// `[t, k]` sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`]-wrapping [`MercuryError`] only if engine
+    /// construction fails (the session's config was validated at
+    /// creation, so this is effectively infallible).
+    pub fn register_attention(&mut self) -> Result<LayerId, MercuryError> {
+        let engine = AttentionEngine::persistent(self.config, self.next_seed(), self.banks)?;
+        Ok(self.push_layer(Box::new(engine), LayerParams::Attention))
+    }
+
+    /// Runs one streaming request through a registered layer. The layer's
+    /// MCACHE state persists across calls: similarity is detected against
+    /// everything seen since the last epoch boundary, not just within this
+    /// input.
+    ///
+    /// # Errors
+    ///
+    /// [`MercuryError::UnknownLayer`] for a foreign id and
+    /// [`MercuryError::Tensor`] for a malformed input shape.
+    pub fn submit(&mut self, layer: LayerId, input: &Tensor) -> Result<LayerForward, MercuryError> {
+        let index = self.slot_index(layer)?;
+        let slot = &mut self.layers[index];
+        let op = match &slot.params {
+            LayerParams::Conv {
+                kernels,
+                stride,
+                pad,
+            } => LayerOp::Conv {
+                input,
+                kernels,
+                stride: *stride,
+                pad: *pad,
+            },
+            LayerParams::Fc { weights } => LayerOp::Fc {
+                inputs: input,
+                weights,
+            },
+            LayerParams::Attention => LayerOp::Attention { x: input },
+        };
+        let fwd = slot.engine.forward(op)?;
+        slot.stats.accumulate(&fwd.report.stats);
+        slot.submits += 1;
+        Ok(fwd)
+    }
+
+    /// Ends the current epoch: every engine's MCACHE is evicted (tags and
+    /// data) via the banked flash-clear — O(sets) occupancy reset plus an
+    /// O(1) data-version epoch bump, never a per-entry walk — and the
+    /// epoch counter advances. Returns the new epoch number.
+    pub fn advance_epoch(&mut self) -> u64 {
+        for layer in &mut self.layers {
+            layer.engine.end_epoch();
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// The current epoch (starts at 0; incremented by
+    /// [`advance_epoch`](Self::advance_epoch)).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of registered layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &MercuryConfig {
+        &self.config
+    }
+
+    /// The MCACHE bank count each engine was built with.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Statistics accumulated across every submit to `layer` since the
+    /// session was created (`None` for a foreign id).
+    pub fn layer_stats(&self, layer: LayerId) -> Option<&LayerStats> {
+        self.slot(layer).map(|l| &l.stats)
+    }
+
+    /// Number of submits `layer` has served (`None` for a foreign id).
+    pub fn layer_submits(&self, layer: LayerId) -> Option<u64> {
+        self.slot(layer).map(|l| l.submits)
+    }
+
+    /// Statistics summed over all layers and submits.
+    pub fn total_stats(&self) -> LayerStats {
+        let mut total = LayerStats::default();
+        for layer in &self.layers {
+            total.accumulate(&layer.stats);
+        }
+        total
+    }
+
+    /// Borrows a layer's engine (`None` for a foreign id).
+    pub fn engine(&self, layer: LayerId) -> Option<&dyn ReuseEngine> {
+        self.slot(layer).map(|l| l.engine.as_ref())
+    }
+
+    /// Enables/disables similarity detection on one layer (§III-D
+    /// stoppage).
+    ///
+    /// # Errors
+    ///
+    /// [`MercuryError::UnknownLayer`] for a foreign id.
+    pub fn set_detection(&mut self, layer: LayerId, enabled: bool) -> Result<(), MercuryError> {
+        let index = self.slot_index(layer)?;
+        self.layers[index].engine.set_detection(enabled);
+        Ok(())
+    }
+
+    /// Grows every layer's signature by one bit (the §III-D response to a
+    /// loss plateau). Each persistent cache is flushed when its length
+    /// actually changes — old-length tags can never match again, so they
+    /// would otherwise sit in the sets as unmatchable dead weight until
+    /// the next epoch.
+    pub fn grow_signatures(&mut self) {
+        for layer in &mut self.layers {
+            layer.engine.grow_signature();
+        }
+    }
+
+    /// Replaces a conv layer's kernels or an FC layer's weights (a service
+    /// picking up retrained parameters). The new tensor must keep the old
+    /// rank; attention layers have no parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`MercuryError::UnknownLayer`] for a foreign id,
+    /// [`MercuryError::Tensor`] for a rank mismatch, and
+    /// [`MercuryError::NoParameters`] for an attention layer.
+    pub fn update_weights(&mut self, layer: LayerId, params: Tensor) -> Result<(), MercuryError> {
+        let index = self.slot_index(layer)?;
+        let slot = &mut self.layers[index];
+        match &mut slot.params {
+            LayerParams::Conv { kernels, .. } => {
+                if params.rank() != 4 {
+                    return Err(TensorError::RankMismatch {
+                        expected: 4,
+                        actual: params.rank(),
+                    }
+                    .into());
+                }
+                *kernels = params;
+            }
+            LayerParams::Fc { weights } => {
+                if params.rank() != 2 {
+                    return Err(TensorError::RankMismatch {
+                        expected: 2,
+                        actual: params.rank(),
+                    }
+                    .into());
+                }
+                *weights = params;
+            }
+            LayerParams::Attention => return Err(MercuryError::NoParameters(layer)),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercury_tensor::rng::Rng;
+
+    fn session(seed: u64) -> MercurySession {
+        MercurySession::new(MercuryConfig::default(), seed).unwrap()
+    }
+
+    #[test]
+    fn default_bank_split_follows_config() {
+        assert_eq!(session(1).banks(), 8);
+        let odd_sets = MercuryConfig {
+            cache: mercury_mcache::MCacheConfig::new(9, 4, 1).unwrap(),
+            ..MercuryConfig::default()
+        };
+        assert_eq!(MercurySession::new(odd_sets, 1).unwrap().banks(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_bank_splits() {
+        let cfg = MercuryConfig::default();
+        assert_eq!(
+            MercurySession::with_banks(cfg, 1, 0).unwrap_err(),
+            ConfigError::ZeroBanks
+        );
+        assert_eq!(
+            MercurySession::with_banks(cfg, 1, 7).unwrap_err(),
+            ConfigError::BankSplit { sets: 64, banks: 7 }
+        );
+    }
+
+    #[test]
+    fn submit_streams_through_registered_layers() {
+        let mut rng = Rng::new(2);
+        let mut s = session(2);
+        let conv = s
+            .register_conv(Tensor::randn(&[2, 1, 3, 3], &mut rng), 1, 1)
+            .unwrap();
+        let fc = s.register_fc(Tensor::randn(&[8, 4], &mut rng)).unwrap();
+        let att = s.register_attention().unwrap();
+        assert_eq!(s.num_layers(), 3);
+
+        let img = Tensor::randn(&[1, 6, 6], &mut rng);
+        let out = s.submit(conv, &img).unwrap();
+        assert_eq!(out.output.shape(), &[2, 6, 6]);
+
+        let rows = Tensor::randn(&[3, 8], &mut rng);
+        let out = s.submit(fc, &rows).unwrap();
+        assert_eq!(out.output.shape(), &[3, 4]);
+
+        let seq = Tensor::randn(&[4, 5], &mut rng);
+        let out = s.submit(att, &seq).unwrap();
+        assert_eq!(out.output.shape(), &[4, 5]);
+
+        assert_eq!(s.layer_submits(conv), Some(1));
+        assert!(s.total_stats().total_vectors() > 0);
+    }
+
+    #[test]
+    fn mcache_state_persists_across_submits_until_epoch() {
+        let mut rng = Rng::new(3);
+        let mut s = session(3);
+        let conv = s
+            .register_conv(Tensor::randn(&[4, 1, 3, 3], &mut rng), 1, 0)
+            .unwrap();
+        let input = Tensor::full(&[1, 8, 8], 0.4);
+        let cold = s.submit(conv, &input).unwrap();
+        assert_eq!(cold.stats().maus, 1);
+        let warm = s.submit(conv, &input).unwrap();
+        assert_eq!(warm.stats().maus, 0, "tags persisted across submits");
+        assert_eq!(warm.stats().hits, cold.stats().hits + 1);
+        assert_eq!(s.advance_epoch(), 1);
+        let evicted = s.submit(conv, &input).unwrap();
+        assert_eq!(evicted.stats().maus, 1, "epoch evicted the tags");
+        assert_eq!(evicted.output, cold.output);
+    }
+
+    #[test]
+    fn foreign_layer_ids_are_typed_errors() {
+        // An id issued by one session must be rejected by another, even
+        // when the bare index would be in range — ids are session-bound.
+        let mut issuer = session(40);
+        let mut rng = Rng::new(40);
+        let foreign = issuer
+            .register_conv(Tensor::randn(&[1, 1, 3, 3], &mut rng), 1, 0)
+            .unwrap();
+
+        let mut s = session(4);
+        let own = s
+            .register_conv(Tensor::randn(&[1, 1, 3, 3], &mut rng), 1, 0)
+            .unwrap();
+        let input = Tensor::zeros(&[1, 4, 4]);
+        assert!(s.submit(own, &input).is_ok());
+        assert_eq!(
+            s.submit(foreign, &input).unwrap_err(),
+            MercuryError::UnknownLayer(foreign)
+        );
+        assert!(s.layer_stats(foreign).is_none());
+        assert!(s.engine(foreign).is_none());
+        assert_eq!(
+            s.set_detection(foreign, false).unwrap_err(),
+            MercuryError::UnknownLayer(foreign)
+        );
+    }
+
+    #[test]
+    fn registration_validates_parameter_ranks() {
+        let mut s = session(5);
+        assert!(s.register_conv(Tensor::zeros(&[2, 3, 3]), 1, 0).is_err());
+        assert!(s.register_fc(Tensor::zeros(&[2, 3, 3])).is_err());
+    }
+
+    #[test]
+    fn update_weights_swaps_parameters() {
+        let mut rng = Rng::new(6);
+        let mut s = session(6);
+        let fc = s.register_fc(Tensor::randn(&[6, 2], &mut rng)).unwrap();
+        let rows = Tensor::randn(&[2, 6], &mut rng);
+        let before = s.submit(fc, &rows).unwrap();
+        s.update_weights(fc, Tensor::zeros(&[6, 2])).unwrap();
+        let after = s.submit(fc, &rows).unwrap();
+        assert_ne!(before.output, after.output);
+        assert!(after.output.data().iter().all(|&v| v == 0.0));
+        assert!(s.update_weights(fc, Tensor::zeros(&[3])).is_err());
+        let att = s.register_attention().unwrap();
+        assert_eq!(
+            s.update_weights(att, Tensor::zeros(&[2, 2])).unwrap_err(),
+            MercuryError::NoParameters(att)
+        );
+    }
+
+    #[test]
+    fn detection_toggle_and_growth_reach_engines() {
+        let mut rng = Rng::new(7);
+        let mut s = session(7);
+        let conv = s
+            .register_conv(Tensor::randn(&[2, 1, 3, 3], &mut rng), 1, 0)
+            .unwrap();
+        s.set_detection(conv, false).unwrap();
+        assert!(!s.engine(conv).unwrap().detection_enabled());
+        assert_eq!(s.engine(conv).unwrap().signature_bits(), 20);
+        s.grow_signatures();
+        assert_eq!(s.engine(conv).unwrap().signature_bits(), 21);
+    }
+}

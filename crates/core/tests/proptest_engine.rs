@@ -1,10 +1,19 @@
-//! Property-based tests of the MERCURY engines' core guarantees.
+//! Property-based tests of the MERCURY engines' core guarantees, driven
+//! through the unified [`ReuseEngine`] trait.
 
-use mercury_core::{ConvEngine, FcEngine, MercuryConfig};
+use mercury_core::{ConvEngine, FcEngine, LayerOp, MercuryConfig, ReuseEngine};
 use mercury_tensor::conv::conv2d_multi;
 use mercury_tensor::rng::Rng;
 use mercury_tensor::{ops, Tensor};
 use proptest::prelude::*;
+
+fn conv_engine(seed: u64) -> ConvEngine {
+    ConvEngine::try_new(MercuryConfig::default(), seed).unwrap()
+}
+
+fn fc_engine(seed: u64) -> FcEngine {
+    FcEngine::try_new(MercuryConfig::default(), seed).unwrap()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -23,17 +32,17 @@ proptest! {
         let mut rng = Rng::new(seed);
         let input = Tensor::randn(&[c, size, size], &mut rng);
         let kernels = Tensor::randn(&[f, c, 3, 3], &mut rng);
-        let mut engine = ConvEngine::new(MercuryConfig::default(), seed ^ 0x5555);
-        let got = engine.forward(&input, &kernels, 1, 1).unwrap();
+        let mut engine = conv_engine(seed ^ 0x5555);
+        let got = engine.forward(LayerOp::conv(&input, &kernels, 1, 1)).unwrap();
         let want = conv2d_multi(&input, &kernels, 1, 1).unwrap();
-        if got.stats.hits == 0 {
+        if got.stats().hits == 0 {
             for (g, w) in got.output.data().iter().zip(want.data()) {
                 prop_assert!((g - w).abs() < 1e-3, "got {g}, want {w}");
             }
         } else {
             let err = got.output.sub(&want).unwrap().norm_sq().sqrt()
                 / want.norm_sq().sqrt().max(1e-6);
-            prop_assert!(err < 0.5, "relative error {err} with {} hits", got.stats.hits);
+            prop_assert!(err < 0.5, "relative error {err} with {} hits", got.stats().hits);
         }
     }
 
@@ -50,9 +59,9 @@ proptest! {
         let mut rng = Rng::new(seed);
         let input = Tensor::randn(&[c, size, size], &mut rng);
         let kernels = Tensor::randn(&[f, c, 3, 3], &mut rng);
-        let mut engine = ConvEngine::new(MercuryConfig::default(), seed);
-        let out = engine.forward(&input, &kernels, 1, 0).unwrap();
-        let stats = out.stats;
+        let mut engine = conv_engine(seed);
+        let out = engine.forward(LayerOp::conv(&input, &kernels, 1, 0)).unwrap();
+        let stats = out.stats();
         let patches = (size - 2) * (size - 2);
         prop_assert_eq!(stats.total_vectors(), (c * patches) as u64);
         prop_assert_eq!(
@@ -80,15 +89,15 @@ proptest! {
         k2_data.extend_from_slice(k1.data());
         let k2 = Tensor::from_vec(k2_data, &[1, 2, 3, 3]).unwrap();
 
-        let mut e1 = ConvEngine::new(MercuryConfig::default(), 42);
-        let mut e2 = ConvEngine::new(MercuryConfig::default(), 42);
-        let o1 = e1.forward(&one, &k1, 1, 0).unwrap();
-        let o2 = e2.forward(&two, &k2, 1, 0).unwrap();
+        let mut e1 = conv_engine(42);
+        let mut e2 = conv_engine(42);
+        let o1 = e1.forward(LayerOp::conv(&one, &k1, 1, 0)).unwrap();
+        let o2 = e2.forward(LayerOp::conv(&two, &k2, 1, 0)).unwrap();
         // Channel accumulation: out2 == 2 × out1.
         for (a, b) in o1.output.data().iter().zip(o2.output.data()) {
             prop_assert!((2.0 * a - b).abs() < 1e-3);
         }
-        prop_assert_eq!(o2.stats.total_vectors(), 2 * o1.stats.total_vectors());
+        prop_assert_eq!(o2.stats().total_vectors(), 2 * o1.stats().total_vectors());
     }
 
     /// Saved-signature reuse never changes outcomes when geometry matches:
@@ -98,13 +107,13 @@ proptest! {
         let mut rng = Rng::new(seed);
         let input = Tensor::randn(&[1, size, size], &mut rng).scale(0.05);
         let kernels = Tensor::randn(&[3, 1, 3, 3], &mut rng);
-        let mut engine = ConvEngine::new(MercuryConfig::default(), seed);
-        let first = engine.forward(&input, &kernels, 1, 0).unwrap();
+        let mut engine = conv_engine(seed);
+        let first = engine.forward(LayerOp::conv(&input, &kernels, 1, 0)).unwrap();
         let second = engine
-            .forward_reusing(&input, &kernels, 1, 0, &first.signatures)
+            .forward_reusing(LayerOp::conv(&input, &kernels, 1, 0), &first.report.signatures)
             .unwrap();
-        prop_assert_eq!(first.stats.hits, second.stats.hits);
-        prop_assert_eq!(first.stats.maus, second.stats.maus);
+        prop_assert_eq!(first.stats().hits, second.stats().hits);
+        prop_assert_eq!(first.stats().maus, second.stats().maus);
         prop_assert_eq!(first.output, second.output);
     }
 
@@ -125,9 +134,9 @@ proptest! {
         }
         let inputs = Tensor::from_vec(data, &[n, l]).unwrap();
         let weights = Tensor::randn(&[l, m], &mut rng);
-        let mut engine = FcEngine::new(MercuryConfig::default(), seed);
-        let out = engine.forward(&inputs, &weights).unwrap();
-        prop_assert_eq!(out.stats.hits as usize, n - 1);
+        let mut engine = fc_engine(seed);
+        let out = engine.forward(LayerOp::fc(&inputs, &weights)).unwrap();
+        prop_assert_eq!(out.stats().hits as usize, n - 1);
         for i in 1..n {
             prop_assert_eq!(
                 &out.output.data()[0..m],
@@ -149,12 +158,36 @@ proptest! {
         let mut rng = Rng::new(seed);
         let inputs = Tensor::randn(&[n, l], &mut rng);
         let weights = Tensor::randn(&[l, m], &mut rng);
-        let mut engine = FcEngine::new(MercuryConfig::default(), seed ^ 1);
-        let out = engine.forward(&inputs, &weights).unwrap();
-        prop_assume!(out.stats.hits == 0);
+        let mut engine = fc_engine(seed ^ 1);
+        let out = engine.forward(LayerOp::fc(&inputs, &weights)).unwrap();
+        prop_assume!(out.stats().hits == 0);
         let want = ops::matmul(&inputs, &weights).unwrap();
         for (g, w) in out.output.data().iter().zip(want.data()) {
             prop_assert!((g - w).abs() < 1e-3);
+        }
+    }
+
+    /// Persistent engines must stay numerically exact across repeated
+    /// submits of workloads with duplicate rows: stale hits recompute (and
+    /// promote) rather than resurrect values from earlier passes.
+    #[test]
+    fn persistent_fc_resubmits_stay_exact(
+        seed in 0u64..300,
+        n in 1usize..6,
+        l in 8usize..14,
+        m in 1usize..5,
+        resubmits in 1usize..4,
+    ) {
+        let mut rng = Rng::new(seed);
+        let inputs = Tensor::randn(&[n, l], &mut rng);
+        let weights = Tensor::randn(&[l, m], &mut rng);
+        let mut engine = FcEngine::persistent(MercuryConfig::default(), seed ^ 2, 8).unwrap();
+        let first = engine.forward(LayerOp::fc(&inputs, &weights)).unwrap();
+        for _ in 0..resubmits {
+            let again = engine.forward(LayerOp::fc(&inputs, &weights)).unwrap();
+            prop_assert_eq!(&again.output, &first.output);
+            // All earlier tags are resident, so nothing inserts anew.
+            prop_assert_eq!(again.stats().maus, 0);
         }
     }
 }

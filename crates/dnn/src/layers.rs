@@ -2,14 +2,16 @@
 //! fully-connected, mean-pooling, and self-attention.
 //!
 //! Each layer caches whatever its backward pass needs during `forward`.
-//! Convolution and attention layers optionally carry a MERCURY engine; when
-//! present, their forward pass (and the convolution's input-gradient
-//! backward pass) run with signature-based reuse and record
-//! [`LayerStats`].
+//! Convolution and attention layers optionally carry a MERCURY engine
+//! behind the unified [`ReuseEngine`] trait; when present, their forward
+//! pass (and the convolution's input-gradient backward pass) run with
+//! signature-based reuse and record [`LayerStats`]. All engine lifecycle
+//! calls (attach, grow, detection, stats) go through the trait — the
+//! layers never dispatch on a concrete engine type.
 
 use crate::DnnError;
 use mercury_core::stats::LayerStats;
-use mercury_core::{ConvEngine, FcEngine, MercuryConfig};
+use mercury_core::{AttentionEngine, ConvEngine, LayerOp, MercuryConfig, ReuseEngine};
 use mercury_tensor::rng::Rng;
 use mercury_tensor::{conv, ops, Tensor};
 
@@ -20,7 +22,7 @@ pub struct Conv2d {
     pad: usize,
     dkernels: Tensor,
     cached_input: Option<Tensor>,
-    engine: Option<ConvEngine>,
+    engine: Option<Box<dyn ReuseEngine>>,
     last_stats: Option<LayerStats>,
     /// The first layer of a network never needs its input gradient;
     /// skipping it matches what training frameworks (and the paper's
@@ -53,8 +55,8 @@ impl Conv2d {
         self.cached_input = Some(x.clone());
         match &mut self.engine {
             Some(engine) => {
-                let out = engine.forward(x, &self.kernels, 1, self.pad)?;
-                self.last_stats = Some(out.stats);
+                let out = engine.forward(LayerOp::conv(x, &self.kernels, 1, self.pad))?;
+                self.last_stats = Some(out.report.stats);
                 Ok(out.output)
             }
             None => Ok(conv::conv2d_multi(x, &self.kernels, 1, self.pad)?),
@@ -81,11 +83,11 @@ impl Conv2d {
                 // (eq. 2 of the paper). Gradient-vector similarity is
                 // exploited just like input similarity.
                 let flipped = flip_kernels(&self.kernels);
-                let out = engine.forward(dout, &flipped, 1, k - 1 - self.pad)?;
+                let out = engine.forward(LayerOp::conv(dout, &flipped, 1, k - 1 - self.pad))?;
                 if let Some(stats) = &mut self.last_stats {
-                    stats.accumulate(&out.stats);
+                    stats.accumulate(&out.report.stats);
                 } else {
-                    self.last_stats = Some(out.stats);
+                    self.last_stats = Some(out.report.stats);
                 }
                 Ok(out.output)
             }
@@ -313,7 +315,7 @@ impl MeanPool {
 #[derive(Debug, Default)]
 pub struct Attention {
     cached_input: Option<Tensor>,
-    engine: Option<FcEngine>,
+    engine: Option<Box<dyn ReuseEngine>>,
     last_stats: Option<LayerStats>,
 }
 
@@ -322,8 +324,8 @@ impl Attention {
         self.cached_input = Some(x.clone());
         match &mut self.engine {
             Some(engine) => {
-                let out = engine.attention(x)?;
-                self.last_stats = Some(out.stats);
+                let out = engine.forward(LayerOp::attention(x))?;
+                self.last_stats = Some(out.report.stats);
                 Ok(out.output)
             }
             None => {
@@ -413,12 +415,52 @@ impl Layer {
     }
 
     /// Attaches MERCURY engines to layers that support reuse (convolution
-    /// and attention); other layers ignore the call.
+    /// and attention); other layers ignore the call. This is the only
+    /// place that knows which concrete engine backs which layer family —
+    /// everything downstream drives the [`ReuseEngine`] trait.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation — configurations are
+    /// build-time constants in every caller, so this is treated as a
+    /// programming error.
     pub fn attach_engine(&mut self, config: MercuryConfig, seed: u64) {
+        let build = |engine: Result<Box<dyn ReuseEngine>, mercury_core::ConfigError>| match engine {
+            Ok(engine) => engine,
+            Err(e) => panic!("invalid MercuryConfig: {e}"),
+        };
         match self {
-            Layer::Conv2d(conv) => conv.engine = Some(ConvEngine::new(config, seed)),
-            Layer::Attention(att) => att.engine = Some(FcEngine::new(config, seed)),
+            Layer::Conv2d(conv) => {
+                conv.engine = Some(build(
+                    ConvEngine::try_new(config, seed).map(|e| Box::new(e) as _),
+                ));
+            }
+            Layer::Attention(att) => {
+                att.engine = Some(build(
+                    AttentionEngine::try_new(config, seed).map(|e| Box::new(e) as _),
+                ));
+            }
             _ => {}
+        }
+    }
+
+    /// The attached reuse engine, if this layer family carries one and one
+    /// was attached — the single dispatch point the engine lifecycle
+    /// methods below share.
+    fn engine_mut(&mut self) -> Option<&mut Box<dyn ReuseEngine>> {
+        match self {
+            Layer::Conv2d(l) => l.engine.as_mut(),
+            Layer::Attention(l) => l.engine.as_mut(),
+            _ => None,
+        }
+    }
+
+    /// Immutable view of the attached reuse engine.
+    fn engine_ref(&self) -> Option<&(dyn ReuseEngine + '_)> {
+        match self {
+            Layer::Conv2d(l) => l.engine.as_deref(),
+            Layer::Attention(l) => l.engine.as_deref(),
+            _ => None,
         }
     }
 
@@ -489,27 +531,13 @@ impl Layer {
     /// Grows the attached engine's signature by one bit (no-op without an
     /// engine). Returns the new length when applicable.
     pub fn grow_signature(&mut self) -> Option<usize> {
-        match self {
-            Layer::Conv2d(l) => l.engine.as_mut().map(|e| e.grow_signature()),
-            Layer::Attention(l) => l.engine.as_mut().map(|e| e.grow_signature()),
-            _ => None,
-        }
+        self.engine_mut().map(|e| e.grow_signature())
     }
 
     /// Enables/disables similarity detection on the attached engine.
     pub fn set_detection(&mut self, enabled: bool) {
-        match self {
-            Layer::Conv2d(l) => {
-                if let Some(e) = &mut l.engine {
-                    e.set_detection(enabled);
-                }
-            }
-            Layer::Attention(l) => {
-                if let Some(e) = &mut l.engine {
-                    e.set_detection(enabled);
-                }
-            }
-            _ => {}
+        if let Some(e) = self.engine_mut() {
+            e.set_detection(enabled);
         }
     }
 
@@ -523,16 +551,7 @@ impl Layer {
 
     /// Whether this layer carries a MERCURY engine.
     pub fn has_engine(&self) -> bool {
-        matches!(
-            self,
-            Layer::Conv2d(Conv2d {
-                engine: Some(_),
-                ..
-            }) | Layer::Attention(Attention {
-                engine: Some(_),
-                ..
-            })
-        )
+        self.engine_ref().is_some()
     }
 }
 
@@ -596,7 +615,9 @@ mod tests {
 
         let mut exact = Conv2d::new(2, 1, 3, 1, &mut rng());
         let mut reuse = Conv2d::new(2, 1, 3, 1, &mut rng());
-        reuse.engine = Some(ConvEngine::new(MercuryConfig::default(), 7));
+        reuse.engine = Some(Box::new(
+            ConvEngine::try_new(MercuryConfig::default(), 7).unwrap(),
+        ));
 
         exact.forward(&x).unwrap();
         reuse.forward(&x).unwrap();

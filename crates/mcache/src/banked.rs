@@ -65,6 +65,11 @@ impl BankedMCache {
         self.banks.len()
     }
 
+    /// The per-bank geometry (all banks share one configuration).
+    pub fn bank_config(&self) -> MCacheConfig {
+        self.banks[0].config()
+    }
+
     /// Total entries across banks.
     pub fn entries(&self) -> usize {
         self.banks.iter().map(|b| b.config().entries()).sum()
@@ -86,6 +91,14 @@ impl BankedMCache {
     /// Reads a data version through a banked entry id.
     pub fn read(&self, id: BankedEntryId, version: usize) -> Option<f32> {
         self.banks.get(id.bank)?.read(id.entry, version)
+    }
+
+    /// Reads with statistics: counts a data hit or miss on the owning bank.
+    /// An out-of-range bank reads as `None` without touching any counter.
+    pub fn read_counted(&mut self, id: BankedEntryId, version: usize) -> Option<f32> {
+        self.banks
+            .get_mut(id.bank)
+            .and_then(|bank| bank.read_counted(id.entry, version))
     }
 
     /// Writes a data version through a banked entry id.
@@ -241,6 +254,25 @@ mod tests {
         assert_eq!(c.probe_insert(sig(5)).kind(), HitKind::Hit);
         c.clear();
         assert_eq!(c.probe_insert(sig(5)).kind(), HitKind::Mau);
+    }
+
+    #[test]
+    fn read_counted_tracks_aggregate_stats() {
+        let mut c = cache(2);
+        let id = c.probe_insert(sig(3)).entry().unwrap();
+        assert_eq!(c.read_counted(id, 0), None);
+        c.write(id, 0, 2.0).unwrap();
+        assert_eq!(c.read_counted(id, 0), Some(2.0));
+        let s = c.stats();
+        assert_eq!((s.data_misses, s.data_reads), (1, 1));
+        assert_eq!(c.bank_config().ways, 2);
+        // Out-of-range bank: None, no counter movement.
+        let bogus = BankedEntryId {
+            bank: 99,
+            entry: id.entry,
+        };
+        assert_eq!(c.read_counted(bogus, 0), None);
+        assert_eq!(c.stats().data_misses, 1);
     }
 
     #[test]

@@ -27,6 +27,22 @@ pub struct Rng {
     spare_normal: Option<f32>,
 }
 
+/// An opaque snapshot of an [`Rng`]'s complete state.
+///
+/// Because every draw is a pure function of the state, a `(inputs,
+/// RngState)` pair keys any derivation deterministically — which is what
+/// lets callers memoize expensive synthesized sequences
+/// (e.g. `VectorStream::cluster_ids` in `mercury-workloads`) and replay
+/// them with [`Rng::restore`] as if they had been drawn afresh. The
+/// snapshot is `Hash`/`Eq` so it can serve directly as a memo key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RngState {
+    state: u64,
+    /// The Box–Muller spare, stored as raw bits so the snapshot stays
+    /// `Eq`/`Hash`.
+    spare_bits: Option<u32>,
+}
+
 impl Rng {
     /// Creates a generator from a seed. Equal seeds produce equal streams.
     pub fn new(seed: u64) -> Self {
@@ -96,6 +112,22 @@ impl Rng {
     pub fn next_range(&mut self, low: f32, high: f32) -> f32 {
         assert!(low <= high, "low must not exceed high");
         low + (high - low) * self.next_f32()
+    }
+
+    /// Snapshots the generator's complete state (see [`RngState`]).
+    pub fn checkpoint(&self) -> RngState {
+        RngState {
+            state: self.state,
+            spare_bits: self.spare_normal.map(f32::to_bits),
+        }
+    }
+
+    /// Restores a state captured by [`checkpoint`](Self::checkpoint); the
+    /// generator continues exactly as if the intervening draws had been
+    /// performed on it.
+    pub fn restore(&mut self, snapshot: RngState) {
+        self.state = snapshot.state;
+        self.spare_normal = snapshot.spare_bits.map(f32::from_bits);
     }
 
     /// Derives an independent child generator; useful for giving each layer
@@ -180,6 +212,22 @@ mod tests {
     #[should_panic(expected = "bound must be positive")]
     fn next_below_zero_panics() {
         Rng::new(0).next_below(0);
+    }
+
+    #[test]
+    fn checkpoint_restore_replays_the_stream() {
+        let mut rng = Rng::new(31);
+        rng.next_normal(); // leave a Box–Muller spare in flight
+        let snap = rng.checkpoint();
+        let draws: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        let normal = rng.next_normal();
+        rng.restore(snap);
+        // A restored state compares equal to its snapshot (memo-key
+        // contract) and replays the exact same stream.
+        assert_eq!(snap, rng.checkpoint());
+        let replay: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert_eq!(draws, replay);
+        assert_eq!(normal, rng.next_normal());
     }
 
     #[test]

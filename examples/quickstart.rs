@@ -1,15 +1,18 @@
-//! Quickstart: run one MERCURY convolution and inspect the reuse.
+//! Quickstart: open a long-lived MERCURY session, stream convolution
+//! requests through it, and watch reuse compound across requests.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Builds a smooth input (high patch similarity), convolves it through the
-//! MERCURY engine, and prints the MCACHE access mix, the cycle accounting
-//! from the simulated accelerator, and the numerical error against an
-//! exact convolution.
+//! Builds a smooth input (high patch similarity), registers one conv layer
+//! with a [`MercurySession`], and submits it twice: the first request pays
+//! the cold-start MAUs, the second hits on the MCACHE state that persisted
+//! across submits. An epoch boundary then evicts everything. Also prints
+//! the cycle accounting from the simulated accelerator and the numerical
+//! error against an exact convolution.
 
-use mercury_core::{ConvEngine, MercuryConfig};
+use mercury_core::{MercuryConfig, MercurySession};
 use mercury_tensor::conv::conv2d_multi;
 use mercury_tensor::rng::Rng;
 use mercury_tensor::Tensor;
@@ -46,28 +49,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let kernels = Tensor::randn(&[64, 1, 3, 3], &mut rng);
 
-    // MERCURY convolution: signatures -> MCACHE -> reuse.
-    let mut engine = ConvEngine::new(MercuryConfig::default(), 7);
-    let result = engine.forward(&image, &kernels, 1, 1)?;
+    // One session, one registered conv layer, a stream of submits. The
+    // typed config builder rejects bad configurations with a ConfigError.
+    let config = MercuryConfig::builder().build()?;
+    let mut session = MercurySession::new(config, 7)?;
+    let conv = session.register_conv(kernels.clone(), 1, 1)?;
 
-    let stats = result.stats;
-    println!("input vectors     : {}", stats.total_vectors());
-    println!("  HIT  (reused)   : {}", stats.hits);
-    println!("  MAU  (cached)   : {}", stats.maus);
-    println!("  MNU  (computed) : {}", stats.mnus);
-    println!("unique vectors    : {}", stats.unique_vectors);
-    println!("similarity        : {:.1}%", 100.0 * stats.similarity());
-    println!();
-    println!("baseline cycles   : {}", stats.cycles.baseline);
-    println!("mercury cycles    : {}", stats.cycles.total());
-    println!("  signature phase : {}", stats.cycles.signature);
-    println!("  compute phase   : {}", stats.cycles.compute);
-    println!("speedup           : {:.2}x", stats.cycles.speedup());
+    let first = session.submit(conv, &image)?;
+    let second = session.submit(conv, &image)?;
+
+    for (label, result) in [("request 1 (cold)", &first), ("request 2 (warm)", &second)] {
+        let stats = &result.report.stats;
+        println!("--- {label} ---");
+        println!("input vectors     : {}", stats.total_vectors());
+        println!("  HIT  (reused)   : {}", stats.hits);
+        println!("  MAU  (cached)   : {}", stats.maus);
+        println!("  MNU  (computed) : {}", stats.mnus);
+        println!("similarity        : {:.1}%", 100.0 * stats.similarity());
+        println!("baseline cycles   : {}", stats.cycles.baseline);
+        println!("mercury cycles    : {}", stats.cycles.total());
+        println!("  signature phase : {}", stats.cycles.signature);
+        println!("  compute phase   : {}", stats.cycles.compute);
+        println!("speedup           : {:.2}x", stats.cycles.speedup());
+        println!();
+    }
+    println!(
+        "cross-request reuse: {} extra hits on request 2 (persistent MCACHE)",
+        second.stats().hits - first.stats().hits
+    );
+
+    // Epoch boundary: flash-clear every engine's cache (O(sets) occupancy
+    // reset + O(1) data-version epoch bump, no per-entry walk); the
+    // next request starts cold again.
+    session.advance_epoch();
+    let evicted = session.submit(conv, &image)?;
+    println!(
+        "after advance_epoch(): request sees {} MAUs again (cache evicted)",
+        evicted.stats().maus
+    );
 
     // Reuse substitutes producer results for similar patches; measure the
     // numerical deviation versus the exact convolution.
     let exact = conv2d_multi(&image, &kernels, 1, 1)?;
-    let err = result.output.sub(&exact)?.norm_sq().sqrt() / exact.norm_sq().sqrt();
+    let err = second.output.sub(&exact)?.norm_sq().sqrt() / exact.norm_sq().sqrt();
     println!();
     println!("relative L2 error vs exact conv: {err:.2e}");
     Ok(())

@@ -18,7 +18,7 @@
 //! | [`models`]    | `mercury-models`    | the twelve evaluated network specs           |
 //! | [`baselines`] | `mercury-baselines` | upper-bound comparison schemes               |
 //! | [`fpga`]      | `mercury-fpga`      | Virtex-7 resource/power model                |
-//! | [`bench`]     | `mercury-bench`     | figure/table experiment harness              |
+//! | [`bench`](mod@bench) | `mercury-bench` | figure/table experiment harness          |
 
 #![warn(missing_docs)]
 

@@ -9,7 +9,9 @@
 use mercury_bench::{
     simulate_model, simulate_model_serial, simulate_model_with_workers, ModelSimConfig,
 };
-use mercury_core::{ConvEngine, FcEngine, MercuryConfig};
+use mercury_core::{
+    AttentionEngine, ConvEngine, FcEngine, LayerOp, MercuryConfig, MercurySession, ReuseEngine,
+};
 use mercury_models::{mobilenet_v2, transformer, vgg13};
 use mercury_tensor::rng::Rng;
 use mercury_tensor::Tensor;
@@ -18,7 +20,7 @@ use mercury_tensor::Tensor;
 /// through a fresh `ConvEngine`, returning everything observable.
 fn conv_run(engine_seed: u64, workload_seed: u64) -> Vec<(Tensor, u64, u64, u64, u64, u64)> {
     let mut rng = Rng::new(workload_seed);
-    let mut engine = ConvEngine::new(MercuryConfig::default(), engine_seed);
+    let mut engine = ConvEngine::try_new(MercuryConfig::default(), engine_seed).unwrap();
     let kernels = Tensor::randn(&[6, 2, 3, 3], &mut rng);
     let mut out = Vec::new();
     for step in 0..4 {
@@ -28,14 +30,17 @@ fn conv_run(engine_seed: u64, workload_seed: u64) -> Vec<(Tensor, u64, u64, u64,
         } else {
             Tensor::randn(&[2, 10, 10], &mut rng)
         };
-        let fwd = engine.forward(&input, &kernels, 1, 1).unwrap();
+        let fwd = engine
+            .forward(LayerOp::conv(&input, &kernels, 1, 1))
+            .unwrap();
+        let stats = fwd.report.stats;
         out.push((
             fwd.output,
-            fwd.stats.hits,
-            fwd.stats.maus,
-            fwd.stats.mnus,
-            fwd.stats.cycles.total(),
-            fwd.stats.cycles.baseline,
+            stats.hits,
+            stats.maus,
+            stats.mnus,
+            stats.cycles.total(),
+            stats.cycles.baseline,
         ));
         engine.grow_signature();
     }
@@ -73,20 +78,68 @@ fn conv_engine_seed_actually_matters() {
 fn fc_engine_runs_are_bit_identical_for_equal_seeds() {
     let run = |seed: u64| {
         let mut rng = Rng::new(seed);
-        let mut engine = FcEngine::new(MercuryConfig::default(), 99);
+        let mut engine = FcEngine::try_new(MercuryConfig::default(), 99).unwrap();
         let inputs = Tensor::randn(&[16, 12], &mut rng);
         let weights = Tensor::randn(&[12, 8], &mut rng);
-        let fwd = engine.forward(&inputs, &weights).unwrap();
-        let att = engine.attention(&Tensor::randn(&[6, 8], &mut rng)).unwrap();
+        let fwd = engine.forward(LayerOp::fc(&inputs, &weights)).unwrap();
+        let mut att_engine = AttentionEngine::try_new(MercuryConfig::default(), 99).unwrap();
+        let att = att_engine
+            .forward(LayerOp::attention(&Tensor::randn(&[6, 8], &mut rng)))
+            .unwrap();
         (
             fwd.output,
-            fwd.stats.hits,
+            fwd.report.stats.hits,
+            fwd.report.stats.cycles.total(),
             att.output,
-            att.stats.hits,
-            att.stats.cycles.total(),
+            att.report.stats.hits,
+            att.report.stats.cycles.total(),
         )
     };
     assert_eq!(run(11), run(11));
+}
+
+#[test]
+fn session_streams_are_bit_identical_for_equal_seeds() {
+    // The persistent-session path must honour the same contract as the
+    // batch engines: a session is a pure function of (config, seed,
+    // submitted stream).
+    let run = |seed: u64| {
+        let mut rng = Rng::new(seed);
+        let mut session = MercurySession::new(MercuryConfig::default(), 55).unwrap();
+        let conv = session
+            .register_conv(Tensor::randn(&[4, 1, 3, 3], &mut rng), 1, 1)
+            .unwrap();
+        let att = session.register_attention().unwrap();
+        let mut out = Vec::new();
+        for step in 0..3 {
+            let img = if step % 2 == 0 {
+                Tensor::full(&[1, 9, 9], 0.5)
+            } else {
+                Tensor::randn(&[1, 9, 9], &mut rng)
+            };
+            let fwd = session.submit(conv, &img).unwrap();
+            out.push((
+                fwd.output,
+                fwd.report.stats.hits,
+                fwd.report.stats.maus,
+                fwd.report.stats.cycles.total(),
+            ));
+            let seq = Tensor::randn(&[5, 6], &mut rng);
+            let a = session.submit(att, &seq).unwrap();
+            out.push((
+                a.output,
+                a.report.stats.hits,
+                a.report.stats.maus,
+                a.report.stats.cycles.total(),
+            ));
+            if step == 1 {
+                session.advance_epoch();
+            }
+        }
+        out
+    };
+    assert_eq!(run(23), run(23));
+    assert_ne!(run(23), run(24), "workload seed has no observable effect");
 }
 
 #[test]

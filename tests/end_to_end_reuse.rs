@@ -1,7 +1,8 @@
 //! Cross-crate integration: the full MERCURY pipeline from tensors through
-//! signatures, MCACHE, the reuse engine, and the cycle simulator.
+//! signatures, MCACHE, the reuse engines (driven through the unified
+//! `ReuseEngine` trait), and the cycle simulator.
 
-use mercury_core::{ConvEngine, FcEngine, MercuryConfig};
+use mercury_core::{AttentionEngine, ConvEngine, FcEngine, LayerOp, MercuryConfig, ReuseEngine};
 use mercury_tensor::conv::conv2d_multi;
 use mercury_tensor::rng::Rng;
 use mercury_tensor::{ops, Tensor};
@@ -11,10 +12,12 @@ fn conv_accounting_is_self_consistent() {
     let mut rng = Rng::new(1);
     let input = Tensor::randn(&[2, 12, 12], &mut rng);
     let kernels = Tensor::randn(&[8, 2, 3, 3], &mut rng);
-    let mut engine = ConvEngine::new(MercuryConfig::default(), 5);
-    let out = engine.forward(&input, &kernels, 1, 1).unwrap();
+    let mut engine = ConvEngine::try_new(MercuryConfig::default(), 5).unwrap();
+    let out = engine
+        .forward(LayerOp::conv(&input, &kernels, 1, 1))
+        .unwrap();
 
-    let stats = out.stats;
+    let stats = out.stats();
     // Every vector is classified exactly once per channel.
     assert_eq!(stats.total_vectors(), 2 * 144);
     // Dot-product ledger covers all (vector, filter) pairs.
@@ -40,12 +43,14 @@ fn smooth_inputs_reuse_heavily_and_stay_accurate() {
     }
     let kernels = Tensor::randn(&[16, 1, 3, 3], &mut tile_rng);
 
-    let mut engine = ConvEngine::new(MercuryConfig::default(), 9);
-    let out = engine.forward(&image, &kernels, 1, 1).unwrap();
+    let mut engine = ConvEngine::try_new(MercuryConfig::default(), 9).unwrap();
+    let out = engine
+        .forward(LayerOp::conv(&image, &kernels, 1, 1))
+        .unwrap();
     assert!(
-        out.stats.similarity() > 0.5,
+        out.stats().similarity() > 0.5,
         "tiled image should reuse >50%, got {:.2}",
-        out.stats.similarity()
+        out.stats().similarity()
     );
 
     // Exact-repeat reuse must be numerically harmless.
@@ -61,23 +66,28 @@ fn backward_signature_reuse_chains_through_engine() {
     let mut rng = Rng::new(3);
     let input = Tensor::full(&[1, 10, 10], 0.3);
     let kernels = Tensor::randn(&[4, 1, 3, 3], &mut rng);
-    let mut engine = ConvEngine::new(MercuryConfig::default(), 11);
+    let mut engine = ConvEngine::try_new(MercuryConfig::default(), 11).unwrap();
 
-    let fwd = engine.forward(&input, &kernels, 1, 1).unwrap();
-    assert!(fwd.stats.cycles.signature > 0);
+    let fwd = engine
+        .forward(LayerOp::conv(&input, &kernels, 1, 1))
+        .unwrap();
+    assert!(fwd.stats().cycles.signature > 0);
 
     let bwd = engine
-        .forward_reusing(&input, &kernels, 1, 1, &fwd.signatures)
+        .forward_reusing(
+            LayerOp::conv(&input, &kernels, 1, 1),
+            &fwd.report.signatures,
+        )
         .unwrap();
     // Signature *generation* is skipped; only the hitmap rebuild's
     // insertion-conflict serialization (a few cycles) remains.
     assert!(
-        bwd.stats.cycles.signature < 10,
+        bwd.stats().cycles.signature < 10,
         "reloaded signatures should cost almost nothing, got {}",
-        bwd.stats.cycles.signature
+        bwd.stats().cycles.signature
     );
-    assert!(bwd.stats.cycles.signature < fwd.stats.cycles.signature);
-    assert!(bwd.stats.cycles.total() < fwd.stats.cycles.total());
+    assert!(bwd.stats().cycles.signature < fwd.stats().cycles.signature);
+    assert!(bwd.stats().cycles.total() < fwd.stats().cycles.total());
 }
 
 #[test]
@@ -85,21 +95,36 @@ fn fc_and_attention_engines_agree_with_linear_algebra() {
     let mut rng = Rng::new(4);
     let inputs = Tensor::randn(&[12, 10], &mut rng);
     let weights = Tensor::randn(&[10, 6], &mut rng);
-    let mut engine = FcEngine::new(MercuryConfig::default(), 13);
+    let mut fc_engine = FcEngine::try_new(MercuryConfig::default(), 13).unwrap();
 
-    let fc = engine.forward(&inputs, &weights).unwrap();
+    let fc = fc_engine.forward(LayerOp::fc(&inputs, &weights)).unwrap();
     let exact = ops::matmul(&inputs, &weights).unwrap();
     for (a, b) in fc.output.data().iter().zip(exact.data()) {
         assert!((a - b).abs() < 1e-3);
     }
 
     let x = Tensor::randn(&[6, 8], &mut rng);
-    let att = engine.attention(&x).unwrap();
+    let mut att_engine = AttentionEngine::try_new(MercuryConfig::default(), 13).unwrap();
+    let att = att_engine.forward(LayerOp::attention(&x)).unwrap();
     let xt = ops::transpose(&x).unwrap();
     let want = ops::matmul(&ops::matmul(&x, &xt).unwrap(), &x).unwrap();
     for (a, b) in att.output.data().iter().zip(want.data()) {
         assert!((a - b).abs() < 1e-2);
     }
+}
+
+#[test]
+fn engines_reject_foreign_op_families() {
+    // The unified trait makes op/engine mismatches a typed error rather
+    // than a panic or silent misuse.
+    let x = Tensor::zeros(&[4, 4]);
+    let weights = Tensor::zeros(&[4, 2]);
+    let mut conv = ConvEngine::try_new(MercuryConfig::default(), 1).unwrap();
+    let mut fc = FcEngine::try_new(MercuryConfig::default(), 1).unwrap();
+    let mut att = AttentionEngine::try_new(MercuryConfig::default(), 1).unwrap();
+    assert!(conv.forward(LayerOp::fc(&x, &weights)).is_err());
+    assert!(fc.forward(LayerOp::attention(&x)).is_err());
+    assert!(att.forward(LayerOp::conv(&x, &weights, 1, 0)).is_err());
 }
 
 #[test]
@@ -110,19 +135,21 @@ fn signature_growth_shrinks_reuse_monotonically() {
     let image = Tensor::randn(&[1, 12, 12], &mut rng).scale(0.02);
     let kernels = Tensor::randn(&[4, 1, 3, 3], &mut rng);
 
-    let config = MercuryConfig {
-        initial_signature_bits: 4,
-        ..MercuryConfig::default()
-    };
-    let mut engine = ConvEngine::new(config, 21);
+    let config = MercuryConfig::builder()
+        .initial_signature_bits(4)
+        .build()
+        .unwrap();
+    let mut engine = ConvEngine::try_new(config, 21).unwrap();
     let mut previous_hits = u64::MAX;
     for _ in 0..4 {
-        let out = engine.forward(&image, &kernels, 1, 1).unwrap();
+        let out = engine
+            .forward(LayerOp::conv(&image, &kernels, 1, 1))
+            .unwrap();
         assert!(
-            out.stats.hits <= previous_hits,
+            out.stats().hits <= previous_hits,
             "hits must not grow with longer signatures"
         );
-        previous_hits = out.stats.hits;
+        previous_hits = out.stats().hits;
         for _ in 0..8 {
             engine.grow_signature();
         }
