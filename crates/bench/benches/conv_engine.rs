@@ -51,6 +51,32 @@ fn bench_exact_vs_mercury(c: &mut Criterion) {
         b.iter(|| session.submit(conv, black_box(&random_input)).unwrap())
     });
     group.finish();
+
+    // A service round: one batch of requests across four independent conv
+    // layers, fanned out by `submit_batch` on the serial vs threaded
+    // executor (bit-identical results; the delta is pure scheduling). The
+    // pool width is pinned to 2 for a machine-independent record — see
+    // the matching note in benches/model_sim.rs.
+    let mut group = c.benchmark_group("session_batch_4conv");
+    group.sample_size(20);
+    for (name, kind) in [
+        ("serial", mercury_core::ExecutorKind::Serial),
+        (
+            "threaded",
+            mercury_core::ExecutorKind::Threaded { threads: 2 },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            let config = MercuryConfig::builder().executor(kind).build().unwrap();
+            let mut session = MercurySession::new(config, 3).unwrap();
+            let layers: Vec<_> = (0..4)
+                .map(|_| session.register_conv(kernels.clone(), 1, 1).unwrap())
+                .collect();
+            let requests: Vec<_> = layers.iter().map(|&l| (l, &random_input)).collect();
+            b.iter(|| session.submit_batch(black_box(&requests)).unwrap())
+        });
+    }
+    group.finish();
 }
 
 criterion_group!(benches, bench_exact_vs_mercury);

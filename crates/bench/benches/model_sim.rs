@@ -1,9 +1,13 @@
 //! Benchmarks of the model-level cycle simulation (the machinery behind
-//! Figures 14–18).
+//! Figures 14–18), on the default executor and explicitly pinned to the
+//! serial vs threaded backends — the serial/threaded pair is the
+//! wall-clock record for the executor refactor (medians land in
+//! `BENCH_RESULTS.json` on every timed run).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mercury_bench::{simulate_model, ModelSimConfig};
-use mercury_models::{alexnet, vgg13};
+use mercury_models::{alexnet, vgg13, ModelSpec};
+use mercury_tensor::exec::ExecutorKind;
 use std::hint::black_box;
 
 fn bench_model_sim(c: &mut Criterion) {
@@ -19,6 +23,26 @@ fn bench_model_sim(c: &mut Criterion) {
     group.bench_function("vgg13", |b| {
         b.iter(|| simulate_model(black_box(&vgg13()), &cfg))
     });
+    // Serial vs threaded medians for the two reference models; the two
+    // backends produce bit-identical reports, so any delta is pure
+    // scheduling. The pool width is pinned to 2 so the record is
+    // machine-independent: on a single-core box it measures the forced-
+    // pool overhead honestly (auto-sizing would just collapse to serial
+    // there), on a multi-core box the 2-thread gain.
+    let backends: [(&str, ExecutorKind); 2] = [
+        ("serial", ExecutorKind::Serial),
+        ("threaded", ExecutorKind::Threaded { threads: 2 }),
+    ];
+    type ModelBuilder = fn() -> ModelSpec;
+    let models: [(&str, ModelBuilder); 2] = [("vgg13", vgg13), ("alexnet", alexnet)];
+    for (model_name, model) in models {
+        for (backend_name, executor) in backends {
+            let cfg = ModelSimConfig { executor, ..cfg };
+            group.bench_function(format!("{model_name}_{backend_name}"), |b| {
+                b.iter(|| simulate_model(black_box(&model()), &cfg))
+            });
+        }
+    }
     group.finish();
 }
 

@@ -15,10 +15,11 @@
 //! `config seed ⊕ fnv(model name)`, FNV-mix in the layer's name, its
 //! index (names may repeat), and the pass discriminant (0/1/2). Layers
 //! are therefore independent, and [`simulate_model`] shards them across
-//! `std::thread::scope` workers while staying bit-identical to
-//! [`simulate_model_serial`] — the contract `tests/determinism.rs` pins.
-//! Changing the scheme changes every simulated number, so treat it as
-//! part of the output format.
+//! the workspace-wide [`Executor`] backend selected by
+//! [`ModelSimConfig::executor`] (threaded by default; `MERCURY_EXECUTOR`
+//! overrides) while staying bit-identical to [`simulate_model_serial`] —
+//! the contract `tests/determinism.rs` pins. Changing the scheme changes
+//! every simulated number, so treat it as part of the output format.
 //!
 //! Each binary in `src/bin/` regenerates one figure or table of the paper
 //! (see `DESIGN.md` §4 for the index) and prints TSV to stdout.
@@ -31,6 +32,7 @@ use mercury_accel::sim::{ChannelWork, LayerSim};
 use mercury_core::stats::{LayerStats, RunReport};
 use mercury_mcache::{MCache, MCacheConfig};
 use mercury_models::{LayerSpec, ModelSpec};
+use mercury_tensor::exec::{Executor, ExecutorKind};
 use mercury_tensor::rng::Rng;
 use mercury_workloads::stream::{OutcomeMix, VectorStream};
 
@@ -55,6 +57,12 @@ pub struct ModelSimConfig {
     pub sampled_channels: usize,
     /// Seed for workload synthesis.
     pub seed: u64,
+    /// Execution backend the per-layer simulations shard across. Defaults
+    /// to the auto-sized threaded backend (layers are chunky, independent
+    /// work items — the historical behaviour of this simulator), unless
+    /// `MERCURY_EXECUTOR` overrides it. Results are bit-identical on
+    /// every backend.
+    pub executor: ExecutorKind,
 }
 
 impl Default for ModelSimConfig {
@@ -67,6 +75,7 @@ impl Default for ModelSimConfig {
             adaptive: true,
             sampled_channels: 4,
             seed: 0xC0FFEE,
+            executor: ExecutorKind::from_env_or(ExecutorKind::threaded_auto()),
         }
     }
 }
@@ -319,57 +328,39 @@ fn conv_kernel_sizes(spec: &ModelSpec) -> Vec<(usize, usize)> {
 /// configured, the two backward convolutions per conv layer) and returns
 /// the per-layer report.
 ///
-/// Layers are sharded across `std::thread::scope` workers: every
-/// `(layer, pass)` is seeded independently (see `layer_pass_seed` in the module source), so
-/// reports are bit-identical to [`simulate_model_serial`] — the contract
+/// Layers are sharded across the [`Executor`] backend selected by
+/// [`ModelSimConfig::executor`]: every `(layer, pass)` is seeded
+/// independently (see `layer_pass_seed` in the module source), so reports
+/// are bit-identical to [`simulate_model_serial`] — the contract
 /// `tests/determinism.rs` pins — while wall-clock time drops with core
 /// count.
 pub fn simulate_model(spec: &ModelSpec, cfg: &ModelSimConfig) -> RunReport {
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
-    simulate_model_with_workers(spec, cfg, workers)
+    let exec = Executor::from_kind(cfg.executor);
+    let conv_kernels = conv_kernel_sizes(spec);
+    let mut report = RunReport::new(spec.name.clone());
+    for stats in exec.map_indexed(spec.layers.len(), |i| {
+        simulate_layer(spec, i, &conv_kernels, cfg)
+    }) {
+        report.push(stats);
+    }
+    report
 }
 
-/// [`simulate_model`] with an explicit worker count (clamped to
-/// `1..=layers`). One worker runs serially on the calling thread. Exposed
-/// so the determinism suite can pin the sharded path even on single-core
-/// machines, where `simulate_model` would otherwise fall back to serial.
+/// [`simulate_model`] with an explicit worker count (one worker = the
+/// serial backend). Kept so the determinism suite can pin specific pool
+/// widths even on single-core machines, where the auto-sized backend
+/// collapses to serial.
 pub fn simulate_model_with_workers(
     spec: &ModelSpec,
     cfg: &ModelSimConfig,
     workers: usize,
 ) -> RunReport {
-    let n = spec.layers.len();
-    let workers = workers.min(n).max(1);
-    if workers <= 1 {
-        return simulate_model_serial(spec, cfg);
-    }
-    let conv_kernels = conv_kernel_sizes(spec);
-    let mut results: Vec<Option<LayerStats>> = vec![None; n];
-    std::thread::scope(|s| {
-        let conv_kernels = &conv_kernels;
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                s.spawn(move || {
-                    (w..n)
-                        .step_by(workers)
-                        .map(|i| (i, simulate_layer(spec, i, conv_kernels, cfg)))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (i, stats) in handle.join().expect("simulator worker panicked") {
-                results[i] = Some(stats);
-            }
-        }
-    });
-    let mut report = RunReport::new(spec.name.clone());
-    for stats in results {
-        report.push(stats.expect("every layer simulated exactly once"));
-    }
-    report
+    let executor = if workers <= 1 {
+        ExecutorKind::Serial
+    } else {
+        ExecutorKind::Threaded { threads: workers }
+    };
+    simulate_model(spec, &ModelSimConfig { executor, ..*cfg })
 }
 
 /// Serial reference for [`simulate_model`]: identical seeding, identical

@@ -10,6 +10,7 @@ use crate::MercuryConfig;
 use mercury_mcache::banked::{BankedEntryId, BankedMCache};
 use mercury_mcache::{AccessOutcome, EntryId, MCache, MCacheConfig, MCacheStats, McacheError};
 use mercury_rpq::{ProjectionMatrix, Signature, SignatureGenerator};
+use mercury_tensor::exec::Executor;
 use mercury_tensor::rng::Rng;
 use mercury_tensor::Tensor;
 use std::collections::HashMap;
@@ -70,6 +71,10 @@ macro_rules! reuse_engine_lifecycle {
     };
 }
 pub(crate) use reuse_engine_lifecycle;
+
+/// Below this many probes per batch, partitioning by bank costs more
+/// than it saves; [`EngineCache::probe_insert_batch`] stays serial.
+pub(crate) const PARALLEL_PROBE_MIN: usize = 64;
 
 /// The single owner of the bank-split constraint: `banks` must be
 /// positive and divide `sets` with at least one set per bank. Returns the
@@ -140,6 +145,84 @@ impl EngineCache {
                 }
             }
         }
+    }
+
+    /// Probes a whole signature stream, returning one outcome per
+    /// signature in stream order. On a banked cache with a parallel
+    /// executor, the stream is partitioned by home bank and the banks'
+    /// disjoint shards probe concurrently without locks; within each bank
+    /// the stream order is preserved, and since a signature's bank, set,
+    /// and conflict window all live in exactly one shard, the outcomes
+    /// (and every per-bank counter) are **identical** to probing the
+    /// stream serially — only the wall-clock changes.
+    ///
+    /// Parallelism only pays when each bank gets a meaningful run of
+    /// probes; below [`PARALLEL_PROBE_MIN`] signatures the serial loop
+    /// wins and is used regardless of the executor.
+    pub fn probe_insert_batch(
+        &mut self,
+        sigs: &[Signature],
+        exec: &Executor,
+    ) -> Vec<AccessOutcome> {
+        let mut out = Vec::new();
+        self.probe_insert_batch_into(sigs, exec, &mut out);
+        out
+    }
+
+    /// [`probe_insert_batch`](Self::probe_insert_batch) into a reusable
+    /// buffer (cleared first), so hot paths pay no per-batch allocation.
+    pub fn probe_insert_batch_into(
+        &mut self,
+        sigs: &[Signature],
+        exec: &Executor,
+        out: &mut Vec<AccessOutcome>,
+    ) {
+        out.clear();
+        if let EngineCache::Banked {
+            banks,
+            sets_per_bank,
+        } = self
+        {
+            let num_banks = banks.num_banks();
+            if exec.is_parallel() && num_banks > 1 && sigs.len() >= PARALLEL_PROBE_MIN {
+                let sets_per_bank = *sets_per_bank;
+                let mut per_bank: Vec<Vec<(u32, Signature)>> = vec![Vec::new(); num_banks];
+                for (i, &sig) in sigs.iter().enumerate() {
+                    per_bank[banks.bank_of_sig(sig)].push((i as u32, sig));
+                }
+                out.resize(
+                    sigs.len(),
+                    AccessOutcome {
+                        kind: mercury_mcache::HitKind::Mnu,
+                        entry: None,
+                    },
+                );
+                let jobs: Vec<_> = banks.shards().into_iter().zip(per_bank).collect();
+                let results = exec.map_owned(jobs, |_, (mut shard, probes)| {
+                    probes
+                        .into_iter()
+                        .map(|(i, sig)| {
+                            let o = shard.probe_insert(sig);
+                            let flat = AccessOutcome {
+                                kind: o.kind(),
+                                entry: o.entry().map(|id| EntryId {
+                                    set: id.bank * sets_per_bank + id.entry.set,
+                                    way: id.entry.way,
+                                }),
+                            };
+                            (i, flat)
+                        })
+                        .collect::<Vec<_>>()
+                });
+                for bank_results in results {
+                    for (i, o) in bank_results {
+                        out[i as usize] = o;
+                    }
+                }
+                return;
+            }
+        }
+        out.extend(sigs.iter().map(|&sig| self.probe_insert(sig)));
     }
 
     /// Writes a data version through a flattened entry id.
@@ -222,6 +305,9 @@ pub(crate) struct EngineBase {
     /// Persistent engines keep MCACHE state across reuse scopes and evict
     /// only at epoch boundaries; batch engines restart per scope.
     pub persistent: bool,
+    /// The execution backend every parallel path of this engine schedules
+    /// through, resolved once from `config.executor`.
+    pub exec: Executor,
     rng: Rng,
     /// One projection matrix per vector length, grown lazily.
     projections: HashMap<usize, ProjectionMatrix>,
@@ -237,6 +323,7 @@ impl EngineBase {
             config,
             cache: EngineCache::mono(config.cache),
             persistent: false,
+            exec: Executor::from_kind(config.executor),
             rng: Rng::new(seed),
             projections: HashMap::new(),
             signature_bits: config.initial_signature_bits,
@@ -252,6 +339,7 @@ impl EngineBase {
             config,
             cache: EngineCache::banked(config.cache, banks)?,
             persistent: true,
+            exec: Executor::from_kind(config.executor),
             rng: Rng::new(seed),
             projections: HashMap::new(),
             signature_bits: config.initial_signature_bits,
@@ -305,6 +393,24 @@ impl EngineBase {
             proj.extend_filters(bits - proj.num_filters(), rng);
         }
         proj
+    }
+
+    /// Immutable view of an already-materialized projection matrix. Call
+    /// [`projection_for`](Self::projection_for) first to generate/extend
+    /// it; this split lets the parallel conv path hold `&self` borrows
+    /// (projection + executor) while channel workers run.
+    pub fn projection(&self, len: usize) -> Option<&ProjectionMatrix> {
+        self.projections.get(&len)
+    }
+
+    /// The disjoint borrows the persistent conv channel loop needs at
+    /// once: the cache mutably and the (already-materialized) projection
+    /// for `len` immutably.
+    pub fn cache_and_projection(
+        &mut self,
+        len: usize,
+    ) -> (&mut EngineCache, Option<&ProjectionMatrix>) {
+        (&mut self.cache, self.projections.get(&len))
     }
 
     /// Signatures for the rows of a `[n, len]` tensor at the current
@@ -363,6 +469,34 @@ mod tests {
         assert_eq!(
             EngineCache::banked(cfg, 16).unwrap_err(),
             ConfigError::BankSplit { sets: 8, banks: 16 }
+        );
+    }
+
+    #[test]
+    fn batched_probes_match_serial_probes_on_every_backend() {
+        // The concurrent banked probe path must be indistinguishable from
+        // the serial loop: same outcomes in stream order, same aggregate
+        // stats. The stream is long enough to cross PARALLEL_PROBE_MIN
+        // and repeats signatures so all three outcome kinds occur.
+        let cfg = MCacheConfig::new(8, 2, 1).unwrap();
+        let sigs: Vec<Signature> = (0..200u128).map(|i| sig(i % 61)).collect();
+
+        let mut serial = EngineCache::banked(cfg, 4).unwrap();
+        let serial_out = serial.probe_insert_batch(&sigs, &Executor::serial());
+
+        for threads in [2, 8] {
+            let mut parallel = EngineCache::banked(cfg, 4).unwrap();
+            let parallel_out = parallel.probe_insert_batch(&sigs, &Executor::threaded(threads));
+            assert_eq!(serial_out, parallel_out, "{threads} threads diverged");
+            assert_eq!(serial.stats(), parallel.stats());
+        }
+
+        // Mono caches take the serial loop on any backend.
+        let mut mono_a = EngineCache::mono(cfg);
+        let mut mono_b = EngineCache::mono(cfg);
+        assert_eq!(
+            mono_a.probe_insert_batch(&sigs, &Executor::serial()),
+            mono_b.probe_insert_batch(&sigs, &Executor::threaded(8)),
         );
     }
 

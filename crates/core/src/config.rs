@@ -1,5 +1,6 @@
 use mercury_accel::config::AcceleratorConfig;
 use mercury_mcache::MCacheConfig;
+use mercury_tensor::exec::ExecutorKind;
 use std::error::Error;
 use std::fmt;
 
@@ -98,6 +99,15 @@ pub struct MercuryConfig {
     /// `T`: consecutive batches where signature cost exceeds baseline cost
     /// before a layer's similarity detection is turned off (§III-D).
     pub stoppage_window: usize,
+    /// Execution backend for every parallel path the engines own: the
+    /// row-sharded GEMMs, the conv engine's per-channel sharding, the
+    /// banked MCACHE's concurrent bank probing, and
+    /// [`MercurySession::submit_batch`](crate::MercurySession::submit_batch)
+    /// fan-out. [`ExecutorKind::Serial`] is the reference semantics; the
+    /// threaded backend is bit-identical to it (pinned by the
+    /// `parallel_determinism` suite). Defaults to `Serial` unless the
+    /// `MERCURY_EXECUTOR` environment variable says otherwise.
+    pub executor: ExecutorKind,
 }
 
 impl MercuryConfig {
@@ -151,6 +161,7 @@ impl Default for MercuryConfig {
             plateau_window: 5,
             plateau_tolerance: 1e-3,
             stoppage_window: 3,
+            executor: ExecutorKind::from_env_or(ExecutorKind::Serial),
         }
     }
 }
@@ -218,6 +229,14 @@ impl MercuryConfigBuilder {
     /// Sets the stoppage window `T` (§III-D).
     pub fn stoppage_window(mut self, window: usize) -> Self {
         self.config.stoppage_window = window;
+        self
+    }
+
+    /// Sets the execution backend (serial reference vs scoped thread
+    /// pool); both produce bit-identical results on every engine and
+    /// session.
+    pub fn executor(mut self, executor: ExecutorKind) -> Self {
+        self.config.executor = executor;
         self
     }
 
@@ -306,6 +325,25 @@ mod tests {
             .build()
             .unwrap_err();
         assert_eq!(err, ConfigError::ZeroInitialSignatureBits);
+    }
+
+    #[test]
+    fn builder_sets_executor() {
+        let c = MercuryConfig::builder()
+            .executor(ExecutorKind::Threaded { threads: 4 })
+            .build()
+            .unwrap();
+        assert_eq!(c.executor, ExecutorKind::Threaded { threads: 4 });
+        // Two configs differing only in executor compare unequal — the
+        // backend is part of the configuration identity even though it
+        // never changes results.
+        assert_ne!(
+            c,
+            MercuryConfig {
+                executor: ExecutorKind::Serial,
+                ..c
+            }
+        );
     }
 
     #[test]

@@ -1,13 +1,14 @@
-use crate::base::EngineBase;
+use crate::base::{EngineBase, EngineCache};
 use crate::config::ConfigError;
 use crate::reuse::{LayerForward, LayerOp, ReuseEngine, ReuseReport, ReuseSignatures};
 use crate::stats::LayerStats;
 use crate::{MercuryConfig, MercuryError, SavedSignatures};
 use mercury_accel::sim::{ChannelWork, LayerSim};
-use mercury_mcache::{EntryId, HitKind, Hitmap};
+use mercury_mcache::{AccessOutcome, EntryId, HitKind};
 use mercury_rpq::analysis::unique_signature_count;
-use mercury_rpq::{Signature, SignatureGenerator};
+use mercury_rpq::{ProjectionMatrix, Signature, SignatureGenerator};
 use mercury_tensor::conv::{extract_patches_into, ConvGeometry};
+use mercury_tensor::exec::Executor;
 use mercury_tensor::{ops, Tensor, TensorError};
 
 /// The MERCURY convolution engine: similarity detection + computation
@@ -66,19 +67,6 @@ impl ConvEngine {
         Ok(ConvEngine {
             base: EngineBase::persistent(config, seed, banks)?,
         })
-    }
-
-    /// Creates a batch-mode engine, panicking on an invalid configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration fails [`MercuryConfig::validate`].
-    #[deprecated(note = "use `ConvEngine::try_new` (typed errors) or drive a `MercurySession`")]
-    pub fn new(config: MercuryConfig, seed: u64) -> Self {
-        match Self::try_new(config, seed) {
-            Ok(engine) => engine,
-            Err(e) => panic!("invalid MercuryConfig: {e}"),
-        }
     }
 
     fn run(
@@ -145,209 +133,167 @@ impl ConvEngine {
                 })
                 .unwrap_or(false);
 
-        // Per-channel scratch, allocated once and reused: the im2col patch
-        // matrix, the channel's filter rows as a dense `[f, plen]` matrix,
-        // the packed to-compute submatrix in `[plen, rows]` (transposed)
-        // layout, its `[f, rows]` GEMM output, and per-cache-entry maps
-        // from entry to producer packed row / consumer group.
-        let mut patch_buf: Vec<f32> = Vec::new();
-        let mut filt_rows: Vec<f32> = vec![0.0; f * plen];
-        let mut packed_t: Vec<f32> = Vec::new();
-        let mut contrib_t: Vec<f32> = Vec::new();
-        let ways = self.base.cache.ways();
-        let cache_entries = self.base.cache.total_entries();
-        let mut entry_row: Vec<u32> = vec![u32::MAX; cache_entries];
-        let mut entry_group: Vec<u32> = vec![u32::MAX; cache_entries];
-        let mut groups: Vec<(EntryId, usize, Vec<usize>)> = Vec::new();
-        let mut compute_rows: Vec<usize> = Vec::new();
-        let mut stale_producers: Vec<usize> = Vec::new();
+        // Materialize the projection matrix for this patch length before
+        // any channel runs (it is shared by all channels; generating it
+        // inside the loop would need `&mut self` per channel and block the
+        // sharded path below).
+        if self.base.detection_enabled && !reuse_saved {
+            self.base.projection_for(plen);
+        }
 
-        for ch in 0..c {
-            extract_patches_into(
-                &input.data()[ch * h * w..(ch + 1) * h * w],
-                &geom,
-                &mut patch_buf,
-            )
-            .map_err(MercuryError::Tensor)?;
-            for fi in 0..f {
-                let src = &kernels.data()[(fi * kc + ch) * plen..(fi * kc + ch + 1) * plen];
-                filt_rows[fi * plen..(fi + 1) * plen].copy_from_slice(src);
-            }
+        let bits = self.base.signature_bits;
+        let detection = self.base.detection_enabled;
+        let exec = self.base.exec;
 
-            if !self.base.detection_enabled {
-                // Detection off: plain exact convolution at baseline cost,
-                // as one dense [f, plen] × [plen, n] product whose output
-                // rows accumulate straight into the output feature maps.
-                packed_t.clear();
-                packed_t.resize(plen * patches_n, 0.0);
-                for v in 0..patches_n {
-                    for p in 0..plen {
-                        packed_t[p * patches_n + v] = patch_buf[v * plen + p];
-                    }
-                }
-                contrib_t.clear();
-                contrib_t.resize(f * patches_n, 0.0);
-                ops::gemm_blocked(
-                    &mut contrib_t,
-                    &filt_rows,
-                    &packed_t,
+        // ---- Per-channel execution ---------------------------------------
+        //
+        // Batch engines restart MCACHE at every channel (§III-B3), so the
+        // channels are fully independent: on a parallel executor they shard
+        // across the pool, each worker owning a scratch cache (its own
+        // "MCACHE set range" — probe/insert is single-writer per shard) and
+        // reusing its packed buffers across the channels it claims. A fresh
+        // scratch cache is indistinguishable from the serial
+        // clear-per-channel discipline, and each channel's contribution
+        // block folds into the output in channel order — the exact add
+        // sequence the sequential loop performs — so outcomes are
+        // bit-identical to the serial executor.
+        //
+        // Persistent engines carry tags *across* channels within a submit
+        // (that is the cross-request detection the session buys), so their
+        // channel loop stays sequential; their parallelism comes from the
+        // banked concurrent probe fan-out and the row-sharded GEMMs inside
+        // each channel instead.
+        macro_rules! make_ctx {
+            ($proj:expr) => {
+                ChannelCtx {
+                    input,
+                    kernels,
+                    geom: &geom,
+                    h,
+                    w,
                     f,
+                    kc,
                     plen,
                     patches_n,
-                    patches_n,
-                );
+                    detection,
+                    bits,
+                    proj: $proj,
+                    saved: if reuse_saved { saved } else { None },
+                }
+            };
+        }
+        let channel_outs: Vec<Result<(ChannelOut, Vec<f32>), MercuryError>> =
+            if self.base.persistent || !exec.is_parallel() {
+                // Sequential channel loop — persistent engines always (tags
+                // persist *across* channels; their parallelism is the bank
+                // probe fan-out and the row-sharded GEMMs inside each
+                // channel), batch engines whenever the executor is serial.
+                // Both accumulate straight into the output and reuse the
+                // engine's own cache, so the default path pays no
+                // per-channel contribution buffer and no scratch caches;
+                // batch mode restarts the cache per channel (clear_scope).
+                let clear_scope = !self.base.persistent;
+                let (cache, proj) = self.base.cache_and_projection(plen);
+                let ctx = make_ctx!(proj);
+                let mut scratch = ConvScratch::default();
+                let od = output.data_mut();
+                (0..c)
+                    .map(|ch| {
+                        conv_channel(
+                            &ctx,
+                            ch,
+                            cache,
+                            clear_scope,
+                            &exec,
+                            &mut scratch,
+                            &mut od[..f * patches_n],
+                            true,
+                        )
+                        .map(|out| (out, Vec::new()))
+                    })
+                    .collect()
+            } else {
+                let cache_cfg = self.base.config.cache;
+                let ctx = make_ctx!(self.base.projection(plen));
+                // Channels already fan out across the pool; the work inside
+                // each channel stays on its worker (no nested parallelism).
+                // Workers probe their own scratch caches, so the engine's
+                // `base.cache` is untouched on this path — its counters only
+                // reflect serial-executor batch runs.
+                let inner = Executor::serial();
+                let ctx = &ctx;
+                exec.map_with(
+                    c,
+                    || (EngineCache::mono(cache_cfg), ConvScratch::default()),
+                    move |ch, state| {
+                        let (cache, scratch) = state;
+                        let mut contrib = vec![0.0f32; f * patches_n];
+                        conv_channel(ctx, ch, cache, true, &inner, scratch, &mut contrib, false)
+                            .map(|out| (out, contrib))
+                    },
+                )
+            };
+
+        // ---- Deterministic reduce ----------------------------------------
+        // Channel contributions fold into the output, the cycle simulator,
+        // and the statistics in channel order — the exact add sequence the
+        // serial reference performs — so scheduling never shows up in any
+        // observable number.
+        for out in channel_outs {
+            let (out, contrib) = out?;
+            // Batch channels return their contribution block (persistent
+            // ones accumulated in place and return an empty one).
+            if !contrib.is_empty() {
                 let od = output.data_mut();
                 for fi in 0..f {
                     let orow = &mut od[fi * spatial..fi * spatial + patches_n];
-                    for (o, &x) in orow.iter_mut().zip(&contrib_t[fi * patches_n..]) {
+                    for (o, &x) in orow
+                        .iter_mut()
+                        .zip(&contrib[fi * patches_n..(fi + 1) * patches_n])
+                    {
                         *o += x;
                     }
                 }
-                let outcomes = vec![HitKind::Mnu; patches_n];
-                let work = ChannelWork::new(&outcomes, f, kh, 0);
+            }
+
+            if !detection {
+                let work = ChannelWork::new(&out.outcomes, f, kh, 0);
                 sim.push_channel(&work);
                 stats.mnus += patches_n as u64;
-                stats.unique_vectors += patches_n as u64;
+                stats.unique_vectors += out.unique;
                 saved_out.push(Vec::new());
                 continue;
             }
 
-            // ---- Similarity detection ------------------------------------
-            // Fresh signatures come from one batched GEMM + sign
-            // quantization; saved ones are borrowed, never cloned, on the
-            // hot path.
-            let sigs_owned: Option<Vec<Signature>> = if reuse_saved {
-                None
-            } else {
-                let bits = self.base.signature_bits;
-                let proj = self.base.projection_for(plen);
-                let generator = SignatureGenerator::new(proj);
-                Some(generator.signatures_for_rows_prefix(&patch_buf, bits))
-            };
-            let sigs: &[Signature] = match &sigs_owned {
-                Some(s) => s,
-                None => &saved.unwrap().per_channel[ch],
-            };
-
-            // New reuse scope: batch engines restart MCACHE here (§III-B3);
-            // persistent engines keep tags resident across channels and
-            // submits, evicting only at epoch boundaries.
-            self.base.begin_reuse_scope();
-            let conflicts_before = self.base.cache.stats().insert_conflicts;
-            let mut hitmap = Hitmap::with_capacity(patches_n);
-            for &sig in sigs {
-                let outcome = self.base.cache.probe_insert(sig);
-                hitmap.push(outcome.kind, outcome.entry);
-            }
-            let conflicts = self.base.cache.stats().insert_conflicts - conflicts_before;
-
-            // ---- Reuse plan ----------------------------------------------
-            // Partition the vector indices by outcome once, hoisting every
-            // hitmap lookup and entry resolution out of the per-filter
-            // loop. MAU and MNU rows — the ones that actually compute —
-            // become rows of a dense packed submatrix; HIT rows are grouped
-            // by producer entry, so each producer's value is written to and
-            // read from MCACHE once per filter and fanned out to all its
-            // consumers. Producers nobody consumes skip the cache write
-            // entirely (the write is dead: batch engines reset tags at the
-            // next channel, and persistent entries are rewritten before any
-            // later read). A HIT on a tag that persisted from an earlier
-            // pass has no producer row here; its first consumer is promoted
-            // to producer — it joins the compute plan exactly like an MAU
-            // (and is charged as one), so a group forms only once a second
-            // same-entry HIT actually has something to reuse.
-            groups.clear();
-            compute_rows.clear();
-            stale_producers.clear();
-            entry_row[..cache_entries].fill(u32::MAX);
-            entry_group[..cache_entries].fill(u32::MAX);
-            for v in 0..patches_n {
-                let (kind, entry) = hitmap.outcome(v).expect("hitmap covers all vectors");
-                match kind {
-                    HitKind::Hit => {
-                        let entry = entry.expect("hit entries resolve");
-                        let e = entry.set * ways + entry.way;
-                        let g = entry_group[e];
-                        if g != u32::MAX {
-                            groups[g as usize].2.push(v);
-                        } else if entry_row[e] != u32::MAX {
-                            entry_group[e] = groups.len() as u32;
-                            groups.push((entry, entry_row[e] as usize, vec![v]));
-                        } else {
-                            // Persistent tag without a producer this pass:
-                            // promote this consumer to MAU-shaped producer.
-                            entry_row[e] = compute_rows.len() as u32;
-                            stale_producers.push(v);
-                            compute_rows.push(v);
-                        }
-                    }
-                    HitKind::Mau => {
-                        let entry = entry.expect("mau entries resolve");
-                        entry_row[entry.set * ways + entry.way] = compute_rows.len() as u32;
-                        compute_rows.push(v);
-                    }
-                    HitKind::Mnu => compute_rows.push(v),
-                }
-            }
-            let rows = compute_rows.len();
-            packed_t.clear();
-            packed_t.resize(plen * rows, 0.0);
-            for (r, &v) in compute_rows.iter().enumerate() {
-                for p in 0..plen {
-                    packed_t[p * rows + r] = patch_buf[v * plen + p];
-                }
-            }
-
-            // ---- Reuse-aware computation ---------------------------------
-            // Every dot product the channel actually performs, across all
-            // filters, in one dense [f, plen] × [plen, rows] product.
-            contrib_t.clear();
-            contrib_t.resize(f * rows, 0.0);
-            ops::gemm_blocked(&mut contrib_t, &filt_rows, &packed_t, f, plen, rows, rows);
-
-            let od = output.data_mut();
-            for fi in 0..f {
-                // Filter change: flash-clear VD bits, keep tags (§III-C1).
-                self.base.cache.invalidate_all_data();
-                // Each producer (MAU or promoted consumer) writes its
-                // result before its consumers (HITs) read; within a channel
-                // every producer precedes its consumers in stream order, so
-                // grouping preserves the stream-order data dependencies.
-                for &(entry, row, ref consumers) in &groups {
-                    let value = contrib_t[fi * rows + row];
-                    self.base.cache.write(entry, 0, value)?;
-                    let value = self.base.cache.read_counted(entry, 0).unwrap_or(value);
-                    for &v in consumers {
-                        od[fi * spatial + v] += value;
-                    }
-                }
-                let crow = &contrib_t[fi * rows..(fi + 1) * rows];
-                for (&v, &x) in compute_rows.iter().zip(crow) {
-                    od[fi * spatial + v] += x;
-                }
-            }
-
-            // ---- Accounting ----------------------------------------------
             // Statistics report the raw probe outcomes (cross-pass repeats
             // are HITs — the similarity the hardware observed); the cycle
             // simulator is charged with promoted producers flipped to MAU,
             // since those vectors computed and wrote rather than reused.
-            let mut outcomes: Vec<HitKind> = hitmap.iter().map(|(k, _)| k).collect();
-            let (hits, maus, mnus) = hitmap.counts();
-            for &v in &stale_producers {
-                outcomes[v] = HitKind::Mau;
+            let mut hits = 0u64;
+            let mut maus = 0u64;
+            let mut mnus = 0u64;
+            for &kind in &out.outcomes {
+                match kind {
+                    HitKind::Hit => hits += 1,
+                    HitKind::Mau => maus += 1,
+                    HitKind::Mnu => mnus += 1,
+                }
             }
-            let mut work = ChannelWork::new(&outcomes, f, kh, self.base.signature_bits)
-                .with_insert_conflicts(conflicts);
+            let mut sim_outcomes = out.outcomes;
+            for &v in &out.stale_producers {
+                sim_outcomes[v] = HitKind::Mau;
+            }
+            let mut work =
+                ChannelWork::new(&sim_outcomes, f, kh, bits).with_insert_conflicts(out.conflicts);
             if reuse_saved {
                 work = work.with_precomputed_signatures();
             }
             sim.push_channel(&work);
-            stats.hits += hits as u64;
-            stats.maus += maus as u64;
-            stats.mnus += mnus as u64;
-            stats.unique_vectors += unique_signature_count(sigs) as u64;
-            if let Some(s) = sigs_owned {
+            stats.hits += hits;
+            stats.maus += maus;
+            stats.mnus += mnus;
+            stats.unique_vectors += out.unique;
+            if let Some(s) = out.sigs {
                 saved_out.push(s);
             }
         }
@@ -372,6 +318,301 @@ impl ConvEngine {
             },
         })
     }
+}
+
+/// Immutable per-forward context shared by every channel worker of one
+/// [`ConvEngine::run`] call.
+struct ChannelCtx<'a> {
+    input: &'a Tensor,
+    kernels: &'a Tensor,
+    geom: &'a ConvGeometry,
+    h: usize,
+    w: usize,
+    f: usize,
+    kc: usize,
+    plen: usize,
+    patches_n: usize,
+    detection: bool,
+    bits: usize,
+    /// The projection matrix for `plen`-element patches; `Some` exactly
+    /// when fresh signatures will be generated.
+    proj: Option<&'a ProjectionMatrix>,
+    /// `Some` when compatible saved signatures replace generation.
+    saved: Option<&'a SavedSignatures>,
+}
+
+/// Reusable per-worker buffers: the im2col patch matrix, the channel's
+/// filter rows as a dense `[f, plen]` matrix, the packed to-compute
+/// submatrix in `[plen, rows]` (transposed) layout, its `[f, rows]` GEMM
+/// output, and per-cache-entry maps from entry to producer packed row /
+/// consumer group. A worker allocates these once and reuses them across
+/// every channel it claims.
+#[derive(Default)]
+struct ConvScratch {
+    patch_buf: Vec<f32>,
+    filt_rows: Vec<f32>,
+    packed_t: Vec<f32>,
+    contrib_t: Vec<f32>,
+    probe_buf: Vec<AccessOutcome>,
+    entry_row: Vec<u32>,
+    entry_group: Vec<u32>,
+    groups: Vec<(EntryId, usize, Vec<usize>)>,
+    compute_rows: Vec<usize>,
+}
+
+/// Everything one channel reports to the deterministic reduce besides its
+/// output block: the raw probe outcomes, the promoted stale-hit producers
+/// (flipped to MAU for the cycle simulator), the insertion-conflict
+/// count, the distinct-signature count, and the signatures to save
+/// (`None` when saved signatures were reused).
+struct ChannelOut {
+    outcomes: Vec<HitKind>,
+    stale_producers: Vec<usize>,
+    conflicts: u64,
+    unique: u64,
+    sigs: Option<Vec<Signature>>,
+}
+
+/// Runs one channel of a conv forward: im2col, similarity detection,
+/// reuse planning, and the reuse-aware GEMM. `clear_scope` distinguishes
+/// the batch discipline (restart the cache per channel, §III-B3 — what
+/// makes channels independent and therefore shardable) from the
+/// persistent discipline (tags stay resident; the caller must then run
+/// channels sequentially). `exec` schedules the *inner* parallelism —
+/// row-sharded GEMMs and concurrent bank probes.
+///
+/// The channel's `[f, patches_n]` output lands in `dest`: with
+/// `accumulate` it adds in place (the persistent path hands the layer
+/// output directly — one add per element per channel, the hardware's
+/// fan-out order); without, it stores into the caller-zeroed block (the
+/// sharded batch path, whose blocks fold into the output afterwards in
+/// channel order).
+#[allow(clippy::too_many_arguments)]
+fn conv_channel(
+    ctx: &ChannelCtx<'_>,
+    ch: usize,
+    cache: &mut EngineCache,
+    clear_scope: bool,
+    exec: &Executor,
+    scratch: &mut ConvScratch,
+    dest: &mut [f32],
+    accumulate: bool,
+) -> Result<ChannelOut, MercuryError> {
+    let &ChannelCtx {
+        h,
+        w,
+        f,
+        kc,
+        plen,
+        patches_n,
+        detection,
+        bits,
+        ..
+    } = ctx;
+    extract_patches_into(
+        &ctx.input.data()[ch * h * w..(ch + 1) * h * w],
+        ctx.geom,
+        &mut scratch.patch_buf,
+    )
+    .map_err(MercuryError::Tensor)?;
+    scratch.filt_rows.resize(f * plen, 0.0);
+    for fi in 0..f {
+        let src = &ctx.kernels.data()[(fi * kc + ch) * plen..(fi * kc + ch + 1) * plen];
+        scratch.filt_rows[fi * plen..(fi + 1) * plen].copy_from_slice(src);
+    }
+
+    if !detection {
+        // Detection off: plain exact convolution at baseline cost, as one
+        // dense [f, plen] × [plen, n] product. The block is always
+        // computed from zero in scratch and folded into `dest` with one
+        // add (or store) per element, so both store modes produce the
+        // same bits: a GEMM accumulating straight into a non-zero `dest`
+        // would round differently from block-then-add.
+        scratch.packed_t.clear();
+        scratch.packed_t.resize(plen * patches_n, 0.0);
+        for v in 0..patches_n {
+            for p in 0..plen {
+                scratch.packed_t[p * patches_n + v] = scratch.patch_buf[v * plen + p];
+            }
+        }
+        scratch.contrib_t.clear();
+        scratch.contrib_t.resize(f * patches_n, 0.0);
+        ops::gemm_blocked_on(
+            exec,
+            &mut scratch.contrib_t,
+            &scratch.filt_rows,
+            &scratch.packed_t,
+            f,
+            plen,
+            patches_n,
+            patches_n,
+        );
+        if accumulate {
+            for (o, &x) in dest.iter_mut().zip(&scratch.contrib_t) {
+                *o += x;
+            }
+        } else {
+            dest.copy_from_slice(&scratch.contrib_t);
+        }
+        return Ok(ChannelOut {
+            outcomes: vec![HitKind::Mnu; patches_n],
+            stale_producers: Vec::new(),
+            conflicts: 0,
+            unique: patches_n as u64,
+            sigs: Some(Vec::new()),
+        });
+    }
+
+    // ---- Similarity detection --------------------------------------------
+    // Fresh signatures come from one batched GEMM + sign quantization;
+    // saved ones are borrowed, never cloned, on the hot path.
+    let sigs_owned: Option<Vec<Signature>> = match ctx.saved {
+        Some(_) => None,
+        None => {
+            let proj = ctx
+                .proj
+                .expect("projection materialized before channel run");
+            let generator = SignatureGenerator::new(proj);
+            Some(generator.signatures_for_rows_prefix(&scratch.patch_buf, bits))
+        }
+    };
+    let sigs: &[Signature] = match &sigs_owned {
+        Some(s) => s,
+        None => &ctx.saved.unwrap().per_channel[ch],
+    };
+
+    // New reuse scope: batch engines restart MCACHE here (§III-B3);
+    // persistent engines keep tags resident across channels and submits,
+    // evicting only at epoch boundaries.
+    if clear_scope {
+        cache.clear();
+    }
+    cache.begin_insert_batch();
+    let conflicts_before = cache.stats().insert_conflicts;
+    cache.probe_insert_batch_into(sigs, exec, &mut scratch.probe_buf);
+    let outcomes = &scratch.probe_buf;
+    let conflicts = cache.stats().insert_conflicts - conflicts_before;
+
+    // ---- Reuse plan --------------------------------------------------------
+    // Partition the vector indices by outcome once, hoisting every entry
+    // resolution out of the per-filter loop. MAU and MNU rows — the ones
+    // that actually compute — become rows of a dense packed submatrix; HIT
+    // rows are grouped by producer entry, so each producer's value is
+    // written to and read from MCACHE once per filter and fanned out to
+    // all its consumers. Producers nobody consumes skip the cache write
+    // entirely (the write is dead: batch engines reset tags at the next
+    // channel, and persistent entries are rewritten before any later
+    // read). A HIT on a tag that persisted from an earlier pass has no
+    // producer row here; its first consumer is promoted to producer — it
+    // joins the compute plan exactly like an MAU (and is charged as one),
+    // so a group forms only once a second same-entry HIT actually has
+    // something to reuse.
+    let ways = cache.ways();
+    let cache_entries = cache.total_entries();
+    scratch.groups.clear();
+    scratch.compute_rows.clear();
+    let mut stale_producers: Vec<usize> = Vec::new();
+    scratch.entry_row.resize(cache_entries, u32::MAX);
+    scratch.entry_group.resize(cache_entries, u32::MAX);
+    scratch.entry_row[..cache_entries].fill(u32::MAX);
+    scratch.entry_group[..cache_entries].fill(u32::MAX);
+    for (v, outcome) in outcomes.iter().enumerate() {
+        match outcome.kind {
+            HitKind::Hit => {
+                let entry = outcome.entry.expect("hit entries resolve");
+                let e = entry.set * ways + entry.way;
+                let g = scratch.entry_group[e];
+                if g != u32::MAX {
+                    scratch.groups[g as usize].2.push(v);
+                } else if scratch.entry_row[e] != u32::MAX {
+                    scratch.entry_group[e] = scratch.groups.len() as u32;
+                    scratch
+                        .groups
+                        .push((entry, scratch.entry_row[e] as usize, vec![v]));
+                } else {
+                    // Persistent tag without a producer this pass: promote
+                    // this consumer to MAU-shaped producer.
+                    scratch.entry_row[e] = scratch.compute_rows.len() as u32;
+                    stale_producers.push(v);
+                    scratch.compute_rows.push(v);
+                }
+            }
+            HitKind::Mau => {
+                let entry = outcome.entry.expect("mau entries resolve");
+                scratch.entry_row[entry.set * ways + entry.way] = scratch.compute_rows.len() as u32;
+                scratch.compute_rows.push(v);
+            }
+            HitKind::Mnu => scratch.compute_rows.push(v),
+        }
+    }
+    let rows = scratch.compute_rows.len();
+    scratch.packed_t.clear();
+    scratch.packed_t.resize(plen * rows, 0.0);
+    for (r, &v) in scratch.compute_rows.iter().enumerate() {
+        for p in 0..plen {
+            scratch.packed_t[p * rows + r] = scratch.patch_buf[v * plen + p];
+        }
+    }
+
+    // ---- Reuse-aware computation -------------------------------------------
+    // Every dot product the channel actually performs, across all filters,
+    // in one dense [f, plen] × [plen, rows] product (row-sharded over the
+    // executor; bit-identical to the serial GEMM).
+    scratch.contrib_t.clear();
+    scratch.contrib_t.resize(f * rows, 0.0);
+    ops::gemm_blocked_on(
+        exec,
+        &mut scratch.contrib_t,
+        &scratch.filt_rows,
+        &scratch.packed_t,
+        f,
+        plen,
+        rows,
+        rows,
+    );
+
+    for fi in 0..f {
+        // Filter change: flash-clear VD bits, keep tags (§III-C1).
+        cache.invalidate_all_data();
+        // Each producer (MAU or promoted consumer) writes its result
+        // before its consumers (HITs) read; within a channel every
+        // producer precedes its consumers in stream order, so grouping
+        // preserves the stream-order data dependencies. Every vector index
+        // lands in exactly one of {group consumer, compute row}, so the
+        // two store modes write each element exactly once per channel.
+        for &(entry, row, ref consumers) in &scratch.groups {
+            let value = scratch.contrib_t[fi * rows + row];
+            cache.write(entry, 0, value)?;
+            let value = cache.read_counted(entry, 0).unwrap_or(value);
+            if accumulate {
+                for &v in consumers {
+                    dest[fi * patches_n + v] += value;
+                }
+            } else {
+                for &v in consumers {
+                    dest[fi * patches_n + v] = value;
+                }
+            }
+        }
+        let crow = &scratch.contrib_t[fi * rows..(fi + 1) * rows];
+        if accumulate {
+            for (&v, &x) in scratch.compute_rows.iter().zip(crow) {
+                dest[fi * patches_n + v] += x;
+            }
+        } else {
+            for (&v, &x) in scratch.compute_rows.iter().zip(crow) {
+                dest[fi * patches_n + v] = x;
+            }
+        }
+    }
+
+    Ok(ChannelOut {
+        outcomes: outcomes.iter().map(|o| o.kind).collect(),
+        stale_producers,
+        conflicts,
+        unique: unique_signature_count(sigs) as u64,
+        sigs: sigs_owned,
+    })
 }
 
 impl ReuseEngine for ConvEngine {
@@ -687,13 +928,21 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_constructor_still_works() {
-        #[allow(deprecated)]
-        let mut e = ConvEngine::new(MercuryConfig::default(), 15);
-        let input = Tensor::full(&[1, 6, 6], 1.0);
-        let kernels = Tensor::full(&[1, 1, 3, 3], 0.5);
-        let out = forward(&mut e, &input, &kernels, 1, 0);
-        assert_eq!(out.output.shape(), &[1, 4, 4]);
+    fn threaded_executor_matches_serial_bit_for_bit() {
+        let mut rng = Rng::new(30);
+        let input = Tensor::randn(&[3, 10, 10], &mut rng);
+        let kernels = Tensor::randn(&[4, 3, 3, 3], &mut rng);
+        let serial_out = forward(&mut engine(30), &input, &kernels, 1, 1);
+        for threads in [2, 8] {
+            let config = MercuryConfig::builder()
+                .executor(mercury_tensor::exec::ExecutorKind::Threaded { threads })
+                .build()
+                .unwrap();
+            let mut e = ConvEngine::try_new(config, 30).unwrap();
+            let out = forward(&mut e, &input, &kernels, 1, 1);
+            assert_eq!(out.output, serial_out.output);
+            assert_eq!(out.report, serial_out.report);
+        }
     }
 
     #[test]

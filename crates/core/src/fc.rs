@@ -26,8 +26,13 @@ struct RowPlan {
 /// whole-row reuse plan. On a persistent cache, a HIT on a tag that
 /// survives from an earlier pass has no producer row in this pass; its
 /// first consumer is promoted to producer so later duplicates still reuse.
+///
+/// Probing goes through the batched path, so a persistent (banked) cache
+/// fans the probes out across its bank shards on a parallel executor —
+/// outcomes are identical to the serial loop either way.
 fn probe_rows(base: &mut EngineBase, sigs: &[Signature]) -> RowPlan {
     base.begin_reuse_scope();
+    let exec = base.exec;
     let conflicts_before = base.cache.stats().insert_conflicts;
     let ways = base.cache.ways();
     let n = sigs.len();
@@ -38,8 +43,8 @@ fn probe_rows(base: &mut EngineBase, sigs: &[Signature]) -> RowPlan {
         row_source: Vec::with_capacity(n),
         conflicts: 0,
     };
-    for (i, &sig) in sigs.iter().enumerate() {
-        let out = base.cache.probe_insert(sig);
+    let probe_outcomes = base.cache.probe_insert_batch(sigs, &exec);
+    for (i, out) in probe_outcomes.into_iter().enumerate() {
         plan.outcomes.push(out.kind);
         match out.kind {
             HitKind::Hit => {
@@ -126,20 +131,6 @@ impl FcEngine {
         })
     }
 
-    /// Creates a batch-mode FC engine, panicking on an invalid
-    /// configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration fails [`MercuryConfig::validate`].
-    #[deprecated(note = "use `FcEngine::try_new` (typed errors) or drive a `MercurySession`")]
-    pub fn new(config: MercuryConfig, seed: u64) -> Self {
-        match Self::try_new(config, seed) {
-            Ok(engine) => engine,
-            Err(e) => panic!("invalid MercuryConfig: {e}"),
-        }
-    }
-
     fn run(
         &mut self,
         inputs: &Tensor,
@@ -205,23 +196,37 @@ impl FcEngine {
 
         let plan = probe_rows(&mut self.base, &sigs);
 
+        // Producer rows — the ones that actually compute — are mutually
+        // independent, so they shard across the executor; each row's
+        // accumulation order is unchanged, keeping the threaded backend
+        // bit-identical to serial. Consumers then copy their producer's
+        // row in stream order (a producer always precedes its consumers).
+        let exec = self.base.exec;
+        let compute: Vec<usize> = (0..n).filter(|&i| plan.row_source[i] == i).collect();
+        let (id, wd) = (inputs.data(), weights.data());
+        let rows_out = exec.map_indexed(compute.len(), |ci| {
+            let i = compute[ci];
+            let row = &id[i * l..(i + 1) * l];
+            let mut out_row = vec![0.0f32; m];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (k, &x) in row.iter().enumerate() {
+                    acc += x * wd[k * m + j];
+                }
+                *o = acc;
+            }
+            out_row
+        });
+        let od = output.data_mut();
+        for (ci, &i) in compute.iter().enumerate() {
+            od[i * m..(i + 1) * m].copy_from_slice(&rows_out[ci]);
+        }
         for i in 0..n {
             let src = plan.row_source[i];
             if src != i {
                 // The earlier PE forwards its per-weight results.
-                let (src_row, dst_start) = (src * m, i * m);
-                let row: Vec<f32> = output.data()[src_row..src_row + m].to_vec();
-                output.data_mut()[dst_start..dst_start + m].copy_from_slice(&row);
-            } else {
-                let row = &inputs.data()[i * l..(i + 1) * l];
-                let od = output.data_mut();
-                for j in 0..m {
-                    let mut acc = 0.0;
-                    for (k, &x) in row.iter().enumerate() {
-                        acc += x * weights.data()[k * m + j];
-                    }
-                    od[i * m + j] = acc;
-                }
+                let row: Vec<f32> = od[src * m..(src + 1) * m].to_vec();
+                od[i * m..(i + 1) * m].copy_from_slice(&row);
             }
         }
 
@@ -364,36 +369,58 @@ impl AttentionEngine {
         };
         let plan = probe_rows(&mut self.base, &sigs);
 
+        // Producer rows shard across the executor for both products; row
+        // arithmetic is unchanged, so the threaded backend stays
+        // bit-identical to serial. Consumers copy in stream order after.
+        let exec = self.base.exec;
+        let compute: Vec<usize> = (0..t).filter(|&i| plan.row_source[i] == i).collect();
+        let xd = x.data();
+
         // W = X·Xᵀ with row reuse.
         let mut w = Tensor::zeros(&[t, t]);
+        let w_rows = exec.map_indexed(compute.len(), |ci| {
+            let i = compute[ci];
+            let xi = &xd[i * k..(i + 1) * k];
+            let mut row = vec![0.0f32; t];
+            for (j, o) in row.iter_mut().enumerate() {
+                *o = ops::dot(xi, &xd[j * k..(j + 1) * k]);
+            }
+            row
+        });
+        let wd = w.data_mut();
+        for (ci, &i) in compute.iter().enumerate() {
+            wd[i * t..(i + 1) * t].copy_from_slice(&w_rows[ci]);
+        }
         for (i, &src) in plan.row_source.iter().enumerate() {
             if src != i {
-                let row: Vec<f32> = w.data()[src * t..src * t + t].to_vec();
-                w.data_mut()[i * t..i * t + t].copy_from_slice(&row);
-                continue;
-            }
-            let xi = &x.data()[i * k..(i + 1) * k];
-            for j in 0..t {
-                let xj = &x.data()[j * k..(j + 1) * k];
-                let v = ops::dot(xi, xj);
-                w.data_mut()[i * t + j] = v;
+                let row: Vec<f32> = wd[src * t..(src + 1) * t].to_vec();
+                wd[i * t..(i + 1) * t].copy_from_slice(&row);
             }
         }
 
         // Y = W·X with the same row reuse (identical xᵢ ⇒ identical rows).
         let mut y = Tensor::zeros(&[t, k]);
-        for (i, &src) in plan.row_source.iter().enumerate() {
-            if src != i {
-                let row: Vec<f32> = y.data()[src * k..src * k + k].to_vec();
-                y.data_mut()[i * k..i * k + k].copy_from_slice(&row);
-                continue;
-            }
-            for j in 0..k {
+        let wd = w.data();
+        let y_rows = exec.map_indexed(compute.len(), |ci| {
+            let i = compute[ci];
+            let mut row = vec![0.0f32; k];
+            for (j, o) in row.iter_mut().enumerate() {
                 let mut acc = 0.0;
                 for p in 0..t {
-                    acc += w.data()[i * t + p] * x.data()[p * k + j];
+                    acc += wd[i * t + p] * xd[p * k + j];
                 }
-                y.data_mut()[i * k + j] = acc;
+                *o = acc;
+            }
+            row
+        });
+        let yd = y.data_mut();
+        for (ci, &i) in compute.iter().enumerate() {
+            yd[i * k..(i + 1) * k].copy_from_slice(&y_rows[ci]);
+        }
+        for (i, &src) in plan.row_source.iter().enumerate() {
+            if src != i {
+                let row: Vec<f32> = yd[src * k..(src + 1) * k].to_vec();
+                yd[i * k..(i + 1) * k].copy_from_slice(&row);
             }
         }
 
@@ -681,11 +708,25 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_fc_constructor_still_works() {
-        #[allow(deprecated)]
-        let mut e = FcEngine::new(MercuryConfig::default(), 18);
-        let inputs = randn(&[2, 6], 18);
-        let weights = randn(&[6, 3], 19);
-        assert_eq!(fc(&mut e, &inputs, &weights).output.shape(), &[2, 3]);
+    fn threaded_executor_matches_serial_for_fc_and_attention() {
+        let inputs = randn(&[12, 10], 20);
+        let weights = randn(&[10, 6], 21);
+        let x = randn(&[7, 9], 22);
+        let fc_serial = fc(&mut engine(20), &inputs, &weights);
+        let att_serial = attend(&mut attention_engine(20), &x);
+        for threads in [2, 8] {
+            let config = MercuryConfig::builder()
+                .executor(mercury_tensor::exec::ExecutorKind::Threaded { threads })
+                .build()
+                .unwrap();
+            let mut e = FcEngine::try_new(config, 20).unwrap();
+            let out = fc(&mut e, &inputs, &weights);
+            assert_eq!(out.output, fc_serial.output);
+            assert_eq!(out.report, fc_serial.report);
+            let mut a = AttentionEngine::try_new(config, 20).unwrap();
+            let out = attend(&mut a, &x);
+            assert_eq!(out.output, att_serial.output);
+            assert_eq!(out.report, att_serial.report);
+        }
     }
 }

@@ -73,6 +73,7 @@ pub use config::{ConfigError, MercuryConfig, MercuryConfigBuilder};
 pub use engine::ConvEngine;
 pub use error::MercuryError;
 pub use fc::{AttentionEngine, FcEngine};
+pub use mercury_tensor::exec::ExecutorKind;
 pub use reuse::{
     LayerForward, LayerOp, ReuseEngine, ReuseReport, ReuseSignatures, SavedSignatures,
 };

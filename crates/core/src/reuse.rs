@@ -194,7 +194,14 @@ impl LayerForward {
 ///   across passes and is evicted only by [`end_epoch`](Self::end_epoch),
 ///   the behaviour [`MercurySession`](crate::MercurySession) streams
 ///   through.
-pub trait ReuseEngine: fmt::Debug {
+///
+/// Engines are [`Send`] by contract: a [`MercurySession`](crate::MercurySession) fans
+/// independent per-layer engines out across its executor's workers
+/// ([`submit_batch`](crate::MercurySession::submit_batch)), so an
+/// engine's state must be movable between threads. (Engines are *not*
+/// required to be [`Sync`] — each one is always driven by one thread at
+/// a time.)
+pub trait ReuseEngine: fmt::Debug + Send {
     /// Runs one forward pass, generating fresh signatures.
     ///
     /// # Errors

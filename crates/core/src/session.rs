@@ -45,6 +45,7 @@ use crate::fc::{AttentionEngine, FcEngine};
 use crate::reuse::{LayerForward, LayerOp, ReuseEngine};
 use crate::stats::LayerStats;
 use crate::{ConvEngine, MercuryConfig, MercuryError};
+use mercury_tensor::exec::Executor;
 use mercury_tensor::{Tensor, TensorError};
 use std::fmt;
 
@@ -92,6 +93,36 @@ struct SessionLayer {
     submits: u64,
 }
 
+impl SessionLayer {
+    /// Runs one request through this layer's engine, accumulating the
+    /// layer statistics on success — the single implementation behind
+    /// [`MercurySession::submit`] and the per-layer workers of
+    /// [`MercurySession::submit_batch`].
+    fn run(&mut self, input: &Tensor) -> Result<LayerForward, MercuryError> {
+        let op = match &self.params {
+            LayerParams::Conv {
+                kernels,
+                stride,
+                pad,
+            } => LayerOp::Conv {
+                input,
+                kernels,
+                stride: *stride,
+                pad: *pad,
+            },
+            LayerParams::Fc { weights } => LayerOp::Fc {
+                inputs: input,
+                weights,
+            },
+            LayerParams::Attention => LayerOp::Attention { x: input },
+        };
+        let fwd = self.engine.forward(op)?;
+        self.stats.accumulate(&fwd.report.stats);
+        self.submits += 1;
+        Ok(fwd)
+    }
+}
+
 /// A long-lived MERCURY service endpoint: registered layers with
 /// persistent engines, a streaming [`submit`](Self::submit) API, and
 /// epoch-based MCACHE eviction.
@@ -108,6 +139,10 @@ pub struct MercurySession {
     token: u64,
     layers: Vec<SessionLayer>,
     epoch: u64,
+    /// Backend for [`submit_batch`](Self::submit_batch) fan-out, resolved
+    /// once from `config.executor` (each layer's engine additionally owns
+    /// its own copy for intra-layer parallelism).
+    exec: Executor,
 }
 
 impl MercurySession {
@@ -144,6 +179,7 @@ impl MercurySession {
             token: SESSION_TOKENS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             layers: Vec::new(),
             epoch: 0,
+            exec: Executor::from_kind(config.executor),
         })
     }
 
@@ -250,28 +286,72 @@ impl MercurySession {
     /// [`MercuryError::Tensor`] for a malformed input shape.
     pub fn submit(&mut self, layer: LayerId, input: &Tensor) -> Result<LayerForward, MercuryError> {
         let index = self.slot_index(layer)?;
-        let slot = &mut self.layers[index];
-        let op = match &slot.params {
-            LayerParams::Conv {
-                kernels,
-                stride,
-                pad,
-            } => LayerOp::Conv {
-                input,
-                kernels,
-                stride: *stride,
-                pad: *pad,
-            },
-            LayerParams::Fc { weights } => LayerOp::Fc {
-                inputs: input,
-                weights,
-            },
-            LayerParams::Attention => LayerOp::Attention { x: input },
-        };
-        let fwd = slot.engine.forward(op)?;
-        slot.stats.accumulate(&fwd.report.stats);
-        slot.submits += 1;
-        Ok(fwd)
+        self.layers[index].run(input)
+    }
+
+    /// Runs a batch of streaming requests, fanning the **independent
+    /// per-layer engines** out across the session's executor: requests
+    /// addressed to distinct layers run concurrently (each layer's engine
+    /// is self-contained state — its own banked MCACHE, projections, and
+    /// statistics), while requests to the *same* layer keep their batch
+    /// order, because a persistent engine's cache state makes same-layer
+    /// submits order-dependent by design.
+    ///
+    /// Results come back in request order and are **bit-identical** to
+    /// issuing the same requests through [`submit`](Self::submit) one by
+    /// one, on any executor — the property `tests/parallel_determinism.rs`
+    /// pins.
+    ///
+    /// # Errors
+    ///
+    /// [`MercuryError::UnknownLayer`] if any id is foreign (checked up
+    /// front: no request runs in that case). Engine failures (malformed
+    /// input shapes) do not abort the batch — every request is attempted,
+    /// successful ones keep their statistics, and the error of the
+    /// **lowest-positioned** failing request is returned, independent of
+    /// scheduling.
+    pub fn submit_batch(
+        &mut self,
+        requests: &[(LayerId, &Tensor)],
+    ) -> Result<Vec<LayerForward>, MercuryError> {
+        // Validate every id before any engine runs.
+        let mut indices = Vec::with_capacity(requests.len());
+        for &(layer, _) in requests {
+            indices.push(self.slot_index(layer)?);
+        }
+        // Group request positions by layer slot, preserving order within
+        // each layer.
+        let mut per_layer: Vec<Vec<usize>> = vec![Vec::new(); self.layers.len()];
+        for (pos, &index) in indices.iter().enumerate() {
+            per_layer[index].push(pos);
+        }
+        // Pair each involved layer's &mut slot with its request list; the
+        // borrows are disjoint by construction (one per slot).
+        let jobs: Vec<(&mut SessionLayer, Vec<usize>)> = self
+            .layers
+            .iter_mut()
+            .zip(per_layer)
+            .filter(|(_, positions)| !positions.is_empty())
+            .collect();
+        let per_job: Vec<Vec<(usize, Result<LayerForward, MercuryError>)>> =
+            self.exec.map_owned(jobs, |_, (slot, positions)| {
+                positions
+                    .into_iter()
+                    .map(|pos| (pos, slot.run(requests[pos].1)))
+                    .collect()
+            });
+
+        let mut results: Vec<Option<Result<LayerForward, MercuryError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        for job in per_job {
+            for (pos, result) in job {
+                results[pos] = Some(result);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every request answered exactly once"))
+            .collect()
     }
 
     /// Ends the current epoch: every engine's MCACHE is evicted (tags and
@@ -470,6 +550,93 @@ mod tests {
         let evicted = s.submit(conv, &input).unwrap();
         assert_eq!(evicted.stats().maus, 1, "epoch evicted the tags");
         assert_eq!(evicted.output, cold.output);
+    }
+
+    #[test]
+    fn submit_batch_matches_sequential_submits() {
+        use mercury_tensor::exec::ExecutorKind;
+        let mut rng = Rng::new(50);
+        let kernels = Tensor::randn(&[4, 1, 3, 3], &mut rng);
+        let fc_weights = Tensor::randn(&[12, 5], &mut rng);
+        let img_a = Tensor::full(&[1, 8, 8], 0.5);
+        let img_b = Tensor::randn(&[1, 8, 8], &mut rng);
+        let rows = Tensor::randn(&[6, 12], &mut rng);
+        let seq = Tensor::randn(&[5, 7], &mut rng);
+
+        let build = |kind: ExecutorKind| {
+            let config = MercuryConfig::builder().executor(kind).build().unwrap();
+            let mut s = MercurySession::new(config, 50).unwrap();
+            let conv = s.register_conv(kernels.clone(), 1, 1).unwrap();
+            let fc = s.register_fc(fc_weights.clone()).unwrap();
+            let att = s.register_attention().unwrap();
+            (s, conv, fc, att)
+        };
+
+        // Reference: sequential submits on the serial backend.
+        let (mut serial, conv, fc, att) = build(ExecutorKind::Serial);
+        let want = [
+            serial.submit(conv, &img_a).unwrap(),
+            serial.submit(fc, &rows).unwrap(),
+            serial.submit(conv, &img_b).unwrap(),
+            serial.submit(att, &seq).unwrap(),
+            serial.submit(conv, &img_a).unwrap(),
+        ];
+        let want_fc_stats = serial.layer_stats(fc).cloned();
+
+        for kind in [ExecutorKind::Serial, ExecutorKind::Threaded { threads: 8 }] {
+            let (mut s, conv, fc, att) = build(kind);
+            let got = s
+                .submit_batch(&[
+                    (conv, &img_a),
+                    (fc, &rows),
+                    (conv, &img_b),
+                    (att, &seq),
+                    (conv, &img_a),
+                ])
+                .unwrap();
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.output, w.output, "{kind:?}");
+                assert_eq!(g.report, w.report, "{kind:?}");
+            }
+            assert_eq!(s.layer_submits(conv), Some(3));
+            assert_eq!(s.layer_stats(fc).cloned(), want_fc_stats);
+        }
+    }
+
+    #[test]
+    fn submit_batch_rejects_foreign_ids_and_surfaces_lowest_error() {
+        let mut rng = Rng::new(51);
+        let mut s = session(51);
+        let conv = s
+            .register_conv(Tensor::randn(&[2, 1, 3, 3], &mut rng), 1, 0)
+            .unwrap();
+        let good = Tensor::zeros(&[1, 6, 6]);
+        let bad = Tensor::zeros(&[6, 6]); // wrong rank
+
+        // Foreign id: nothing runs at all.
+        let mut other = session(52);
+        let foreign = other
+            .register_conv(Tensor::randn(&[1, 1, 3, 3], &mut rng), 1, 0)
+            .unwrap();
+        assert_eq!(
+            s.submit_batch(&[(conv, &good), (foreign, &good)])
+                .unwrap_err(),
+            MercuryError::UnknownLayer(foreign)
+        );
+        assert_eq!(
+            s.layer_submits(conv),
+            Some(0),
+            "validation precedes execution"
+        );
+
+        // Engine error: lowest failing position wins; the good request
+        // still counted.
+        let err = s
+            .submit_batch(&[(conv, &good), (conv, &bad), (conv, &bad)])
+            .unwrap_err();
+        assert!(matches!(err, MercuryError::Tensor(_)));
+        assert_eq!(s.layer_submits(conv), Some(1));
     }
 
     #[test]

@@ -54,3 +54,7 @@ pub use layers::{Attention, Conv2d, Fc, Flatten, Layer, MaxPool, MeanPool, Relu}
 pub use loss::softmax_cross_entropy;
 pub use network::{ExecMode, Network};
 pub use train::{EpochStats, Trainer, TrainerConfig};
+// Re-exported so downstream crates (e.g. the reduced model zoo) can build
+// an `ExecMode::Mercury` — including its executor backend — without
+// depending on `mercury-core` directly.
+pub use mercury_core::{ExecutorKind, MercuryConfig};

@@ -256,6 +256,37 @@ mod tests {
     }
 
     #[test]
+    fn mercury_mode_is_executor_invariant() {
+        // A whole training step — forward, loss, backward — lands on the
+        // same bits whichever executor backend the engines run on.
+        use mercury_core::ExecutorKind;
+        let mut rng = Rng::new(20);
+        let x = Tensor::randn(&[1, 8, 8], &mut rng);
+        let run = |kind: ExecutorKind| {
+            let config = MercuryConfig::builder().executor(kind).build().unwrap();
+            let mut net = tiny_cnn(ExecMode::Mercury { config, seed: 9 }, 8);
+            let logits = net.forward(&x).unwrap();
+            let (loss, grad) = softmax_cross_entropy(&logits, &[2]).unwrap();
+            net.zero_grad();
+            net.backward(&grad).unwrap();
+            net.step(0.05);
+            let after = net.forward(&x).unwrap();
+            (logits, loss, after, net.layer_stats())
+        };
+        let serial = run(ExecutorKind::Serial);
+        for threads in [2, 8] {
+            let threaded = run(ExecutorKind::Threaded { threads });
+            assert_eq!(serial.0, threaded.0, "{threads}: logits diverge");
+            assert_eq!(serial.1.to_bits(), threaded.1.to_bits());
+            assert_eq!(
+                serial.2, threaded.2,
+                "{threads}: post-step forward diverges"
+            );
+            assert_eq!(serial.3, threaded.3, "{threads}: layer stats diverge");
+        }
+    }
+
+    #[test]
     fn transformer_style_network_runs() {
         let mut rng = Rng::new(9);
         let mut net = Network::new(

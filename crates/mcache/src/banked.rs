@@ -75,17 +75,36 @@ impl BankedMCache {
         self.banks.iter().map(|b| b.config().entries()).sum()
     }
 
-    fn bank_of(&self, sig: Signature) -> usize {
-        // High bits pick the bank; low bits pick the set inside the bank,
-        // keeping the two choices decorrelated.
+    /// The bank a signature homes to. High bits of the mixed hash pick
+    /// the bank; low bits pick the set inside the bank, keeping the two
+    /// choices decorrelated. Public so batch drivers can partition a
+    /// probe stream by bank and hand each partition to its
+    /// [`shard`](Self::shards) — the lock-free concurrent probing path.
+    pub fn bank_of_sig(&self, sig: Signature) -> usize {
         ((sig.mix64() >> 48) % self.banks.len() as u64) as usize
     }
 
     /// Probes/inserts a signature in its home bank.
     pub fn probe_insert(&mut self, sig: Signature) -> BankedAccessOutcome {
-        let bank = self.bank_of(sig);
+        let bank = self.bank_of_sig(sig);
         let out = self.banks[bank].probe_insert(sig);
         BankedAccessOutcome { bank, outcome: out }
+    }
+
+    /// Disjoint mutable views, one per bank, for concurrent probing
+    /// **without locks**: each bank is an independent cache (a signature's
+    /// home bank is a pure function of the signature), so a driver that
+    /// partitions its probe stream by [`bank_of_sig`](Self::bank_of_sig)
+    /// and keeps each partition in stream order can probe all shards in
+    /// parallel and observe exactly the outcomes the serial interleaving
+    /// would produce — every set, tag, and conflict counter lives in
+    /// exactly one shard (single writer per shard by construction).
+    pub fn shards(&mut self) -> Vec<BankShard<'_>> {
+        self.banks
+            .iter_mut()
+            .enumerate()
+            .map(|(bank, cache)| BankShard { bank, cache })
+            .collect()
     }
 
     /// Reads a data version through a banked entry id.
@@ -155,6 +174,34 @@ impl BankedMCache {
             total.insert_conflicts += s.insert_conflicts;
         }
         total
+    }
+}
+
+/// A mutable view of one bank of a [`BankedMCache`], produced by
+/// [`BankedMCache::shards`]. Shards of one cache are disjoint (`&mut`
+/// borrows of distinct banks), so a thread scope may drive all of them
+/// concurrently; each shard serializes its own probes exactly like the
+/// whole cache would.
+#[derive(Debug)]
+pub struct BankShard<'a> {
+    bank: usize,
+    cache: &'a mut MCache,
+}
+
+impl BankShard<'_> {
+    /// The bank index this shard views.
+    pub fn bank(&self) -> usize {
+        self.bank
+    }
+
+    /// Probes/inserts a signature in this bank. The caller is responsible
+    /// for routing: the outcome is only meaningful for signatures whose
+    /// [`BankedMCache::bank_of_sig`] equals [`bank`](Self::bank).
+    pub fn probe_insert(&mut self, sig: Signature) -> BankedAccessOutcome {
+        BankedAccessOutcome {
+            bank: self.bank,
+            outcome: self.cache.probe_insert(sig),
+        }
     }
 }
 
@@ -273,6 +320,42 @@ mod tests {
         };
         assert_eq!(c.read_counted(bogus, 0), None);
         assert_eq!(c.stats().data_misses, 1);
+    }
+
+    #[test]
+    fn sharded_probing_matches_serial_interleaving() {
+        // Partitioning a probe stream by home bank and driving each shard
+        // independently (here sequentially; the engines do it from worker
+        // threads) must reproduce the serial interleaved outcomes and
+        // stats exactly.
+        let mut serial = cache(4);
+        let mut sharded = cache(4);
+        let stream: Vec<Signature> = (0..120).map(|i| sig(i % 37)).collect();
+
+        let serial_out: Vec<_> = stream
+            .iter()
+            .map(|&s| {
+                let o = serial.probe_insert(s);
+                (o.kind(), o.entry())
+            })
+            .collect();
+
+        let mut per_bank: Vec<Vec<(usize, Signature)>> = vec![Vec::new(); 4];
+        for (i, &s) in stream.iter().enumerate() {
+            per_bank[sharded.bank_of_sig(s)].push((i, s));
+        }
+        let mut sharded_out: Vec<Option<(HitKind, Option<BankedEntryId>)>> =
+            vec![None; stream.len()];
+        for shard in sharded.shards() {
+            let mut shard = shard;
+            for &(i, s) in &per_bank[shard.bank()] {
+                let o = shard.probe_insert(s);
+                sharded_out[i] = Some((o.kind(), o.entry()));
+            }
+        }
+        let sharded_out: Vec<_> = sharded_out.into_iter().map(|o| o.unwrap()).collect();
+        assert_eq!(serial_out, sharded_out);
+        assert_eq!(serial.stats(), sharded.stats());
     }
 
     #[test]

@@ -141,6 +141,22 @@ pub struct MCache {
     /// Per-set count of inserts in the current batch window, for modelling
     /// the per-set insertion queue of the FPGA implementation.
     batch_inserts: Vec<u32>,
+    /// Per-set resident-prefix filter: bit `p` is set iff some resident
+    /// tag in the set has signature prefix `p` (6 bits of `mix64` disjoint
+    /// from the set-index bits). A probe whose prefix bit is clear cannot
+    /// match any resident tag, so the set scan — the dominant cost of a
+    /// miss on a well-occupied set — is skipped entirely. Conservative by
+    /// construction (bits are only ever set on insert, cleared on
+    /// [`clear`](Self::clear)), so probe outcomes are unchanged.
+    set_prefix: Vec<u64>,
+}
+
+/// The resident-prefix filter bit for a signature: 6 bits of the mixed
+/// hash, taken from above the set-index bits (sets are at most 2^32 in any
+/// sane geometry; shipped ones use 6–8 bits) so the two stay decorrelated.
+#[inline]
+fn prefix_bit(h: u64) -> u64 {
+    1u64 << ((h >> 32) & 63)
 }
 
 impl MCache {
@@ -156,6 +172,7 @@ impl MCache {
             version_epoch: vec![1; config.versions],
             stats: MCacheStats::default(),
             batch_inserts: vec![0; config.sets],
+            set_prefix: vec![0; config.sets],
         }
     }
 
@@ -174,9 +191,8 @@ impl MCache {
         self.stats = MCacheStats::default();
     }
 
-    fn set_of(&self, sig: Signature) -> usize {
+    fn set_of_hash(&self, h: u64) -> usize {
         let sets = self.config.sets as u64;
-        let h = sig.mix64();
         // Same value either way; the mask avoids a hardware divide on the
         // power-of-two geometries every shipped configuration uses.
         if sets.is_power_of_two() {
@@ -219,7 +235,11 @@ impl MCache {
 
     /// Looks a signature up without modifying the cache.
     pub fn lookup(&self, sig: Signature) -> Option<EntryId> {
-        let set = self.set_of(sig);
+        let h = sig.mix64();
+        let set = self.set_of_hash(h);
+        if self.set_prefix[set] & prefix_bit(h) == 0 {
+            return None; // no resident tag shares the prefix
+        }
         self.scan_set(set, sig).map(|way| EntryId { set, way })
     }
 
@@ -233,13 +253,21 @@ impl MCache {
     /// otherwise the lowest free way is claimed (MAU), exactly as a
     /// lookup-then-insert pair would decide.
     pub fn probe_insert(&mut self, sig: Signature) -> AccessOutcome {
-        let set = self.set_of(sig);
-        if let Some(way) = self.scan_set(set, sig) {
-            self.stats.hits += 1;
-            return AccessOutcome {
-                kind: HitKind::Hit,
-                entry: Some(EntryId { set, way }),
-            };
+        let h = sig.mix64();
+        let set = self.set_of_hash(h);
+        let prefix = prefix_bit(h);
+        // Resident-prefix early-out: scan only when some resident tag
+        // shares the probe's prefix — the miss path (the session-mode hot
+        // case: streams of fresh content against well-occupied sets) skips
+        // the tag scan entirely.
+        if self.set_prefix[set] & prefix != 0 {
+            if let Some(way) = self.scan_set(set, sig) {
+                self.stats.hits += 1;
+                return AccessOutcome {
+                    kind: HitKind::Hit,
+                    entry: Some(EntryId { set, way }),
+                };
+            }
         }
         let len = self.set_len[set] as usize;
         if len < self.config.ways {
@@ -248,6 +276,7 @@ impl MCache {
             self.tag_bits[line] = sig.bits();
             self.tag_len[line] = sig.len() as u8;
             self.set_len[set] += 1;
+            self.set_prefix[set] |= prefix;
             self.vd_epoch[line * self.config.versions..(line + 1) * self.config.versions].fill(0);
             self.stats.maus += 1;
             if self.batch_inserts[set] > 0 {
@@ -353,6 +382,7 @@ impl MCache {
     /// are recalculated from scratch.
     pub fn clear(&mut self) {
         self.set_len.fill(0);
+        self.set_prefix.fill(0);
         self.invalidate_all_data();
         self.batch_inserts.fill(0);
     }
@@ -517,6 +547,37 @@ mod tests {
         cache.probe_insert(short);
         // Same bit content, longer signature: must not be a hit.
         assert_ne!(cache.probe_insert(long).kind, HitKind::Hit);
+    }
+
+    #[test]
+    fn prefix_filter_never_changes_outcomes() {
+        // The resident-prefix early-out is an optimization only: outcomes
+        // must equal a reference cache driven through the same stream with
+        // scans always performed. The reference here is behavioural — every
+        // resident signature must still hit, every repeat of a rejected
+        // signature must still MNU, across clears.
+        let mut cache = small_cache(4, 3, 1);
+        let mut resident = Vec::new();
+        for round in 0..3 {
+            for i in 0..64u128 {
+                let s = sig(i * 7 + round);
+                match cache.probe_insert(s).kind {
+                    HitKind::Mau => resident.push(s),
+                    HitKind::Hit => assert!(resident.contains(&s)),
+                    HitKind::Mnu => assert!(!resident.contains(&s)),
+                }
+            }
+            // Everything resident hits on re-probe (no false negatives).
+            for &s in &resident {
+                assert_eq!(cache.probe_insert(s).kind, HitKind::Hit);
+                assert!(cache.lookup(s).is_some());
+            }
+            cache.clear();
+            resident.clear();
+            // After clear, the filter resets: old signatures re-insert.
+            assert_eq!(cache.probe_insert(sig(1)).kind, HitKind::Mau);
+            cache.clear();
+        }
     }
 
     #[test]

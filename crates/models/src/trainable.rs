@@ -124,6 +124,28 @@ mod tests {
     }
 
     #[test]
+    fn reduced_models_are_executor_invariant_under_mercury() {
+        // The reduced zoo is what the accuracy experiment trains; its
+        // Mercury-mode forward must not depend on the executor backend.
+        use mercury_dnn::{ExecutorKind, MercuryConfig};
+        let mut rng = Rng::new(77);
+        let img = Tensor::randn(&[1, IMAGE_SIDE, IMAGE_SIDE], &mut rng);
+        let seq = Tensor::randn(&[SEQ_LEN, SEQ_DIM], &mut rng);
+        for name in ["VGG-13", "Transformer"] {
+            let input = if is_sequence_model(name) { &seq } else { &img };
+            let run = |kind: ExecutorKind| {
+                let config = MercuryConfig::builder().executor(kind).build().unwrap();
+                let mut net =
+                    build_reduced(name, 4, ExecMode::Mercury { config, seed: 5 }, 6).unwrap();
+                net.forward(input).unwrap()
+            };
+            let serial = run(ExecutorKind::Serial);
+            let threaded = run(ExecutorKind::Threaded { threads: 4 });
+            assert_eq!(serial, threaded, "{name} diverges across backends");
+        }
+    }
+
+    #[test]
     fn depth_ordering_follows_families() {
         // Deeper families get deeper reduced variants.
         let count = |name: &str| {

@@ -10,6 +10,9 @@
 //! * [`conv`] — im2col extraction and reference conv2d forward/backward,
 //!   matching the formulation of §II-C of the paper (equations 1 and 2),
 //! * [`ops`] — matmul, transpose and elementwise helpers,
+//! * [`exec`] — the pluggable [`Executor`](exec::Executor) backend (serial
+//!   reference vs scoped thread pool) every parallel path in the workspace
+//!   schedules through, bit-identically,
 //! * [`rng`] — a small deterministic RNG (SplitMix64 + Box–Muller) so every
 //!   experiment in the workspace is reproducible from a single `u64` seed.
 //!
@@ -32,6 +35,7 @@
 
 pub mod conv;
 mod error;
+pub mod exec;
 pub mod ops;
 pub mod rng;
 mod tensor;

@@ -1,5 +1,6 @@
 //! Matrix and vector operations used throughout the workspace.
 
+use crate::exec::Executor;
 use crate::{Tensor, TensorError};
 
 /// Dot product of two equal-length slices.
@@ -136,6 +137,46 @@ pub fn gemm_blocked(
     }
 }
 
+/// [`gemm_blocked`] scheduled on an [`Executor`]: the `m` output rows are
+/// split into one contiguous chunk per worker and each chunk runs the
+/// serial kernel. Every output element is produced by exactly the code
+/// path [`gemm_blocked`] would run for it — accumulation order per
+/// element is unchanged — so the result is **bit-identical** to the
+/// serial call for any worker count.
+///
+/// # Panics
+///
+/// Same contract as [`gemm_blocked`].
+#[allow(clippy::too_many_arguments)] // mirrors gemm_blocked's raw-slice contract + executor
+pub fn gemm_blocked_on(
+    exec: &Executor,
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ldb: usize,
+) {
+    let workers = exec.threads().min(m);
+    if workers <= 1 || k == 0 || n == 0 {
+        return gemm_blocked(out, a, b, m, k, n, ldb);
+    }
+    assert!(ldb >= n, "ldb {ldb} must be at least n {n}");
+    assert_eq!(a.len(), m * k, "a must be [m, k]");
+    assert_eq!(b.len(), k * ldb, "b must be [k, ldb]");
+    assert_eq!(out.len(), m * n, "out must be [m, n]");
+    let rows_per = m.div_ceil(workers);
+    let jobs: Vec<(&mut [f32], &[f32])> = out
+        .chunks_mut(rows_per * n)
+        .zip(a.chunks(rows_per * k))
+        .collect();
+    exec.map_owned(jobs, |_, (orows, arows)| {
+        let rows = arows.len() / k;
+        gemm_blocked(orows, arows, b, rows, k, n, ldb);
+    });
+}
+
 /// Blocked matrix multiplication of a `[m, k]` tensor by a `[k, n]` tensor.
 ///
 /// Same contract as [`matmul`], computed via [`gemm_blocked`]: tiled over
@@ -169,6 +210,38 @@ pub fn matmul_blocked(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     }
     let mut out = Tensor::zeros(&[m, n]);
     gemm_blocked(out.data_mut(), a.data(), b.data(), m, k, n, n);
+    Ok(out)
+}
+
+/// [`matmul_blocked`] scheduled on an [`Executor`] (row-sharded via
+/// [`gemm_blocked_on`]; bit-identical to the serial call).
+///
+/// # Errors
+///
+/// Same contract as [`matmul_blocked`].
+pub fn matmul_blocked_on(exec: &Executor, a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: a.rank(),
+        });
+    }
+    if b.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: b.rank(),
+        });
+    }
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().to_vec(),
+            right: b.shape().to_vec(),
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    gemm_blocked_on(exec, out.data_mut(), a.data(), b.data(), m, k, n, n);
     Ok(out)
 }
 
@@ -353,6 +426,45 @@ mod tests {
         gemm_blocked(&mut wide, a.data(), b.data(), m, k, n, full);
         let narrow = matmul_blocked(&a, &prefix).unwrap();
         assert_eq!(wide.as_slice(), narrow.data());
+    }
+
+    #[test]
+    fn gemm_blocked_on_is_bit_identical_for_any_worker_count() {
+        let mut rng = Rng::new(21);
+        let (m, k, n) = (23, 57, 19);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let mut serial = vec![0.0; m * n];
+        gemm_blocked(&mut serial, a.data(), b.data(), m, k, n, n);
+        for threads in [1, 2, 3, 8, 64] {
+            let exec = Executor::threaded(threads);
+            let mut sharded = vec![0.0; m * n];
+            gemm_blocked_on(&exec, &mut sharded, a.data(), b.data(), m, k, n, n);
+            for (i, (s, p)) in sharded.iter().zip(&serial).enumerate() {
+                assert!(
+                    s.to_bits() == p.to_bits(),
+                    "{threads} threads: element {i} differs ({s} vs {p})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_blocked_on_matches_serial_including_prefix_case() {
+        let mut rng = Rng::new(22);
+        let exec = Executor::threaded(4);
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (5, 30, 7), (40, 9, 24)] {
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[k, n], &mut rng);
+            let serial = matmul_blocked(&a, &b).unwrap();
+            let sharded = matmul_blocked_on(&exec, &a, &b).unwrap();
+            assert_eq!(serial, sharded);
+        }
+        // Error paths agree too.
+        assert!(
+            matmul_blocked_on(&exec, &Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2])).is_err()
+        );
+        assert!(matmul_blocked_on(&exec, &Tensor::zeros(&[3]), &Tensor::zeros(&[3, 2])).is_err());
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Property tests of the executor laws: scheduling never changes
+//! results. Every primitive must agree with its serial reference for
+//! arbitrary shapes and pool widths — including the row-sharded GEMM,
+//! whose agreement must be exact to the bit.
+
+use mercury_tensor::exec::{Executor, ExecutorKind};
+use mercury_tensor::rng::Rng;
+use mercury_tensor::{ops, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `map_indexed` returns f(0..n) in index order on any pool width.
+    #[test]
+    fn map_indexed_matches_serial(
+        n in 0usize..80,
+        threads in 1usize..9,
+        salt in 0u64..1000,
+    ) {
+        let want: Vec<u64> = (0..n).map(|i| i as u64 ^ salt).collect();
+        let got = Executor::threaded(threads).map_indexed(n, |i| i as u64 ^ salt);
+        prop_assert_eq!(got, want);
+    }
+
+    /// `map_owned` consumes items and returns results in item order.
+    #[test]
+    fn map_owned_preserves_item_order(
+        n in 0usize..60,
+        threads in 1usize..9,
+    ) {
+        let items: Vec<usize> = (0..n).collect();
+        let got = Executor::threaded(threads).map_owned(items, |i, item| {
+            prop_assert_eq!(i, item);
+            Ok::<usize, TestCaseError>(item * 3)
+        });
+        for (i, r) in got.into_iter().enumerate() {
+            prop_assert_eq!(r?, i * 3);
+        }
+    }
+
+    /// The row-sharded GEMM is bit-identical to the serial kernel for
+    /// arbitrary shapes and pool widths.
+    #[test]
+    fn sharded_gemm_is_bit_identical(
+        seed in 0u64..500,
+        m in 1usize..24,
+        k in 1usize..40,
+        n in 1usize..24,
+        threads in 1usize..9,
+    ) {
+        let mut rng = Rng::new(seed);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let mut serial = vec![0.0f32; m * n];
+        ops::gemm_blocked(&mut serial, a.data(), b.data(), m, k, n, n);
+        let mut sharded = vec![0.0f32; m * n];
+        ops::gemm_blocked_on(
+            &Executor::threaded(threads),
+            &mut sharded,
+            a.data(),
+            b.data(),
+            m,
+            k,
+            n,
+            n,
+        );
+        for (i, (s, p)) in sharded.iter().zip(&serial).enumerate() {
+            prop_assert!(
+                s.to_bits() == p.to_bits(),
+                "element {} differs: {} vs {}", i, s, p
+            );
+        }
+        let mm = ops::matmul_blocked(&a, &b).unwrap();
+        let mm_sharded = ops::matmul_blocked_on(&Executor::threaded(threads), &a, &b).unwrap();
+        prop_assert_eq!(mm, mm_sharded);
+    }
+
+    /// Kind parsing round-trips through resolution sensibly: parsed kinds
+    /// always resolve, a serial kind is never parallel, and explicit
+    /// widths survive.
+    #[test]
+    fn parsed_kinds_resolve(threads in 2usize..64) {
+        let spec = format!("threaded:{threads}");
+        let kind = ExecutorKind::parse(&spec).unwrap();
+        prop_assert_eq!(Executor::from_kind(kind).threads(), threads);
+        prop_assert_eq!(
+            Executor::from_kind(ExecutorKind::parse("serial").unwrap()).threads(),
+            1
+        );
+    }
+}

@@ -12,7 +12,7 @@
 //! the cycle accounting from the simulated accelerator and the numerical
 //! error against an exact convolution.
 
-use mercury_core::{MercuryConfig, MercurySession};
+use mercury_core::{ExecutorKind, MercuryConfig, MercurySession};
 use mercury_tensor::conv::conv2d_multi;
 use mercury_tensor::rng::Rng;
 use mercury_tensor::Tensor;
@@ -51,7 +51,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // One session, one registered conv layer, a stream of submits. The
     // typed config builder rejects bad configurations with a ConfigError.
-    let config = MercuryConfig::builder().build()?;
+    // The executor picks the scheduling backend — serial is the reference,
+    // `ExecutorKind::threaded_auto()` sizes a pool to the machine, and
+    // both produce bit-identical results — so choose threaded on multi-
+    // core hosts for wall-clock, serial for minimal overhead elsewhere
+    // (MERCURY_EXECUTOR=serial|threaded overrides at run time).
+    let executor = ExecutorKind::from_env_or(ExecutorKind::Serial);
+    let config = MercuryConfig::builder().executor(executor).build()?;
     let mut session = MercurySession::new(config, 7)?;
     let conv = session.register_conv(kernels.clone(), 1, 1)?;
 

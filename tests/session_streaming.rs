@@ -4,7 +4,7 @@
 //! outputs stay exact for exact-repeat content — the ROADMAP's
 //! "long-lived engine with streaming inputs" workload, end to end.
 
-use mercury_core::{LayerOp, MercuryConfig, MercurySession, ReuseEngine};
+use mercury_core::{MercuryConfig, MercurySession};
 use mercury_tensor::conv::conv2d_multi;
 use mercury_tensor::rng::Rng;
 use mercury_tensor::Tensor;
@@ -128,24 +128,43 @@ fn mixed_layer_session_streams_all_three_families() {
 }
 
 #[test]
-fn deprecated_constructor_shims_still_compile_and_run() {
-    // The old panicking constructors remain as thin deprecated shims for
-    // one release; they must keep producing working engines.
-    #![allow(deprecated)]
-    use mercury_core::{ConvEngine, FcEngine};
+fn batched_submits_stream_like_sequential_ones() {
+    // `submit_batch` is the fan-out front door for service traffic: a
+    // round of requests across layers must leave the session in exactly
+    // the state the equivalent sequential submits would — including the
+    // cross-request MCACHE persistence *within* one batch (two same-layer
+    // requests in one batch see each other's tags, in batch order).
+    use mercury_core::ExecutorKind;
 
     let mut rng = Rng::new(102);
-    let mut conv = ConvEngine::new(MercuryConfig::default(), 1);
-    let input = Tensor::randn(&[1, 6, 6], &mut rng);
-    let kernels = Tensor::randn(&[2, 1, 3, 3], &mut rng);
-    let out = conv.forward(LayerOp::conv(&input, &kernels, 1, 0)).unwrap();
-    assert_eq!(out.output.shape(), &[2, 4, 4]);
+    let kernels = Tensor::randn(&[4, 1, 3, 3], &mut rng);
+    let weights = Tensor::randn(&[10, 4], &mut rng);
+    let img = Tensor::full(&[1, 8, 8], 0.6);
+    let rows = Tensor::randn(&[4, 10], &mut rng);
 
-    let mut fc = FcEngine::new(MercuryConfig::default(), 2);
-    let rows = Tensor::randn(&[3, 8], &mut rng);
-    let weights = Tensor::randn(&[8, 4], &mut rng);
-    let out = fc.forward(LayerOp::fc(&rows, &weights)).unwrap();
-    assert_eq!(out.output.shape(), &[3, 4]);
+    let mut sessions = Vec::new();
+    for kind in [ExecutorKind::Serial, ExecutorKind::Threaded { threads: 4 }] {
+        let config = MercuryConfig::builder().executor(kind).build().unwrap();
+        let mut s = MercurySession::new(config, 9).unwrap();
+        let conv = s.register_conv(kernels.clone(), 1, 1).unwrap();
+        let fc = s.register_fc(weights.clone()).unwrap();
+        let outs = s
+            .submit_batch(&[(conv, &img), (fc, &rows), (conv, &img)])
+            .unwrap();
+        // Second conv request repeats the first within the same batch: it
+        // must see the tags the first inserted (pure hits, zero MAUs).
+        assert!(outs[0].stats().maus > 0);
+        assert_eq!(outs[2].stats().maus, 0);
+        assert_eq!(outs[2].output, outs[0].output);
+        sessions.push((s, conv, fc, outs));
+    }
+    // Serial and threaded fan-out are bit-identical, down to the stats.
+    let (a, b) = (&sessions[0], &sessions[1]);
+    for (x, y) in a.3.iter().zip(&b.3) {
+        assert_eq!(x.output, y.output);
+        assert_eq!(x.report, y.report);
+    }
+    assert_eq!(a.0.total_stats(), b.0.total_stats());
 }
 
 #[test]
