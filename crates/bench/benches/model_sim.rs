@@ -5,7 +5,7 @@
 //! `BENCH_RESULTS.json` on every timed run).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mercury_bench::{simulate_model, ModelSimConfig};
+use mercury_bench::{ModelSim, ModelSimConfig};
 use mercury_models::{alexnet, vgg13, ModelSpec};
 use mercury_tensor::exec::ExecutorKind;
 use std::hint::black_box;
@@ -17,12 +17,13 @@ fn bench_model_sim(c: &mut Criterion) {
         sampled_channels: 2,
         ..ModelSimConfig::default()
     };
-    group.bench_function("alexnet", |b| {
-        b.iter(|| simulate_model(black_box(&alexnet()), &cfg))
-    });
-    group.bench_function("vgg13", |b| {
-        b.iter(|| simulate_model(black_box(&vgg13()), &cfg))
-    });
+    // One `ModelSim` per configuration, held across iterations: the
+    // executor (and its worker pool, if threaded) is resolved once, the
+    // way a long-lived harness would run — re-resolving per call would
+    // charge pool construction to every sample.
+    let sim = ModelSim::new(cfg);
+    group.bench_function("alexnet", |b| b.iter(|| sim.run(black_box(&alexnet()))));
+    group.bench_function("vgg13", |b| b.iter(|| sim.run(black_box(&vgg13()))));
     // Serial vs threaded medians for the two reference models; the two
     // backends produce bit-identical reports, so any delta is pure
     // scheduling. The pool width is pinned to 2 so the record is
@@ -37,9 +38,9 @@ fn bench_model_sim(c: &mut Criterion) {
     let models: [(&str, ModelBuilder); 2] = [("vgg13", vgg13), ("alexnet", alexnet)];
     for (model_name, model) in models {
         for (backend_name, executor) in backends {
-            let cfg = ModelSimConfig { executor, ..cfg };
+            let sim = ModelSim::new(ModelSimConfig { executor, ..cfg });
             group.bench_function(format!("{model_name}_{backend_name}"), |b| {
-                b.iter(|| simulate_model(black_box(&model()), &cfg))
+                b.iter(|| sim.run(black_box(&model())))
             });
         }
     }

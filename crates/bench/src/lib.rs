@@ -335,15 +335,49 @@ fn conv_kernel_sizes(spec: &ModelSpec) -> Vec<(usize, usize)> {
 /// `tests/determinism.rs` pins — while wall-clock time drops with core
 /// count.
 pub fn simulate_model(spec: &ModelSpec, cfg: &ModelSimConfig) -> RunReport {
-    let exec = Executor::from_kind(cfg.executor);
-    let conv_kernels = conv_kernel_sizes(spec);
-    let mut report = RunReport::new(spec.name.clone());
-    for stats in exec.map_indexed(spec.layers.len(), |i| {
-        simulate_layer(spec, i, &conv_kernels, cfg)
-    }) {
-        report.push(stats);
+    ModelSim::new(*cfg).run(spec)
+}
+
+/// A model simulator with a **resolved, persistent executor**: the
+/// worker pool behind [`ModelSimConfig::executor`] is created once here
+/// and reused by every [`run`](Self::run) — across models, epochs, and
+/// bench iterations — instead of being re-resolved (and its threads
+/// re-created) per call the way the [`simulate_model`] convenience
+/// wrapper does. Anything that simulates more than once should hold one
+/// of these.
+#[derive(Debug)]
+pub struct ModelSim {
+    cfg: ModelSimConfig,
+    exec: Executor,
+}
+
+impl ModelSim {
+    /// Resolves `cfg.executor` into a (lazily spawned, then persistent)
+    /// backend.
+    pub fn new(cfg: ModelSimConfig) -> Self {
+        ModelSim {
+            exec: Executor::from_kind(cfg.executor),
+            cfg,
+        }
     }
-    report
+
+    /// The configuration this simulator runs with.
+    pub fn config(&self) -> &ModelSimConfig {
+        &self.cfg
+    }
+
+    /// Simulates a full training iteration of `spec` on the held
+    /// executor; same output contract as [`simulate_model`].
+    pub fn run(&self, spec: &ModelSpec) -> RunReport {
+        let conv_kernels = conv_kernel_sizes(spec);
+        let mut report = RunReport::new(spec.name.clone());
+        for stats in self.exec.map_indexed(spec.layers.len(), |i| {
+            simulate_layer(spec, i, &conv_kernels, &self.cfg)
+        }) {
+            report.push(stats);
+        }
+        report
+    }
 }
 
 /// [`simulate_model`] with an explicit worker count (one worker = the
@@ -380,6 +414,53 @@ fn hash_name(name: &str) -> u64 {
     name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
         (h ^ b as u64).wrapping_mul(0x100000001b3)
     })
+}
+
+/// Reading the `BENCH_RESULTS.json` snapshots the criterion shim writes
+/// (flat `{"bench name": median nanoseconds}` objects) — shared by the
+/// `bench_diff` comparison bin and anything else that post-processes a
+/// perf snapshot.
+pub mod results {
+    use std::collections::BTreeMap;
+
+    /// Parses a flat `{"name": nanoseconds, ...}` JSON object (the shim's
+    /// output format), tolerating whitespace and — like the shim's own
+    /// reader — a malformed tail: whatever parsed before the damage is
+    /// kept, so a snapshot truncated by a killed bench job still yields
+    /// its completed entries. Returns `None` only when the text contains
+    /// no recognizable measurement at all — the schema-mismatch signal
+    /// `bench_diff` exits nonzero on.
+    pub fn parse(text: &str) -> Option<BTreeMap<String, u128>> {
+        let mut map = BTreeMap::new();
+        let mut rest = text;
+        while let Some(start) = rest.find('"') {
+            rest = &rest[start + 1..];
+            let Some(end) = rest.find('"') else { break };
+            let key = &rest[..end];
+            rest = &rest[end + 1..];
+            let Some(colon) = rest.find(':') else { break };
+            let after = rest[colon + 1..].trim_start();
+            let digits: String = after.chars().take_while(|c| c.is_ascii_digit()).collect();
+            if !key.is_empty() && !digits.is_empty() {
+                if let Ok(v) = digits.parse::<u128>() {
+                    map.insert(key.to_string(), v);
+                }
+            }
+            rest = &rest[colon + 1..];
+        }
+        if map.is_empty() {
+            None
+        } else {
+            Some(map)
+        }
+    }
+
+    /// Loads and parses one snapshot file; `Err` carries the
+    /// schema-mismatch description.
+    pub fn load(path: &str) -> Result<BTreeMap<String, u128>, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        parse(&text).ok_or_else(|| format!("{path} holds no `\"name\": nanoseconds` entries"))
+    }
 }
 
 /// Prints a TSV header line.
@@ -448,6 +529,31 @@ mod tests {
         // layers must be off (Figure 14a shows off-layers for MobNet-V2).
         let (_, off) = adaptive.detection_counts();
         assert!(off > 0, "expected some stopped layers in MobileNet-V2");
+    }
+
+    #[test]
+    fn results_parse_keeps_entries_before_a_truncated_tail() {
+        // Same tolerance as the criterion shim's reader: a snapshot cut
+        // off mid-write still yields its completed entries, and only a
+        // text with no entries at all reads as a schema mismatch.
+        let map = results::parse("{\n  \"a/b\": 10,\n  \"c\": 20,\n  \"trunc").unwrap();
+        assert_eq!(map.get("a/b"), Some(&10));
+        assert_eq!(map.get("c"), Some(&20));
+        assert_eq!(map.len(), 2);
+        assert!(results::parse("not json at all").is_none());
+        assert!(results::parse("").is_none());
+    }
+
+    #[test]
+    fn model_sim_runner_matches_one_shot_wrapper() {
+        let cfg = quick_cfg();
+        let sim = ModelSim::new(cfg);
+        let a = sim.run(&vgg13());
+        let b = simulate_model(&vgg13(), &cfg);
+        assert_eq!(a.total_cycles(), b.total_cycles());
+        // The held executor serves repeated runs (the pool-reuse shape).
+        let c = sim.run(&vgg13());
+        assert_eq!(a.total_cycles(), c.total_cycles());
     }
 
     #[test]

@@ -76,6 +76,11 @@ pub(crate) use reuse_engine_lifecycle;
 /// than it saves; [`EngineCache::probe_insert_batch`] stays serial.
 pub(crate) const PARALLEL_PROBE_MIN: usize = 64;
 
+/// Rough cost of one MCACHE probe in the executor's work units (~scalar
+/// FLOPs): a hash, a set scan, and an insert. Feeds the pooled backend's
+/// work-size heuristic so short probe streams never wake pool workers.
+pub(crate) const PROBE_WORK_UNITS: usize = 64;
+
 /// The single owner of the bank-split constraint: `banks` must be
 /// positive and divide `sets` with at least one set per bank. Returns the
 /// resulting sets-per-bank. Both [`EngineCache::banked`] and
@@ -198,22 +203,27 @@ impl EngineCache {
                     },
                 );
                 let jobs: Vec<_> = banks.shards().into_iter().zip(per_bank).collect();
-                let results = exec.map_owned(jobs, |_, (mut shard, probes)| {
-                    probes
-                        .into_iter()
-                        .map(|(i, sig)| {
-                            let o = shard.probe_insert(sig);
-                            let flat = AccessOutcome {
-                                kind: o.kind(),
-                                entry: o.entry().map(|id| EntryId {
-                                    set: id.bank * sets_per_bank + id.entry.set,
-                                    way: id.entry.way,
-                                }),
-                            };
-                            (i, flat)
-                        })
-                        .collect::<Vec<_>>()
-                });
+                // Work-size hint: probes per bank × the per-probe cost, so
+                // the pooled backend inlines short streams instead of
+                // waking workers for ~µs of scanning.
+                let per_bank_work = (sigs.len() / num_banks).max(1) * PROBE_WORK_UNITS;
+                let results =
+                    exec.map_owned_sized(jobs, per_bank_work, |_, (mut shard, probes)| {
+                        probes
+                            .into_iter()
+                            .map(|(i, sig)| {
+                                let o = shard.probe_insert(sig);
+                                let flat = AccessOutcome {
+                                    kind: o.kind(),
+                                    entry: o.entry().map(|id| EntryId {
+                                        set: id.bank * sets_per_bank + id.entry.set,
+                                        way: id.entry.way,
+                                    }),
+                                };
+                                (i, flat)
+                            })
+                            .collect::<Vec<_>>()
+                    });
                 for bank_results in results {
                     for (i, o) in bank_results {
                         out[i as usize] = o;
@@ -317,13 +327,23 @@ pub(crate) struct EngineBase {
 
 impl EngineBase {
     /// Batch-mode base: monolithic cache, cleared per reuse scope.
+    /// Resolves a private executor from `config.executor`; owners that
+    /// drive several engines share one pool via [`new_on`](Self::new_on).
     pub fn new(config: MercuryConfig, seed: u64) -> Result<Self, ConfigError> {
+        Self::new_on(config, seed, Executor::from_kind(config.executor))
+    }
+
+    /// [`new`](Self::new) scheduling on a caller-provided executor —
+    /// cloned `Executor`s share one worker pool, so a long-lived owner
+    /// resolves `config.executor` once and hands the same pool to every
+    /// engine it creates.
+    pub fn new_on(config: MercuryConfig, seed: u64, exec: Executor) -> Result<Self, ConfigError> {
         config.validate()?;
         Ok(EngineBase {
             config,
             cache: EngineCache::mono(config.cache),
             persistent: false,
-            exec: Executor::from_kind(config.executor),
+            exec,
             rng: Rng::new(seed),
             projections: HashMap::new(),
             signature_bits: config.initial_signature_bits,
@@ -332,14 +352,26 @@ impl EngineBase {
     }
 
     /// Persistent base: banked cache, evicted only by
-    /// [`end_epoch`](Self::end_epoch).
+    /// [`end_epoch`](Self::end_epoch). See [`new`](Self::new) for the
+    /// executor-resolution note.
     pub fn persistent(config: MercuryConfig, seed: u64, banks: usize) -> Result<Self, ConfigError> {
+        Self::persistent_on(config, seed, banks, Executor::from_kind(config.executor))
+    }
+
+    /// [`persistent`](Self::persistent) scheduling on a caller-provided
+    /// executor (see [`new_on`](Self::new_on)).
+    pub fn persistent_on(
+        config: MercuryConfig,
+        seed: u64,
+        banks: usize,
+        exec: Executor,
+    ) -> Result<Self, ConfigError> {
         config.validate()?;
         Ok(EngineBase {
             config,
             cache: EngineCache::banked(config.cache, banks)?,
             persistent: true,
-            exec: Executor::from_kind(config.executor),
+            exec,
             rng: Rng::new(seed),
             projections: HashMap::new(),
             signature_bits: config.initial_signature_bits,

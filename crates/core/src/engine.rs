@@ -69,6 +69,20 @@ impl ConvEngine {
         })
     }
 
+    /// [`persistent`](Self::persistent) scheduling on a caller-provided
+    /// executor: cloned executors share one worker pool, which is how
+    /// `MercurySession` hands a single pool to every layer engine.
+    pub(crate) fn persistent_on(
+        config: MercuryConfig,
+        seed: u64,
+        banks: usize,
+        exec: mercury_tensor::exec::Executor,
+    ) -> Result<Self, ConfigError> {
+        Ok(ConvEngine {
+            base: EngineBase::persistent_on(config, seed, banks, exec)?,
+        })
+    }
+
     fn run(
         &mut self,
         input: &Tensor,
@@ -143,7 +157,7 @@ impl ConvEngine {
 
         let bits = self.base.signature_bits;
         let detection = self.base.detection_enabled;
-        let exec = self.base.exec;
+        let exec = self.base.exec.clone();
 
         // ---- Per-channel execution ---------------------------------------
         //
@@ -222,8 +236,14 @@ impl ConvEngine {
                 // reflect serial-executor batch runs.
                 let inner = Executor::serial();
                 let ctx = &ctx;
-                exec.map_with(
+                // Work-size hint per channel: the dense GEMM FLOPs plus
+                // the probe stream, so single tiny-image requests run
+                // inline instead of waking the pool.
+                let channel_work =
+                    2 * f * plen * patches_n + crate::base::PROBE_WORK_UNITS * patches_n;
+                exec.map_with_sized(
                     c,
+                    channel_work,
                     || (EngineCache::mono(cache_cfg), ConvScratch::default()),
                     move |ch, state| {
                         let (cache, scratch) = state;

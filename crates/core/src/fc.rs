@@ -32,7 +32,7 @@ struct RowPlan {
 /// outcomes are identical to the serial loop either way.
 fn probe_rows(base: &mut EngineBase, sigs: &[Signature]) -> RowPlan {
     base.begin_reuse_scope();
-    let exec = base.exec;
+    let exec = base.exec.clone();
     let conflicts_before = base.cache.stats().insert_conflicts;
     let ways = base.cache.ways();
     let n = sigs.len();
@@ -131,6 +131,19 @@ impl FcEngine {
         })
     }
 
+    /// [`persistent`](Self::persistent) scheduling on a caller-provided
+    /// executor (clones share one worker pool; see `MercurySession`).
+    pub(crate) fn persistent_on(
+        config: MercuryConfig,
+        seed: u64,
+        banks: usize,
+        exec: mercury_tensor::exec::Executor,
+    ) -> Result<Self, ConfigError> {
+        Ok(FcEngine {
+            base: EngineBase::persistent_on(config, seed, banks, exec)?,
+        })
+    }
+
     fn run(
         &mut self,
         inputs: &Tensor,
@@ -201,10 +214,11 @@ impl FcEngine {
         // accumulation order is unchanged, keeping the threaded backend
         // bit-identical to serial. Consumers then copy their producer's
         // row in stream order (a producer always precedes its consumers).
-        let exec = self.base.exec;
+        let exec = self.base.exec.clone();
         let compute: Vec<usize> = (0..n).filter(|&i| plan.row_source[i] == i).collect();
         let (id, wd) = (inputs.data(), weights.data());
-        let rows_out = exec.map_indexed(compute.len(), |ci| {
+        // Work-size hint: one producer row costs a [1, l] x [l, m] product.
+        let rows_out = exec.map_indexed_sized(compute.len(), 2 * l * m, |ci| {
             let i = compute[ci];
             let row = &id[i * l..(i + 1) * l];
             let mut out_row = vec![0.0f32; m];
@@ -324,6 +338,19 @@ impl AttentionEngine {
         })
     }
 
+    /// [`persistent`](Self::persistent) scheduling on a caller-provided
+    /// executor (clones share one worker pool; see `MercurySession`).
+    pub(crate) fn persistent_on(
+        config: MercuryConfig,
+        seed: u64,
+        banks: usize,
+        exec: mercury_tensor::exec::Executor,
+    ) -> Result<Self, ConfigError> {
+        Ok(AttentionEngine {
+            base: EngineBase::persistent_on(config, seed, banks, exec)?,
+        })
+    }
+
     fn run(
         &mut self,
         x: &Tensor,
@@ -372,13 +399,14 @@ impl AttentionEngine {
         // Producer rows shard across the executor for both products; row
         // arithmetic is unchanged, so the threaded backend stays
         // bit-identical to serial. Consumers copy in stream order after.
-        let exec = self.base.exec;
+        let exec = self.base.exec.clone();
         let compute: Vec<usize> = (0..t).filter(|&i| plan.row_source[i] == i).collect();
         let xd = x.data();
 
-        // W = X·Xᵀ with row reuse.
+        // W = X·Xᵀ with row reuse. Work-size hint: one producer row is t
+        // k-element dots.
         let mut w = Tensor::zeros(&[t, t]);
-        let w_rows = exec.map_indexed(compute.len(), |ci| {
+        let w_rows = exec.map_indexed_sized(compute.len(), 2 * k * t, |ci| {
             let i = compute[ci];
             let xi = &xd[i * k..(i + 1) * k];
             let mut row = vec![0.0f32; t];
@@ -401,7 +429,7 @@ impl AttentionEngine {
         // Y = W·X with the same row reuse (identical xᵢ ⇒ identical rows).
         let mut y = Tensor::zeros(&[t, k]);
         let wd = w.data();
-        let y_rows = exec.map_indexed(compute.len(), |ci| {
+        let y_rows = exec.map_indexed_sized(compute.len(), 2 * t * k, |ci| {
             let i = compute[ci];
             let mut row = vec![0.0f32; k];
             for (j, o) in row.iter_mut().enumerate() {

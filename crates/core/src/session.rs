@@ -140,8 +140,14 @@ pub struct MercurySession {
     layers: Vec<SessionLayer>,
     epoch: u64,
     /// Backend for [`submit_batch`](Self::submit_batch) fan-out, resolved
-    /// once from `config.executor` (each layer's engine additionally owns
-    /// its own copy for intra-layer parallelism).
+    /// **once** from `config.executor` at session creation. Every layer
+    /// engine this session registers receives a clone — and clones share
+    /// one persistent worker pool — so an arbitrarily long request stream
+    /// reuses the same parked workers instead of re-resolving (and
+    /// re-spawning) per call. Engines running inside a `submit_batch`
+    /// fan-out execute their own inner regions (sharded GEMMs, bank
+    /// probes) inline on their worker, never deadlocking on the shared
+    /// pool.
     exec: Executor,
 }
 
@@ -233,7 +239,12 @@ impl MercurySession {
             }
             .into());
         }
-        let engine = ConvEngine::persistent(self.config, self.next_seed(), self.banks)?;
+        let engine = ConvEngine::persistent_on(
+            self.config,
+            self.next_seed(),
+            self.banks,
+            self.exec.clone(),
+        )?;
         Ok(self.push_layer(
             Box::new(engine),
             LayerParams::Conv {
@@ -258,7 +269,8 @@ impl MercurySession {
             }
             .into());
         }
-        let engine = FcEngine::persistent(self.config, self.next_seed(), self.banks)?;
+        let engine =
+            FcEngine::persistent_on(self.config, self.next_seed(), self.banks, self.exec.clone())?;
         Ok(self.push_layer(Box::new(engine), LayerParams::Fc { weights }))
     }
 
@@ -271,7 +283,12 @@ impl MercurySession {
     /// construction fails (the session's config was validated at
     /// creation, so this is effectively infallible).
     pub fn register_attention(&mut self) -> Result<LayerId, MercuryError> {
-        let engine = AttentionEngine::persistent(self.config, self.next_seed(), self.banks)?;
+        let engine = AttentionEngine::persistent_on(
+            self.config,
+            self.next_seed(),
+            self.banks,
+            self.exec.clone(),
+        )?;
         Ok(self.push_layer(Box::new(engine), LayerParams::Attention))
     }
 

@@ -144,6 +144,12 @@ pub fn gemm_blocked(
 /// element is unchanged — so the result is **bit-identical** to the
 /// serial call for any worker count.
 ///
+/// The chunks carry their FLOP count (`2 · rows · k · n`) as the
+/// executor's work-size hint, so the small GEMMs of service-style
+/// single-request forwards run inline instead of waking pool workers —
+/// the pooled backend only dispatches once a product is large enough to
+/// amortize the handoff.
+///
 /// # Panics
 ///
 /// Same contract as [`gemm_blocked`].
@@ -171,7 +177,8 @@ pub fn gemm_blocked_on(
         .chunks_mut(rows_per * n)
         .zip(a.chunks(rows_per * k))
         .collect();
-    exec.map_owned(jobs, |_, (orows, arows)| {
+    let chunk_flops = 2 * rows_per * k * n;
+    exec.map_owned_sized(jobs, chunk_flops, |_, (orows, arows)| {
         let rows = arows.len() / k;
         gemm_blocked(orows, arows, b, rows, k, n, ldb);
     });

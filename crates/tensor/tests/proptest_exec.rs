@@ -76,6 +76,38 @@ proptest! {
         prop_assert_eq!(mm, mm_sharded);
     }
 
+    /// One pool reused across a whole sequence of mixed regions — the
+    /// lifecycle `MercurySession` and the model-sim runner rely on —
+    /// agrees with the serial reference region by region, and the pool
+    /// accounts for every region it saw (dispatched or inlined).
+    #[test]
+    fn pool_reuse_across_regions_matches_serial(
+        threads in 2usize..9,
+        sizes in proptest::collection::vec(0usize..40, 1..12),
+        salt in 0u64..1000,
+    ) {
+        let exec = Executor::threaded(threads);
+        for (round, &n) in sizes.iter().enumerate() {
+            let round = round as u64;
+            let want: Vec<u64> = (0..n).map(|i| (i as u64 + round) ^ salt).collect();
+            let got = match round % 3 {
+                0 => exec.map_indexed(n, |i| (i as u64 + round) ^ salt),
+                1 => exec.map_with(n, || (), |i, ()| (i as u64 + round) ^ salt),
+                _ => exec.map_owned(
+                    (0..n as u64).collect::<Vec<_>>(),
+                    |_, item| (item + round) ^ salt,
+                ),
+            };
+            prop_assert_eq!(got, want);
+        }
+        let stats = exec.pool_stats().expect("threaded backend has a pool");
+        prop_assert_eq!(
+            stats.regions_dispatched + stats.regions_inlined,
+            sizes.len() as u64,
+            "every region is accounted for exactly once"
+        );
+    }
+
     /// Kind parsing round-trips through resolution sensibly: parsed kinds
     /// always resolve, a serial kind is never parallel, and explicit
     /// widths survive.

@@ -202,6 +202,67 @@ fn multi_epoch_session_streams_threaded_pools_match_serial() {
     }
 }
 
+/// A batch whose layers are big enough that the engines' *inner*
+/// parallel regions — row-sharded GEMMs and banked probe fan-outs —
+/// exceed the pool's work-size dispatch threshold. Under
+/// `submit_batch`, those engines run *inside* pool workers on the
+/// session's shared pool, so every inner region must detect the nesting
+/// and run inline: completing at all proves no deadlock, and the
+/// serial comparison proves the inline path is bit-identical.
+fn nested_session_stream(kind: ExecutorKind) -> Vec<LayerForward> {
+    let mut rng = Rng::new(71);
+    let mut session = MercurySession::new(config(kind), 71).unwrap();
+    // 2-channel 5x5 conv over 26x26: 576 patches/channel of length 50 —
+    // the per-channel probe stream and the [8, 50] x [50, 576] GEMM both
+    // clear the dispatch threshold when run from the top level.
+    let conv = session
+        .register_conv(Tensor::randn(&[8, 2, 5, 5], &mut rng), 1, 1)
+        .unwrap();
+    // 40 producer rows x [64, 48] weights likewise.
+    let fc = session
+        .register_fc(Tensor::randn(&[64, 48], &mut rng))
+        .unwrap();
+    let img_smooth = Tensor::full(&[2, 26, 26], 0.5);
+    let img_random = Tensor::randn(&[2, 26, 26], &mut rng);
+    let rows = Tensor::randn(&[40, 64], &mut rng);
+    let mut out = Vec::new();
+    for epoch in 0..2 {
+        for _ in 0..2 {
+            out.extend(
+                session
+                    .submit_batch(&[
+                        (conv, &img_smooth),
+                        (fc, &rows),
+                        (conv, &img_random),
+                        (fc, &rows),
+                        (conv, &img_smooth),
+                    ])
+                    .unwrap(),
+            );
+            // A top-level submit between batches: the same engines then
+            // dispatch their inner regions on the pool directly (not
+            // nested), so both dispatch modes interleave on one pool.
+            out.push(session.submit(conv, &img_random).unwrap());
+        }
+        if epoch == 0 {
+            session.advance_epoch();
+        }
+    }
+    out
+}
+
+#[test]
+fn nested_engine_regions_inside_submit_batch_match_serial_without_deadlock() {
+    let want = nested_session_stream(ExecutorKind::Serial);
+    for threads in POOLS {
+        let got = nested_session_stream(ExecutorKind::Threaded { threads });
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_same(g, w, &format!("nested pool={threads} submit={i}"));
+        }
+    }
+}
+
 #[test]
 fn env_selected_backend_is_observationally_silent() {
     // Whatever MERCURY_EXECUTOR the suite runs under, explicitly pinned
