@@ -98,6 +98,90 @@ fn main() {
     }
     println!("rpq/signatures_2048x9\t{}", f3(us(t) / runs as f64));
 
+    // Per-kernel attribution at the conv bench shape (8×16×16 input, 16
+    // filters, 3×3, pad 1 → 8 channels × 256 patches of 9 elements): each
+    // phase is one kernel of the engine's per-channel pipeline, so the
+    // engine/forward_* lines below decompose into these.
+    {
+        let mut krng = Rng::new(7);
+        let input = Tensor::randn(&[8, 16, 16], &mut krng);
+        let geom = mercury_tensor::conv::ConvGeometry::new(16, 16, 3, 3, 1, 1).unwrap();
+        let (plen, patches_n, f) = (9usize, 256usize, 16usize);
+        let mut patch_buf = Vec::new();
+        let runs = 50;
+
+        let t = Instant::now();
+        for _ in 0..runs {
+            for ch in 0..8 {
+                mercury_tensor::conv::extract_patches_into(
+                    &input.data()[ch * 256..(ch + 1) * 256],
+                    &geom,
+                    &mut patch_buf,
+                )
+                .unwrap();
+            }
+        }
+        println!("kernel/im2col_8ch_16x16\t{}", f3(us(t) / runs as f64));
+
+        let mut packed_t = vec![0.0f32; plen * patches_n];
+        let t = Instant::now();
+        for _ in 0..runs {
+            for _ in 0..8 {
+                mercury_tensor::kernel::pack::transpose_pack(
+                    &mut packed_t,
+                    &patch_buf,
+                    patches_n,
+                    plen,
+                );
+            }
+        }
+        println!("kernel/pack_8x256x9\t{}", f3(us(t) / runs as f64));
+
+        let sigs = generator.signatures_for_rows_prefix(patches.data(), 20);
+        let mut probe_cache = MCache::new(cfg.cache);
+        let t = Instant::now();
+        for _ in 0..runs {
+            probe_cache.clear();
+            probe_cache.begin_insert_batch();
+            for &sig in &sigs {
+                std::hint::black_box(probe_cache.probe_insert(sig));
+            }
+        }
+        println!("mcache/probe_2048_fresh\t{}", f3(us(t) / runs as f64));
+
+        let mut filt = vec![0.0f32; f * plen];
+        filt.iter_mut()
+            .enumerate()
+            .for_each(|(i, v)| *v = (i % 7) as f32 - 3.0);
+        let mut contrib = vec![0.0f32; f * patches_n];
+        let t = Instant::now();
+        for _ in 0..runs {
+            for _ in 0..8 {
+                contrib.iter_mut().for_each(|v| *v = 0.0);
+                mercury_tensor::ops::gemm_blocked(
+                    &mut contrib,
+                    &filt,
+                    &packed_t,
+                    f,
+                    plen,
+                    patches_n,
+                    patches_n,
+                );
+            }
+        }
+        println!("kernel/gemm_8x16x9x256\t{}", f3(us(t) / runs as f64));
+
+        let tags: Vec<u128> = (0..16).map(|i| (i as u128) << 97 | i as u128).collect();
+        let t = Instant::now();
+        for _ in 0..runs * 1000 {
+            std::hint::black_box(mercury_tensor::kernel::scan::find_u128(
+                std::hint::black_box(&tags),
+                std::hint::black_box(5u128 << 97 | 5),
+            ));
+        }
+        println!("kernel/scan_16way_x1000\t{}", f3(us(t) / runs as f64));
+    }
+
     // Conv-engine channel at the bench shape: 8×16×16 input, 16 filters.
     let mut erng = Rng::new(5);
     let kernels = Tensor::randn(&[16, 8, 3, 3], &mut erng);

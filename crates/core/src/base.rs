@@ -81,6 +81,25 @@ pub(crate) const PARALLEL_PROBE_MIN: usize = 64;
 /// work-size heuristic so short probe streams never wake pool workers.
 pub(crate) const PROBE_WORK_UNITS: usize = 64;
 
+/// The dispatch work hint for one dense product of `rows` vectors of
+/// length `len` against `cols` outputs: `2 · rows · len · cols` scalar
+/// FLOPs, with saturating multiplies — hint arithmetic on overflow-shaped
+/// layer dimensions must clamp to `usize::MAX` (erring toward dispatch),
+/// never wrap into a small number or panic under `overflow-checks`.
+pub(crate) fn dense_work(rows: usize, len: usize, cols: usize) -> usize {
+    2usize
+        .saturating_mul(rows)
+        .saturating_mul(len)
+        .saturating_mul(cols)
+}
+
+/// The dispatch work hint for one conv channel under the reuse engine:
+/// the `[f, plen] × [plen, patches_n]` GEMM plus one cache probe per
+/// patch. Saturating throughout, like [`dense_work`].
+pub(crate) fn conv_channel_work(f: usize, plen: usize, patches_n: usize) -> usize {
+    dense_work(f, plen, patches_n).saturating_add(PROBE_WORK_UNITS.saturating_mul(patches_n))
+}
+
 /// The single owner of the bank-split constraint: `banks` must be
 /// positive and divide `sets` with at least one set per bank. Returns the
 /// resulting sets-per-bank. Both [`EngineCache::banked`] and
@@ -203,27 +222,33 @@ impl EngineCache {
                     },
                 );
                 let jobs: Vec<_> = banks.shards().into_iter().zip(per_bank).collect();
-                // Work-size hint: probes per bank × the per-probe cost, so
-                // the pooled backend inlines short streams instead of
-                // waking workers for ~µs of scanning.
-                let per_bank_work = (sigs.len() / num_banks).max(1) * PROBE_WORK_UNITS;
-                let results =
-                    exec.map_owned_sized(jobs, per_bank_work, |_, (mut shard, probes)| {
-                        probes
-                            .into_iter()
-                            .map(|(i, sig)| {
-                                let o = shard.probe_insert(sig);
-                                let flat = AccessOutcome {
-                                    kind: o.kind(),
-                                    entry: o.entry().map(|id| EntryId {
-                                        set: id.bank * sets_per_bank + id.entry.set,
-                                        way: id.entry.way,
-                                    }),
-                                };
-                                (i, flat)
-                            })
-                            .collect::<Vec<_>>()
-                    });
+                // Work-size hints: each bank job carries its *actual*
+                // probe count × the per-probe cost. A batch average would
+                // mis-size every job on skewed batches (similar inputs
+                // hash to few banks): the hot bank understated, workers
+                // woken for near-empty ones. With per-item hints, a batch
+                // whose probes all land in one bank runs inline — a
+                // second thread could not share that bank's shard.
+                let work: Vec<usize> = jobs
+                    .iter()
+                    .map(|(_, probes)| probes.len().saturating_mul(PROBE_WORK_UNITS))
+                    .collect();
+                let results = exec.map_owned_weighted(jobs, &work, |_, (mut shard, probes)| {
+                    probes
+                        .into_iter()
+                        .map(|(i, sig)| {
+                            let o = shard.probe_insert(sig);
+                            let flat = AccessOutcome {
+                                kind: o.kind(),
+                                entry: o.entry().map(|id| EntryId {
+                                    set: id.bank * sets_per_bank + id.entry.set,
+                                    way: id.entry.way,
+                                }),
+                            };
+                            (i, flat)
+                        })
+                        .collect::<Vec<_>>()
+                });
                 for bank_results in results {
                     for (i, o) in bank_results {
                         out[i as usize] = o;
@@ -435,16 +460,6 @@ impl EngineBase {
         self.projections.get(&len)
     }
 
-    /// The disjoint borrows the persistent conv channel loop needs at
-    /// once: the cache mutably and the (already-materialized) projection
-    /// for `len` immutably.
-    pub fn cache_and_projection(
-        &mut self,
-        len: usize,
-    ) -> (&mut EngineCache, Option<&ProjectionMatrix>) {
-        (&mut self.cache, self.projections.get(&len))
-    }
-
     /// Signatures for the rows of a `[n, len]` tensor at the current
     /// signature length.
     pub fn signatures_for_rows(&mut self, rows: &Tensor) -> Vec<Signature> {
@@ -529,6 +544,80 @@ mod tests {
         assert_eq!(
             mono_a.probe_insert_batch(&sigs, &Executor::serial()),
             mono_b.probe_insert_batch(&sigs, &Executor::threaded(8)),
+        );
+    }
+
+    #[test]
+    fn skewed_bank_batches_inline_spread_batches_dispatch() {
+        // A batch whose probes all home to one bank has one busy shard —
+        // a second thread could not share it, so the pool must not wake.
+        // The old batch-average hint sized all four jobs alike and
+        // dispatched exactly this shape.
+        let cfg = MCacheConfig::new(8, 2, 1).unwrap();
+        let oracle = EngineCache::banked(cfg, 4).unwrap();
+        let EngineCache::Banked { banks, .. } = &oracle else {
+            unreachable!("banked constructor yields the banked variant")
+        };
+        // 600 probes × PROBE_WORK_UNITS lands well over the dispatch
+        // floor, so only the busy-bank gate keeps this inline.
+        let mut skewed = Vec::new();
+        let mut i = 0u128;
+        while skewed.len() < 600 {
+            let s = sig(i);
+            if banks.bank_of_sig(s) == 0 {
+                skewed.push(s);
+            }
+            i += 1;
+        }
+        let spread: Vec<Signature> = (0..600u128).map(sig).collect();
+        assert!(
+            (0..4).all(|b| spread.iter().any(|&s| banks.bank_of_sig(s) == b)),
+            "spread stream must touch every bank"
+        );
+
+        let exec = Executor::threaded(4);
+        let before = exec.pool_stats().unwrap();
+        let mut serial_cache = EngineCache::banked(cfg, 4).unwrap();
+        let want = serial_cache.probe_insert_batch(&skewed, &Executor::serial());
+        let mut cache = EngineCache::banked(cfg, 4).unwrap();
+        let got = cache.probe_insert_batch(&skewed, &exec);
+        assert_eq!(got, want, "skewed outcomes must match serial");
+        assert_eq!(serial_cache.stats(), cache.stats());
+        let after = exec.pool_stats().unwrap();
+        assert_eq!(
+            after.regions_dispatched, before.regions_dispatched,
+            "single-bank batch must run inline"
+        );
+        assert_eq!(after.regions_inlined, before.regions_inlined + 1);
+
+        let mut serial_cache = EngineCache::banked(cfg, 4).unwrap();
+        let want = serial_cache.probe_insert_batch(&spread, &Executor::serial());
+        let mut cache = EngineCache::banked(cfg, 4).unwrap();
+        let got = cache.probe_insert_batch(&spread, &exec);
+        assert_eq!(got, want, "spread outcomes must match serial");
+        assert_eq!(
+            exec.pool_stats().unwrap().regions_dispatched,
+            after.regions_dispatched + 1,
+            "multi-bank batch over the work floor must dispatch"
+        );
+    }
+
+    #[test]
+    fn work_hints_saturate_on_overflow_shaped_layers() {
+        // Hint arithmetic must clamp, not wrap or panic, when layer
+        // dimensions multiply past usize::MAX (these run under
+        // overflow-checks in the release test profile).
+        let huge = 1usize << 40;
+        assert_eq!(dense_work(huge, huge, huge), usize::MAX);
+        assert_eq!(dense_work(1, usize::MAX, 2), usize::MAX);
+        assert_eq!(dense_work(1, 3, 4), 24);
+        assert_eq!(conv_channel_work(huge, huge, huge), usize::MAX);
+        // The probe-stream term saturates on its own too.
+        assert_eq!(conv_channel_work(0, 0, usize::MAX), usize::MAX);
+        assert_eq!(
+            conv_channel_work(2, 3, 5),
+            60 + PROBE_WORK_UNITS * 5,
+            "small shapes keep the exact FLOP count"
         );
     }
 

@@ -6,10 +6,10 @@ use crate::{MercuryConfig, MercuryError, SavedSignatures};
 use mercury_accel::sim::{ChannelWork, LayerSim};
 use mercury_mcache::{AccessOutcome, EntryId, HitKind};
 use mercury_rpq::analysis::unique_signature_count;
-use mercury_rpq::{ProjectionMatrix, Signature, SignatureGenerator};
+use mercury_rpq::{SignPlan, Signature, SignatureGenerator};
 use mercury_tensor::conv::{extract_patches_into, ConvGeometry};
 use mercury_tensor::exec::Executor;
-use mercury_tensor::{ops, Tensor, TensorError};
+use mercury_tensor::{kernel, ops, Tensor, TensorError};
 
 /// The MERCURY convolution engine: similarity detection + computation
 /// reuse for one layer at a time, with an MCACHE and projection matrices
@@ -155,6 +155,20 @@ impl ConvEngine {
             self.base.projection_for(plen);
         }
 
+        // The sign-quantization plan packs the projection's filter panels
+        // once per forward; every channel (on every worker — the plan is
+        // read-only) signs its patch rows against the same packed panels
+        // instead of re-packing per channel.
+        let plan: Option<SignPlan> = if self.base.detection_enabled && !reuse_saved {
+            let proj = self
+                .base
+                .projection(plen)
+                .expect("projection materialized above");
+            Some(SignatureGenerator::new(proj).sign_plan(self.base.signature_bits))
+        } else {
+            None
+        };
+
         let bits = self.base.signature_bits;
         let detection = self.base.detection_enabled;
         let exec = self.base.exec.clone();
@@ -178,7 +192,7 @@ impl ConvEngine {
         // banked concurrent probe fan-out and the row-sharded GEMMs inside
         // each channel instead.
         macro_rules! make_ctx {
-            ($proj:expr) => {
+            () => {
                 ChannelCtx {
                     input,
                     kernels,
@@ -190,8 +204,7 @@ impl ConvEngine {
                     plen,
                     patches_n,
                     detection,
-                    bits,
-                    proj: $proj,
+                    plan: plan.as_ref(),
                     saved: if reuse_saved { saved } else { None },
                 }
             };
@@ -207,8 +220,8 @@ impl ConvEngine {
                 // per-channel contribution buffer and no scratch caches;
                 // batch mode restarts the cache per channel (clear_scope).
                 let clear_scope = !self.base.persistent;
-                let (cache, proj) = self.base.cache_and_projection(plen);
-                let ctx = make_ctx!(proj);
+                let cache = &mut self.base.cache;
+                let ctx = make_ctx!();
                 let mut scratch = ConvScratch::default();
                 let od = output.data_mut();
                 (0..c)
@@ -228,7 +241,7 @@ impl ConvEngine {
                     .collect()
             } else {
                 let cache_cfg = self.base.config.cache;
-                let ctx = make_ctx!(self.base.projection(plen));
+                let ctx = make_ctx!();
                 // Channels already fan out across the pool; the work inside
                 // each channel stays on its worker (no nested parallelism).
                 // Workers probe their own scratch caches, so the engine's
@@ -237,10 +250,10 @@ impl ConvEngine {
                 let inner = Executor::serial();
                 let ctx = &ctx;
                 // Work-size hint per channel: the dense GEMM FLOPs plus
-                // the probe stream, so single tiny-image requests run
+                // the probe stream (saturating — large layers must not
+                // overflow the hint), so single tiny-image requests run
                 // inline instead of waking the pool.
-                let channel_work =
-                    2 * f * plen * patches_n + crate::base::PROBE_WORK_UNITS * patches_n;
+                let channel_work = crate::base::conv_channel_work(f, plen, patches_n);
                 exec.map_with_sized(
                     c,
                     channel_work,
@@ -353,10 +366,9 @@ struct ChannelCtx<'a> {
     plen: usize,
     patches_n: usize,
     detection: bool,
-    bits: usize,
-    /// The projection matrix for `plen`-element patches; `Some` exactly
-    /// when fresh signatures will be generated.
-    proj: Option<&'a ProjectionMatrix>,
+    /// The packed sign-quantization plan for `plen`-element patches;
+    /// `Some` exactly when fresh signatures will be generated.
+    plan: Option<&'a SignPlan>,
     /// `Some` when compatible saved signatures replace generation.
     saved: Option<&'a SavedSignatures>,
 }
@@ -374,6 +386,7 @@ struct ConvScratch {
     packed_t: Vec<f32>,
     contrib_t: Vec<f32>,
     probe_buf: Vec<AccessOutcome>,
+    sig_words: Vec<u128>,
     entry_row: Vec<u32>,
     entry_group: Vec<u32>,
     groups: Vec<(EntryId, usize, Vec<usize>)>,
@@ -426,7 +439,6 @@ fn conv_channel(
         plen,
         patches_n,
         detection,
-        bits,
         ..
     } = ctx;
     extract_patches_into(
@@ -450,11 +462,7 @@ fn conv_channel(
         // would round differently from block-then-add.
         scratch.packed_t.clear();
         scratch.packed_t.resize(plen * patches_n, 0.0);
-        for v in 0..patches_n {
-            for p in 0..plen {
-                scratch.packed_t[p * patches_n + v] = scratch.patch_buf[v * plen + p];
-            }
-        }
+        kernel::pack::transpose_pack(&mut scratch.packed_t, &scratch.patch_buf, patches_n, plen);
         scratch.contrib_t.clear();
         scratch.contrib_t.resize(f * patches_n, 0.0);
         ops::gemm_blocked_on(
@@ -489,11 +497,8 @@ fn conv_channel(
     let sigs_owned: Option<Vec<Signature>> = match ctx.saved {
         Some(_) => None,
         None => {
-            let proj = ctx
-                .proj
-                .expect("projection materialized before channel run");
-            let generator = SignatureGenerator::new(proj);
-            Some(generator.signatures_for_rows_prefix(&scratch.patch_buf, bits))
+            let plan = ctx.plan.expect("sign plan materialized before channel run");
+            Some(plan.signatures_for_rows(&scratch.patch_buf, &mut scratch.sig_words))
         }
     };
     let sigs: &[Signature] = match &sigs_owned {
@@ -568,11 +573,12 @@ fn conv_channel(
     let rows = scratch.compute_rows.len();
     scratch.packed_t.clear();
     scratch.packed_t.resize(plen * rows, 0.0);
-    for (r, &v) in scratch.compute_rows.iter().enumerate() {
-        for p in 0..plen {
-            scratch.packed_t[p * rows + r] = scratch.patch_buf[v * plen + p];
-        }
-    }
+    kernel::pack::gather_pack(
+        &mut scratch.packed_t,
+        &scratch.patch_buf,
+        &scratch.compute_rows,
+        plen,
+    );
 
     // ---- Reuse-aware computation -------------------------------------------
     // Every dot product the channel actually performs, across all filters,
@@ -590,6 +596,32 @@ fn conv_channel(
         rows,
         rows,
     );
+
+    if rows == patches_n {
+        // Identity plan: no patch consumed another's value, so every group
+        // is empty and `compute_rows` is `0..patches_n` in order — the
+        // `[f, rows]` GEMM block already has `dest`'s layout. Fold it in
+        // contiguously instead of scattering element by element. The
+        // filter loop's remaining effect, the per-filter VD flash-clear,
+        // is unobservable this pass: the channel performs no cache writes
+        // or reads (every read in the group loop is preceded by its own
+        // filter's write), and later passes re-clear before any group
+        // read of their own.
+        if accumulate {
+            for (o, &x) in dest[..f * patches_n].iter_mut().zip(&scratch.contrib_t) {
+                *o += x;
+            }
+        } else {
+            dest[..f * patches_n].copy_from_slice(&scratch.contrib_t);
+        }
+        return Ok(ChannelOut {
+            outcomes: outcomes.iter().map(|o| o.kind).collect(),
+            stale_producers,
+            conflicts,
+            unique: unique_signature_count(sigs) as u64,
+            sigs: sigs_owned,
+        });
+    }
 
     for fi in 0..f {
         // Filter change: flash-clear VD bits, keep tags (§III-C1).

@@ -217,20 +217,22 @@ impl FcEngine {
         let exec = self.base.exec.clone();
         let compute: Vec<usize> = (0..n).filter(|&i| plan.row_source[i] == i).collect();
         let (id, wd) = (inputs.data(), weights.data());
-        // Work-size hint: one producer row costs a [1, l] x [l, m] product.
-        let rows_out = exec.map_indexed_sized(compute.len(), 2 * l * m, |ci| {
-            let i = compute[ci];
-            let row = &id[i * l..(i + 1) * l];
-            let mut out_row = vec![0.0f32; m];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let mut acc = 0.0;
-                for (k, &x) in row.iter().enumerate() {
-                    acc += x * wd[k * m + j];
+        // Work-size hint: one producer row costs a [1, l] x [l, m] product
+        // (saturating, so overflow-shaped layers can't wrap the hint).
+        let rows_out =
+            exec.map_indexed_sized(compute.len(), crate::base::dense_work(1, l, m), |ci| {
+                let i = compute[ci];
+                let row = &id[i * l..(i + 1) * l];
+                let mut out_row = vec![0.0f32; m];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let mut acc = 0.0;
+                    for (k, &x) in row.iter().enumerate() {
+                        acc += x * wd[k * m + j];
+                    }
+                    *o = acc;
                 }
-                *o = acc;
-            }
-            out_row
-        });
+                out_row
+            });
         let od = output.data_mut();
         for (ci, &i) in compute.iter().enumerate() {
             od[i * m..(i + 1) * m].copy_from_slice(&rows_out[ci]);
@@ -404,17 +406,18 @@ impl AttentionEngine {
         let xd = x.data();
 
         // W = X·Xᵀ with row reuse. Work-size hint: one producer row is t
-        // k-element dots.
+        // k-element dots (saturating).
         let mut w = Tensor::zeros(&[t, t]);
-        let w_rows = exec.map_indexed_sized(compute.len(), 2 * k * t, |ci| {
-            let i = compute[ci];
-            let xi = &xd[i * k..(i + 1) * k];
-            let mut row = vec![0.0f32; t];
-            for (j, o) in row.iter_mut().enumerate() {
-                *o = ops::dot(xi, &xd[j * k..(j + 1) * k]);
-            }
-            row
-        });
+        let w_rows =
+            exec.map_indexed_sized(compute.len(), crate::base::dense_work(1, k, t), |ci| {
+                let i = compute[ci];
+                let xi = &xd[i * k..(i + 1) * k];
+                let mut row = vec![0.0f32; t];
+                for (j, o) in row.iter_mut().enumerate() {
+                    *o = ops::dot(xi, &xd[j * k..(j + 1) * k]);
+                }
+                row
+            });
         let wd = w.data_mut();
         for (ci, &i) in compute.iter().enumerate() {
             wd[i * t..(i + 1) * t].copy_from_slice(&w_rows[ci]);
@@ -429,18 +432,19 @@ impl AttentionEngine {
         // Y = W·X with the same row reuse (identical xᵢ ⇒ identical rows).
         let mut y = Tensor::zeros(&[t, k]);
         let wd = w.data();
-        let y_rows = exec.map_indexed_sized(compute.len(), 2 * t * k, |ci| {
-            let i = compute[ci];
-            let mut row = vec![0.0f32; k];
-            for (j, o) in row.iter_mut().enumerate() {
-                let mut acc = 0.0;
-                for p in 0..t {
-                    acc += wd[i * t + p] * xd[p * k + j];
+        let y_rows =
+            exec.map_indexed_sized(compute.len(), crate::base::dense_work(1, t, k), |ci| {
+                let i = compute[ci];
+                let mut row = vec![0.0f32; k];
+                for (j, o) in row.iter_mut().enumerate() {
+                    let mut acc = 0.0;
+                    for p in 0..t {
+                        acc += wd[i * t + p] * xd[p * k + j];
+                    }
+                    *o = acc;
                 }
-                *o = acc;
-            }
-            row
-        });
+                row
+            });
         let yd = y.data_mut();
         for (ci, &i) in compute.iter().enumerate() {
             yd[i * k..(i + 1) * k].copy_from_slice(&y_rows[ci]);

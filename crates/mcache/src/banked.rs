@@ -86,8 +86,11 @@ impl BankedMCache {
 
     /// Probes/inserts a signature in its home bank.
     pub fn probe_insert(&mut self, sig: Signature) -> BankedAccessOutcome {
-        let bank = self.bank_of_sig(sig);
-        let out = self.banks[bank].probe_insert(sig);
+        // One mix per probe: the same hash routes the bank and probes the
+        // set inside it.
+        let h = sig.mix64();
+        let bank = ((h >> 48) % self.banks.len() as u64) as usize;
+        let out = self.banks[bank].probe_insert_hashed(sig, h);
         BankedAccessOutcome { bank, outcome: out }
     }
 

@@ -213,16 +213,17 @@ impl MCache {
     }
 
     /// Scans the occupied prefix of a set for a tag match. The hot scan
-    /// compares only the packed bit patterns; lengths — which differ for
-    /// equal bits essentially never — are verified on candidate matches.
+    /// compares only the packed bit patterns — vectorized over the SoA
+    /// tag array by [`kernel::scan`](mercury_tensor::kernel::scan), two
+    /// tags per compare on AVX2; lengths — which differ for equal bits
+    /// essentially never — are verified on candidate matches.
     fn scan_set(&self, set: usize, sig: Signature) -> Option<usize> {
         let base = set * self.config.ways;
         let len = self.set_len[set] as usize;
         let (bits, slen) = (sig.bits(), sig.len() as u8);
         let mut way = 0;
-        while let Some(pos) = self.tag_bits[base + way..base + len]
-            .iter()
-            .position(|&b| b == bits)
+        while let Some(pos) =
+            mercury_tensor::kernel::scan::find_u128(&self.tag_bits[base + way..base + len], bits)
         {
             way += pos;
             if self.tag_len[base + way] == slen {
@@ -253,7 +254,14 @@ impl MCache {
     /// otherwise the lowest free way is claimed (MAU), exactly as a
     /// lookup-then-insert pair would decide.
     pub fn probe_insert(&mut self, sig: Signature) -> AccessOutcome {
-        let h = sig.mix64();
+        self.probe_insert_hashed(sig, sig.mix64())
+    }
+
+    /// [`probe_insert`](Self::probe_insert) with the signature's `mix64`
+    /// supplied by the caller, so routing layers that already hashed for
+    /// bank selection don't pay the mix twice per probe.
+    pub(crate) fn probe_insert_hashed(&mut self, sig: Signature, h: u64) -> AccessOutcome {
+        debug_assert_eq!(h, sig.mix64());
         let set = self.set_of_hash(h);
         let prefix = prefix_bit(h);
         // Resident-prefix early-out: scan only when some resident tag

@@ -9,14 +9,41 @@ use mercury_tensor::Tensor;
 /// Number of distinct signatures in a batch — the "unique vectors found" of
 /// Figure 3a and Figure 15c.
 ///
-/// Sort-and-dedup over the packed `(bits, len)` keys: for the
-/// channel-sized batches the engine tallies every pass, this runs well
-/// ahead of hashing each 17-byte signature.
+/// Open-addressed distinct counting keyed on the exact `(bits, len)`
+/// pair: the engine tallies this for every channel of every pass, and at
+/// a fixed 2n table the O(n) probe chains run well ahead of
+/// sort-and-dedup on the all-distinct batches (random inputs) that are
+/// its worst case. [`Signature::mix64`] supplies the slot index, so the
+/// count is deterministic across platforms.
 pub fn unique_signature_count(signatures: &[Signature]) -> usize {
-    let mut keys: Vec<(u128, usize)> = signatures.iter().map(|s| (s.bits(), s.len())).collect();
-    keys.sort_unstable();
-    keys.dedup();
-    keys.len()
+    // `len == usize::MAX` marks an empty slot; real lengths are bounded
+    // by `MAX_SIGNATURE_BITS`.
+    const EMPTY: usize = usize::MAX;
+    let cap = signatures
+        .len()
+        .saturating_mul(2)
+        .next_power_of_two()
+        .max(8);
+    let mask = cap - 1;
+    let mut slots: Vec<(u128, usize)> = vec![(0, EMPTY); cap];
+    let mut unique = 0;
+    for s in signatures {
+        let key = (s.bits(), s.len());
+        let mut i = s.mix64() as usize & mask;
+        loop {
+            let slot = &mut slots[i];
+            if slot.1 == EMPTY {
+                *slot = key;
+                unique += 1;
+                break;
+            }
+            if *slot == key {
+                break;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+    unique
 }
 
 /// Fraction of vectors whose signature was already produced by an *earlier*

@@ -1,4 +1,5 @@
 use crate::{ProjectionMatrix, Signature};
+use mercury_tensor::kernel;
 use mercury_tensor::ops::dot;
 use mercury_tensor::Tensor;
 
@@ -117,73 +118,100 @@ impl<'a> SignatureGenerator<'a> {
     /// quantization fused into the kernel — replacing `n × bits` scalar
     /// dot products, and never materializing the projected matrix.
     ///
-    /// The kernel mirrors
-    /// [`gemm_blocked`](mercury_tensor::ops::gemm_blocked): fixed-width
-    /// register accumulators, accumulation in ascending input order — so
-    /// every signature is bit-identical to
-    /// [`signature_prefix`](Self::signature_prefix) of the same row. Each
-    /// accumulator block quantizes straight from registers into the
-    /// signature's bit word.
+    /// The work runs on
+    /// [`kernel::sign`](mercury_tensor::kernel::sign): the projection's
+    /// transposed filters are repacked once into zero-padded
+    /// [`LANES`](mercury_tensor::kernel::sign::LANES)-wide panels, then
+    /// [`sign_rows`](mercury_tensor::kernel::sign::sign_rows) accumulates
+    /// each row in ascending input order and quantizes straight from the
+    /// accumulator registers (AVX2 when the host supports it, the scalar
+    /// reference otherwise) — so every signature is bit-identical to
+    /// [`signature_prefix`](Self::signature_prefix) of the same row.
     ///
     /// # Panics
     ///
     /// Panics if `rows.len()` is not a multiple of the projection input
     /// length or `bits` exceeds the number of filters.
     pub fn signatures_for_rows_prefix(&self, rows: &[f32], bits: usize) -> Vec<Signature> {
-        let plen = self.projection.input_len();
-        assert_eq!(
-            rows.len() % plen,
-            0,
-            "row matrix length {} is not a multiple of projection input length {plen}",
-            rows.len()
-        );
+        self.sign_plan(bits)
+            .signatures_for_rows(rows, &mut Vec::new())
+    }
+
+    /// Prepares a reusable [`SignPlan`] for `bits`-bit batched signature
+    /// generation: the projection's filters are repacked once, so callers
+    /// that sign many row batches against the same projection (the conv
+    /// engine signs one batch per channel) pay the packing once per
+    /// forward instead of once per batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` exceeds the number of filters.
+    pub fn sign_plan(&self, bits: usize) -> SignPlan {
         assert!(
             bits <= self.signature_len(),
             "requested {bits} bits but projection has {} filters",
             self.signature_len()
         );
-        let n = rows.len() / plen;
-        if bits == 0 {
+        let mut panels = Vec::new();
+        if bits > 0 {
+            let t = self.projection.transposed();
+            let ldb = self.projection.num_filters();
+            kernel::sign::pack_sign_panels(t, plen_of(self.projection), ldb, bits, &mut panels);
+        }
+        SignPlan {
+            panels,
+            plen: plen_of(self.projection),
+            bits,
+        }
+    }
+}
+
+fn plen_of(projection: &ProjectionMatrix) -> usize {
+    projection.input_len()
+}
+
+/// A batched-signature plan: one projection's filters packed for a fixed
+/// prefix width (see [`SignatureGenerator::sign_plan`]). Read-only after
+/// construction, so one plan can be shared by concurrent channel workers.
+#[derive(Debug, Clone)]
+pub struct SignPlan {
+    panels: Vec<f32>,
+    plen: usize,
+    bits: usize,
+}
+
+impl SignPlan {
+    /// Number of bits each produced signature carries.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Signatures for every `plen`-element row of `rows`, bit-identical
+    /// to [`SignatureGenerator::signature_prefix`] of each row. `words`
+    /// is a reusable scratch buffer (cleared here), so per-batch callers
+    /// allocate nothing but the returned vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of the projection input
+    /// length.
+    pub fn signatures_for_rows(&self, rows: &[f32], words: &mut Vec<u128>) -> Vec<Signature> {
+        assert_eq!(
+            rows.len() % self.plen,
+            0,
+            "row matrix length {} is not a multiple of projection input length {}",
+            rows.len(),
+            self.plen
+        );
+        let n = rows.len() / self.plen;
+        if self.bits == 0 {
             return vec![Signature::empty(); n];
         }
-        let t = self.projection.transposed();
-        let ldb = self.projection.num_filters();
-        const JB: usize = 16;
-        // Repack the needed filter columns into block-contiguous panels
-        // (`[block][input element][JB lanes]`, zero-padded), so the inner
-        // loop reads full fixed-width lanes with no stride and no ragged
-        // tail. Padding lanes accumulate exact zeros and are masked out of
-        // the signature word.
-        let nb = bits.div_ceil(JB);
-        let mut panels = vec![0.0f32; nb * plen * JB];
-        for bi in 0..nb {
-            let jb = bi * JB;
-            let jl = JB.min(bits - jb);
-            for p in 0..plen {
-                panels[(bi * plen + p) * JB..(bi * plen + p) * JB + jl]
-                    .copy_from_slice(&t[p * ldb + jb..p * ldb + jb + jl]);
-            }
-        }
-        (0..n)
-            .map(|i| {
-                let row = &rows[i * plen..(i + 1) * plen];
-                let mut word = 0u128;
-                for bi in 0..nb {
-                    let panel = &panels[bi * plen * JB..(bi + 1) * plen * JB];
-                    let mut acc = [0.0f32; JB];
-                    for (p, &aip) in row.iter().enumerate() {
-                        let lanes = &panel[p * JB..(p + 1) * JB];
-                        for (a, &tv) in acc.iter_mut().zip(lanes) {
-                            *a += aip * tv;
-                        }
-                    }
-                    let jb = bi * JB;
-                    for (lane, &a) in acc[..JB.min(bits - jb)].iter().enumerate() {
-                        word |= ((a < 0.0) as u128) << (jb + lane);
-                    }
-                }
-                Signature::from_bits(word, bits)
-            })
+        words.clear();
+        kernel::sign::sign_rows(rows, self.plen, self.bits, &self.panels, words);
+        words
+            .iter()
+            .map(|&word| Signature::from_bits(word, self.bits))
             .collect()
     }
 }

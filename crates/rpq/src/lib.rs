@@ -40,7 +40,7 @@ mod generator;
 mod projection;
 mod signature;
 
-pub use generator::SignatureGenerator;
+pub use generator::{SignPlan, SignatureGenerator};
 pub use projection::ProjectionMatrix;
 pub use signature::Signature;
 

@@ -9,7 +9,7 @@
 //! [`conv2d_backward_input`] implement equations (1) and (2) of §II-C, the
 //! two computations of the backward pass.
 
-use crate::{ops, Tensor, TensorError};
+use crate::{kernel, ops, Tensor, TensorError};
 
 /// Geometry of a 2-D convolution over a `[C, H, W]` input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,33 +150,89 @@ pub fn extract_patches_into(
         });
     }
     let (oh, ow) = (geom.out_h(), geom.out_w());
+    let (kh, kw) = (geom.kernel_h, geom.kernel_w);
     let plen = geom.patch_len();
-    out.clear();
-    out.resize(oh * ow * plen, 0.0);
-    let data = out.as_mut_slice();
-    let ch = channel;
-    let mut row = 0;
-    for oy in 0..oh {
-        for ox in 0..ow {
+    // Interior ox: `0 <= ox·stride - pad` and `ox·stride - pad + kw <=
+    // width`, i.e. `lo <= ox < hi` with the bounds below.
+    let lo = ow.min(geom.pad.div_ceil(geom.stride));
+    let hi = ow.min((geom.width + geom.pad).saturating_sub(kw) / geom.stride + 1);
+    let n = oh * ow * plen;
+    if out.len() == n {
+        // A correctly-sized buffer (the per-worker scratch case — every
+        // channel of a layer shares one geometry) only needs its
+        // padding-clipped slots re-zeroed: the copy loops below overwrite
+        // every in-bounds slot. Rows whose kernel window leaves the image
+        // vertically are cleared whole; fully-covered rows clear just
+        // their `< pad`-edge column patches. With no padding nothing is
+        // clipped and nothing is cleared.
+        let data = out.as_mut_slice();
+        for oy in 0..oh {
             let base_y = (oy * geom.stride) as isize - geom.pad as isize;
-            let base_x = (ox * geom.stride) as isize - geom.pad as isize;
-            for ky in 0..geom.kernel_h {
-                for kx in 0..geom.kernel_w {
-                    let y = base_y + ky as isize;
-                    let x = base_x + kx as isize;
-                    let v = if y >= 0
-                        && x >= 0
-                        && (y as usize) < geom.height
-                        && (x as usize) < geom.width
-                    {
-                        ch[y as usize * geom.width + x as usize]
-                    } else {
-                        0.0
-                    };
-                    data[row * plen + ky * geom.kernel_w + kx] = v;
+            let drows = &mut data[oy * ow * plen..(oy + 1) * ow * plen];
+            if base_y < 0 || base_y as usize + kh > geom.height {
+                drows.fill(0.0);
+            } else {
+                for ox in (0..lo).chain(hi.max(lo)..ow) {
+                    drows[ox * plen..(ox + 1) * plen].fill(0.0);
                 }
             }
-            row += 1;
+        }
+    } else {
+        out.clear();
+        out.resize(n, 0.0);
+    }
+    let data = out.as_mut_slice();
+    // Each patch row is kernel_h contiguous segments of the channel
+    // (clipped at the padding border), so copy row segments instead of
+    // branching per element; out-of-bounds positions keep the 0.0 fill.
+    //
+    // Per output row, each in-bounds kernel row ky is a *sliding window*
+    // over one channel row: consecutive interior patches read windows one
+    // element apart (stride elements in general). The interior — the vast
+    // majority of patches — therefore runs as a straight windows/chunks
+    // zip with no per-patch border arithmetic; only the `< pad`-edge
+    // columns take the clipped path.
+    //
+    for oy in 0..oh {
+        let base_y = (oy * geom.stride) as isize - geom.pad as isize;
+        let drows = &mut data[oy * ow * plen..(oy + 1) * ow * plen];
+        for ky in 0..kh {
+            let y = base_y + ky as isize;
+            if y < 0 || y as usize >= geom.height {
+                continue;
+            }
+            let srow = &channel[y as usize * geom.width..(y as usize + 1) * geom.width];
+            // Clipped edge columns (pad overhang on either side).
+            for ox in (0..lo).chain(hi.max(lo)..ow) {
+                let base_x = (ox * geom.stride) as isize - geom.pad as isize;
+                let x0 = (-base_x).clamp(0, kw as isize) as usize;
+                let x1 = (geom.width as isize - base_x).clamp(0, kw as isize) as usize;
+                if x0 < x1 {
+                    let dst = &mut drows[ox * plen + ky * kw + x0..ox * plen + ky * kw + x1];
+                    let seg =
+                        &srow[(base_x + x0 as isize) as usize..(base_x + x1 as isize) as usize];
+                    for (d, &s) in dst.iter_mut().zip(seg) {
+                        *d = s;
+                    }
+                }
+            }
+            // Interior columns: full-width windows, stride apart, starting
+            // at `lo·stride - pad` (non-negative by the choice of `lo`).
+            if lo < hi {
+                let windows = srow[lo * geom.stride - geom.pad..]
+                    .windows(kw)
+                    .step_by(geom.stride);
+                for (patch, win) in drows[lo * plen..hi * plen]
+                    .chunks_exact_mut(plen)
+                    .zip(windows)
+                {
+                    // Tiny fixed-width copy: an element loop inlines where
+                    // `copy_from_slice` would pay a `memcpy` call per patch.
+                    for (d, &s) in patch[ky * kw..ky * kw + kw].iter_mut().zip(win) {
+                        *d = s;
+                    }
+                }
+            }
         }
     }
     Ok(())
@@ -249,27 +305,37 @@ pub fn conv2d_multi(
     let geom = ConvGeometry::new(h, w, kh, kw, stride, pad)?;
     let (oh, ow) = (geom.out_h(), geom.out_w());
 
-    // im2col per channel, then one matmul per channel accumulated into out.
+    // im2col per channel, pack the patches transposed, then accumulate one
+    // blocked GEMM per channel straight into `out`: the product
+    // `[f, plen] × [plen, P]` lands row-major as `[f, oh·ow]` — exactly
+    // `out`'s layout, so no per-element scatter is needed.
     let mut out = Tensor::zeros(&[f, oh, ow]);
     let plen = geom.patch_len();
+    let patches_n = geom.num_patches();
+    let mut patch_buf = Vec::new();
+    let mut packed_t = vec![0.0f32; plen * patches_n];
+    let mut filt = vec![0.0f32; f * plen];
     for ch in 0..c {
-        let channel =
-            Tensor::from_vec(input.data()[ch * h * w..(ch + 1) * h * w].to_vec(), &[h, w])?;
-        let patches = extract_patches(&channel, &geom)?; // [P, plen]
-
+        extract_patches_into(
+            &input.data()[ch * h * w..(ch + 1) * h * w],
+            &geom,
+            &mut patch_buf,
+        )?; // [P, plen]
+        kernel::pack::transpose_pack(&mut packed_t, &patch_buf, patches_n, plen);
         // Filter rows for this channel: [F, plen].
-        let mut filt = Tensor::zeros(&[f, plen]);
         for fi in 0..f {
             let src = &kernels.data()[(fi * kc + ch) * plen..(fi * kc + ch + 1) * plen];
-            filt.data_mut()[fi * plen..(fi + 1) * plen].copy_from_slice(src);
+            filt[fi * plen..(fi + 1) * plen].copy_from_slice(src);
         }
-        let contrib = ops::matmul(&patches, &ops::transpose(&filt)?)?; // [P, F]
-        let od = out.data_mut();
-        for p in 0..geom.num_patches() {
-            for fi in 0..f {
-                od[fi * oh * ow + p] += contrib.at(&[p, fi]);
-            }
-        }
+        ops::gemm_blocked(
+            out.data_mut(),
+            &filt,
+            &packed_t,
+            f,
+            plen,
+            patches_n,
+            patches_n,
+        );
     }
     Ok(out)
 }

@@ -422,6 +422,55 @@ impl Executor {
         }
     }
 
+    /// [`map_owned`](Self::map_owned) with a *per-item* cost estimate:
+    /// `item_work[i]` is the work carried by `items[i]`, in the same
+    /// units as [`map_owned_sized`](Self::map_owned_sized)'s uniform
+    /// hint. Use this when items are genuinely uneven — e.g. banked probe
+    /// jobs on a skewed batch — so the dispatch decision sees the real
+    /// distribution instead of an average: the region goes to the pool
+    /// only when at least **two** items carry nonzero work (a region with
+    /// one hot item and the rest empty runs inline, however large the hot
+    /// item — a second thread could not share its work) and the
+    /// saturating total crosses [`POOL_DISPATCH_MIN_WORK`]. Recruitment
+    /// is likewise capped by the busy-item count, not the item count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item_work.len() != items.len()`.
+    pub fn map_owned_weighted<T, R, F>(&self, items: Vec<T>, item_work: &[usize], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let n = items.len();
+        assert_eq!(item_work.len(), n, "one work hint per item");
+        let total = item_work
+            .iter()
+            .fold(0usize, |acc, &w| acc.saturating_add(w));
+        let busy = item_work.iter().filter(|&&w| w > 0).count();
+        match self.dispatch_pool_weighted(n, busy, total) {
+            None => items
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| f(i, t))
+                .collect(),
+            Some(pool) => {
+                let cursor = AtomicUsize::new(0);
+                let items = pool::ItemSlots::new(items);
+                let results = pool::ResultSlots::new(n);
+                pool.run_region(busy, &|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    results.put(i, f(i, items.take(i)));
+                });
+                results.collect()
+            }
+        }
+    }
+
     /// The pool to dispatch a region of `n` items (each costing roughly
     /// `item_work` units) to, or `None` when the region should run inline:
     /// serial backend, fewer than two items, estimated work below
@@ -435,6 +484,31 @@ impl Executor {
                 if n >= 2
                     && n.saturating_mul(item_work) >= POOL_DISPATCH_MIN_WORK
                     && !pool::in_region()
+                {
+                    Some(pool)
+                } else {
+                    pool.count_inline();
+                    None
+                }
+            }
+        }
+    }
+
+    /// [`dispatch_pool`](Self::dispatch_pool) for per-item work hints:
+    /// dispatches when `busy` (items with nonzero work) is at least two
+    /// and the saturating `total_work` crosses the threshold. One busy
+    /// item means the region is effectively serial no matter how large —
+    /// waking workers for the empty items is pure overhead.
+    fn dispatch_pool_weighted(
+        &self,
+        n: usize,
+        busy: usize,
+        total_work: usize,
+    ) -> Option<&pool::WorkerPool> {
+        match &self.backend {
+            Backend::Serial => None,
+            Backend::Pool(pool) => {
+                if n >= 2 && busy >= 2 && total_work >= POOL_DISPATCH_MIN_WORK && !pool::in_region()
                 {
                     Some(pool)
                 } else {
@@ -1068,6 +1142,43 @@ mod tests {
         // Enough declared work flips the same shape over to the pool.
         let out = exec.map_indexed_sized(4, POOL_DISPATCH_MIN_WORK, |i| i * 2);
         assert_eq!(out, vec![0, 2, 4, 6]);
+        assert_eq!(
+            exec.pool_stats().unwrap().regions_dispatched,
+            before.regions_dispatched + 1
+        );
+    }
+
+    #[test]
+    fn weighted_map_matches_serial_and_gates_on_busy_items() {
+        // Results must match the serial backend for any weight vector.
+        let serial = Executor::serial();
+        let weights = [0usize, 5, 0, POOL_DISPATCH_MIN_WORK, 7, 0, usize::MAX];
+        let items: Vec<usize> = (0..weights.len()).collect();
+        let want = serial.map_owned_weighted(items.clone(), &weights, |i, v| i * 100 + v);
+        for threads in [2, 4] {
+            let exec = Executor::threaded(threads);
+            let got = exec.map_owned_weighted(items.clone(), &weights, |i, v| i * 100 + v);
+            assert_eq!(got, want);
+        }
+
+        let exec = Executor::threaded(4);
+        let before = exec.pool_stats().unwrap();
+        // One hot item among empties: total is huge but only one item
+        // carries work — a second thread could not help. Must inline.
+        let skew = [usize::MAX, 0, 0, 0];
+        let out = exec.map_owned_weighted(vec![1, 2, 3, 4], &skew, |_, v| v * 2);
+        assert_eq!(out, vec![2, 4, 6, 8]);
+        // Tiny totals inline too, even when spread across items.
+        let tiny = [1usize, 1, 1, 1];
+        exec.map_owned_weighted(vec![0; 4], &tiny, |_, v| v);
+        let mid = exec.pool_stats().unwrap();
+        assert_eq!(mid.regions_dispatched, before.regions_dispatched);
+        assert_eq!(mid.regions_inlined, before.regions_inlined + 2);
+        // Two busy items over the threshold dispatch; saturating totals
+        // (two usize::MAX items) must not wrap back below it.
+        let hot = [usize::MAX, usize::MAX, 0, 0];
+        let out = exec.map_owned_weighted(vec![1, 2, 3, 4], &hot, |_, v| v + 1);
+        assert_eq!(out, vec![2, 3, 4, 5]);
         assert_eq!(
             exec.pool_stats().unwrap().regions_dispatched,
             before.regions_dispatched + 1

@@ -1,0 +1,132 @@
+//! Fast-math GEMM variant — **not** bit-identical, default-off.
+//!
+//! This module only exists behind the `fast-math` cargo feature. It trades
+//! the workspace's bit-identical contract for FMA contraction: each
+//! multiply-add rounds once instead of twice, which is usually *more*
+//! accurate per operation but produces different bits than the scalar
+//! reference (typically within a few ULPs for well-conditioned inputs).
+//! Nothing in the workspace enables the feature; callers that opt in take
+//! responsibility for downstream comparisons (MERCURY's reuse decisions
+//! compare quantized signs, which are stable under ULP-level drift for
+//! non-degenerate projections, but the repo's determinism suites assume
+//! exact bits and are not run against this path).
+
+/// [`gemm_blocked`](crate::ops::gemm_blocked) with FMA contraction:
+/// `out[m, n] += a[m, k] · b[k, n]` over raw row-major slices, `b` rows
+/// `ldb` wide. Falls back to the exact kernel when the host lacks
+/// AVX2+FMA, so results are only reproducible across hosts with the same
+/// instruction support.
+///
+/// # Panics
+///
+/// Same shape contract as [`gemm_blocked`](crate::ops::gemm_blocked).
+#[allow(unsafe_code)] // runtime-dispatched call into the checked AVX2+FMA path
+pub fn gemm_blocked_fma(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ldb: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::kernel::avx2_available() && std::arch::is_x86_feature_detected!("fma") {
+        assert!(ldb >= n, "ldb {ldb} must be at least n {n}");
+        assert_eq!(a.len(), m * k, "a must be [m, k]");
+        assert_eq!(b.len(), k * ldb, "b must be [k, ldb]");
+        assert_eq!(out.len(), m * n, "out must be [m, n]");
+        // SAFETY: AVX2 and FMA support were verified at runtime just above.
+        unsafe { fma::gemm(out, a, b, m, k, n, ldb) };
+        return;
+    }
+    crate::ops::gemm_blocked(out, a, b, m, k, n, ldb);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod fma {
+    use crate::kernel::gemm::BLOCK;
+    use std::arch::x86_64::{_mm256_fmadd_ps, _mm256_loadu_ps, _mm256_set1_ps, _mm256_storeu_ps};
+
+    /// The contracted block walk: same tiling as the exact kernel, but the
+    /// strip update is `acc = fma(a, b, acc)` — one rounding per term.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 and FMA support at runtime and
+    /// the shape contract (slice lengths match `m`/`k`/`n`/`ldb`).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn gemm(
+        out: &mut [f32],
+        a: &[f32],
+        b: &[f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        ldb: usize,
+    ) {
+        // SAFETY: all loads/stores go through unaligned intrinsics on
+        // bounds-checked slices of at least 8 elements.
+        unsafe {
+            for i in 0..m {
+                let arow = &a[i * k..(i + 1) * k];
+                let orow = &mut out[i * n..(i + 1) * n];
+                let mut jb = 0;
+                while jb + BLOCK <= n {
+                    let strip = &mut orow[jb..jb + BLOCK];
+                    let mut lo = _mm256_loadu_ps(strip.as_ptr());
+                    let mut hi = _mm256_loadu_ps(strip.as_ptr().add(8));
+                    for (p, &aip) in arow.iter().enumerate() {
+                        let brow = &b[p * ldb + jb..p * ldb + jb + BLOCK];
+                        let av = _mm256_set1_ps(aip);
+                        lo = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow.as_ptr()), lo);
+                        hi = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow.as_ptr().add(8)), hi);
+                    }
+                    _mm256_storeu_ps(strip.as_mut_ptr(), lo);
+                    _mm256_storeu_ps(strip.as_mut_ptr().add(8), hi);
+                    jb += BLOCK;
+                }
+                if jb < n {
+                    let tail = &mut orow[jb..];
+                    for (p, &aip) in arow.iter().enumerate() {
+                        let brow = &b[p * ldb + jb..p * ldb + n];
+                        for (o, &bv) in tail.iter_mut().zip(brow) {
+                            *o += aip * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::gemm_blocked;
+    use crate::rng::Rng;
+
+    #[test]
+    fn fma_gemm_tracks_exact_gemm_within_tolerance() {
+        let mut rng = Rng::new(81);
+        for &(m, k, n, ldb) in &[
+            (5usize, 33usize, 40usize, 40usize),
+            (3, 7, 10, 24),
+            (1, 64, 16, 16),
+        ] {
+            let a: Vec<f32> = (0..m * k).map(|_| rng.next_normal()).collect();
+            let b: Vec<f32> = (0..k * ldb).map(|_| rng.next_normal()).collect();
+            let mut fast = vec![0.0f32; m * n];
+            let mut exact = vec![0.0f32; m * n];
+            gemm_blocked_fma(&mut fast, &a, &b, m, k, n, ldb);
+            gemm_blocked(&mut exact, &a, &b, m, k, n, ldb);
+            for (i, (f, e)) in fast.iter().zip(&exact).enumerate() {
+                assert!(
+                    (f - e).abs() <= 1e-4 * (1.0 + e.abs()),
+                    "m={m} k={k} n={n} elem {i}: {f} vs {e}"
+                );
+            }
+        }
+    }
+}

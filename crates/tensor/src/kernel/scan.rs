@@ -1,0 +1,176 @@
+//! The vectorized tag compare behind MCACHE's set scans.
+//!
+//! MCACHE stores cache tags structure-of-arrays — one dense `u128` word per
+//! way — so probing a set is a contiguous scan for an exact 128-bit match.
+//! [`find_u128`] is that scan: two tags per 256-bit compare on AVX2, a
+//! plain `position` otherwise. Integer equality has no rounding or
+//! ordering freedom, so both paths are trivially bit-identical.
+
+/// Returns the index of the first element of `haystack` equal to `needle`,
+/// like `haystack.iter().position(|&b| b == needle)`.
+#[allow(unsafe_code)] // runtime-dispatched call into the checked AVX2 path
+pub fn find_u128(haystack: &[u128], needle: u128) -> Option<usize> {
+    #[cfg(target_arch = "x86_64")]
+    if crate::kernel::avx2_available() {
+        // SAFETY: AVX2 support was verified at runtime just above.
+        return unsafe { avx2::find_u128(haystack, needle) };
+    }
+    find_u128_scalar(haystack, needle)
+}
+
+/// The scalar reference for [`find_u128`], kept callable so tests can pin
+/// the AVX2 path against it.
+pub fn find_u128_scalar(haystack: &[u128], needle: u128) -> Option<usize> {
+    haystack.iter().position(|&b| b == needle)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod avx2 {
+    use std::arch::x86_64::{
+        __m256i, _mm256_castsi256_pd, _mm256_cmpeq_epi64, _mm256_loadu_si256, _mm256_movemask_pd,
+        _mm256_set_epi64x,
+    };
+
+    /// AVX2 [`super::find_u128`]: broadcasts the needle's two 64-bit halves
+    /// into a `[hi, lo, hi, lo]` pattern and compares two tags per 256-bit
+    /// load, eight tags per main-loop iteration. A tag matches when both of
+    /// its 64-bit lanes compare equal; `movemask_pd` reduces each vector's
+    /// four lane results to one nibble (bits `0b0011` the even tag,
+    /// `0b1100` the odd one), the main loop stitches four nibbles into a
+    /// 16-bit mask, and `m & (m >> 1)` on the even bit positions collapses
+    /// each tag's lane pair to a single bit, so `trailing_zeros` yields
+    /// the *first* matching tag — preserving first-match semantics. The
+    /// sub-eight remainder runs the same compare one vector at a time,
+    /// with a direct check for an odd trailing tag.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn find_u128(haystack: &[u128], needle: u128) -> Option<usize> {
+        let lo = needle as u64 as i64;
+        let hi = (needle >> 64) as u64 as i64;
+        // _mm256_set_epi64x takes arguments high-lane-first; u128s sit in
+        // memory little-endian (low u64 first), so the loaded lane order
+        // per tag is [lo, hi].
+        // SAFETY: each load reads exactly two u128s (32 bytes) from a
+        // chunks_exact window through the unaligned intrinsic.
+        unsafe {
+            let pat = _mm256_set_epi64x(hi, lo, hi, lo);
+            let mask2 = |pair: *const u128| -> u32 {
+                let v = _mm256_loadu_si256(pair as *const __m256i);
+                let eq = _mm256_cmpeq_epi64(v, pat);
+                _mm256_movemask_pd(_mm256_castsi256_pd(eq)) as u32
+            };
+            let mut chunks = haystack.chunks_exact(8);
+            for (ci, oct) in chunks.by_ref().enumerate() {
+                let p = oct.as_ptr();
+                let m = mask2(p)
+                    | (mask2(p.add(2)) << 4)
+                    | (mask2(p.add(4)) << 8)
+                    | (mask2(p.add(6)) << 12);
+                // Even bit positions carry each tag's low lane, the next
+                // bit its high lane; both set = a full 128-bit match. Tag
+                // k's collapsed bit lands at position 2k, so the first
+                // set bit's index halves to the first matching tag.
+                let matched = m & (m >> 1) & 0x5555;
+                if matched != 0 {
+                    return Some(ci * 8 + (matched.trailing_zeros() / 2) as usize);
+                }
+            }
+            let rem = chunks.remainder();
+            let base = haystack.len() - rem.len();
+            let mut pairs = rem.chunks_exact(2);
+            for (ci, pair) in pairs.by_ref().enumerate() {
+                let mask = mask2(pair.as_ptr());
+                if mask & 0b0011 == 0b0011 {
+                    return Some(base + ci * 2);
+                }
+                if mask & 0b1100 == 0b1100 {
+                    return Some(base + ci * 2 + 1);
+                }
+            }
+            if let [last] = *pairs.remainder() {
+                if last == needle {
+                    return Some(haystack.len() - 1);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn mix(rng: &mut Rng) -> u128 {
+        // Widen two independent draws into a full 128-bit word.
+        let hi = rng.next_u64() as u128;
+        (hi << 64) | rng.next_u64() as u128
+    }
+
+    #[test]
+    fn matches_scalar_position_on_random_haystacks() {
+        let mut rng = Rng::new(71);
+        for len in 0..=17usize {
+            let haystack: Vec<u128> = (0..len).map(|_| mix(&mut rng)).collect();
+            // Absent needle.
+            let absent = mix(&mut rng);
+            assert_eq!(
+                find_u128(&haystack, absent),
+                find_u128_scalar(&haystack, absent),
+                "len={len} absent"
+            );
+            // Needle planted at every position, including odd ones and the
+            // tail element a half-vector scan would miss.
+            for pos in 0..len {
+                let needle = haystack[pos];
+                assert_eq!(
+                    find_u128(&haystack, needle),
+                    find_u128_scalar(&haystack, needle),
+                    "len={len} pos={pos}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_match_wins_on_duplicates() {
+        let w = 0xdead_beef_dead_beef_dead_beef_dead_beefu128;
+        let other = 1u128 << 64;
+        assert_eq!(find_u128(&[other, w, w, w], w), Some(1));
+        assert_eq!(find_u128(&[w, other, w], w), Some(0));
+        // Duplicates inside one eight-tag block and straddling two.
+        let mut hay = vec![other; 16];
+        hay[5] = w;
+        hay[6] = w;
+        hay[11] = w;
+        assert_eq!(find_u128(&hay, w), Some(5));
+        hay[5] = other;
+        hay[6] = other;
+        assert_eq!(find_u128(&hay, w), Some(11));
+    }
+
+    #[test]
+    fn half_matching_tags_do_not_false_positive() {
+        // Tags sharing exactly one 64-bit half with the needle must not
+        // match — the nibble test requires both lanes equal.
+        let needle = (7u128 << 64) | 9;
+        let lo_only = (1u128 << 64) | 9;
+        let hi_only = (7u128 << 64) | 3;
+        assert_eq!(
+            find_u128(&[lo_only, hi_only, lo_only, hi_only], needle),
+            None
+        );
+        assert_eq!(
+            find_u128(&[lo_only, hi_only, needle, hi_only], needle),
+            Some(2)
+        );
+        // Adjacent half-matches straddling one vector: [lo-half, hi-half]
+        // would fool a per-lane OR reduction.
+        assert_eq!(find_u128(&[lo_only, hi_only], needle), None);
+    }
+}

@@ -1,0 +1,404 @@
+//! The fused random-projection + sign-quantization kernel behind batched
+//! RPQ signature generation.
+//!
+//! One call projects every row of an `[n, plen]` matrix against up to 128
+//! filter columns and packs the sign bits (`projection < 0.0`) straight
+//! from the accumulator registers into one `u128` word per row — the
+//! projected matrix is never materialized.
+//!
+//! The filters are repacked once into zero-padded [`LANES`]-wide panels
+//! ([`pack_sign_panels`]), so the inner loop reads full fixed-width lanes
+//! with no stride and no ragged tail. [`LANES`] is 8 — one 256-bit vector —
+//! rather than the GEMM's 16: signature widths sit around 20 bits, where
+//! 8-lane blocks waste 4 padding lanes (⌈20/8⌉·8 = 24) against 16-lane
+//! blocks' 12 (⌈20/16⌉·16 = 32), a ~25% arithmetic saving on top of the
+//! vector width.
+//!
+//! Both paths accumulate in ascending row-element order and quantize with
+//! the exact predicate `acc < 0.0` (NaN and `-0.0` quantize to 0), so the
+//! produced words are bit-identical to per-filter scalar dot products.
+
+/// Lane width of the sign kernel's accumulator blocks (one 256-bit
+/// vector of `f32`).
+pub const LANES: usize = 8;
+
+/// Packs the first `bits` columns of a `[plen, ldb]` row-major filter
+/// matrix into element-major zero-padded panels for [`sign_rows`]:
+/// `panels[(p·nb + blk)·LANES + lane] = t[p·ldb + blk·LANES + lane]`,
+/// with out-of-range lanes left at `0.0`. `panels` is cleared and resized
+/// to `plen · ⌈bits/LANES⌉ · LANES`. All of row element `p`'s blocks sit
+/// contiguously, so the kernels' `p`-outer walk reads one dense
+/// `nb·LANES` slab per element — no strided block loads, no per-block
+/// bounds checks.
+///
+/// # Panics
+///
+/// Panics if `t.len() != plen * ldb`, `ldb < bits`, or `bits` is zero or
+/// exceeds 128.
+pub fn pack_sign_panels(t: &[f32], plen: usize, ldb: usize, bits: usize, panels: &mut Vec<f32>) {
+    assert_eq!(t.len(), plen * ldb, "filter matrix must be [plen, ldb]");
+    assert!(
+        ldb >= bits,
+        "ldb {ldb} must cover the requested {bits} bits"
+    );
+    assert!((1..=128).contains(&bits), "bits must be in 1..=128");
+    let nb = bits.div_ceil(LANES);
+    panels.clear();
+    panels.resize(plen * nb * LANES, 0.0);
+    for p in 0..plen {
+        for blk in 0..nb {
+            let jb = blk * LANES;
+            let width = LANES.min(bits - jb);
+            panels[(p * nb + blk) * LANES..(p * nb + blk) * LANES + width]
+                .copy_from_slice(&t[p * ldb + jb..p * ldb + jb + width]);
+        }
+    }
+}
+
+/// Projects every `plen`-element row of `rows` through the packed
+/// `panels` (see [`pack_sign_panels`]) and appends one sign word per row
+/// to `out`: bit `j` of a word is `1` iff the row's dot product with
+/// filter `j` is strictly negative. Bits at `bits` and above are zero.
+///
+/// Accumulation runs in ascending row-element order per filter, so each
+/// bit matches a sequential scalar [`dot`](crate::ops::dot) of row and
+/// filter, bit for bit — on the scalar and the AVX2 path alike.
+///
+/// # Panics
+///
+/// Panics if `plen` is zero, `rows.len()` is not a multiple of `plen`,
+/// `bits` is zero or exceeds 128, or `panels` has the wrong length.
+#[allow(unsafe_code)] // runtime-dispatched call into the checked AVX2 path
+pub fn sign_rows(rows: &[f32], plen: usize, bits: usize, panels: &[f32], out: &mut Vec<u128>) {
+    assert!(plen > 0, "row length must be positive");
+    assert_eq!(
+        rows.len() % plen,
+        0,
+        "row matrix length {} is not a multiple of row length {plen}",
+        rows.len()
+    );
+    assert!((1..=128).contains(&bits), "bits must be in 1..=128");
+    let nb = bits.div_ceil(LANES);
+    assert_eq!(
+        panels.len(),
+        nb * plen * LANES,
+        "panels must come from pack_sign_panels for this (plen, bits)"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if crate::kernel::avx2_available() {
+        // SAFETY: AVX2 support was verified at runtime just above.
+        unsafe { avx2::sign_rows(rows, plen, bits, panels, out) };
+        return;
+    }
+    sign_rows_scalar(rows, plen, bits, panels, out);
+}
+
+/// The scalar reference for [`sign_rows`], kept callable so tests can pin
+/// the AVX2 path against it bit for bit.
+pub fn sign_rows_scalar(
+    rows: &[f32],
+    plen: usize,
+    bits: usize,
+    panels: &[f32],
+    out: &mut Vec<u128>,
+) {
+    let nb = bits.div_ceil(LANES);
+    out.reserve(rows.len() / plen);
+    for row in rows.chunks_exact(plen) {
+        let mut word = 0u128;
+        for blk in 0..nb {
+            let mut acc = [0.0f32; LANES];
+            for (p, &x) in row.iter().enumerate() {
+                let lanes = &panels[(p * nb + blk) * LANES..(p * nb + blk + 1) * LANES];
+                for (a, &w) in acc.iter_mut().zip(lanes) {
+                    *a += x * w;
+                }
+            }
+            let jb = blk * LANES;
+            for (lane, &a) in acc[..LANES.min(bits - jb)].iter().enumerate() {
+                word |= ((a < 0.0) as u128) << (jb + lane);
+            }
+        }
+        out.push(word);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod avx2 {
+    use super::LANES;
+    use std::arch::x86_64::{
+        __m256, _mm256_add_ps, _mm256_cmp_ps, _mm256_loadu_ps, _mm256_movemask_ps, _mm256_mul_ps,
+        _mm256_set1_ps, _mm256_setzero_ps, _CMP_LT_OQ,
+    };
+
+    /// AVX2 [`super::sign_rows`]: one 8-lane accumulator per block,
+    /// separate mul + add (no FMA — two roundings, like the scalar
+    /// reference), then a single ordered `< +0.0` compare + movemask to
+    /// quantize the whole block. `_CMP_LT_OQ` makes NaN lanes compare
+    /// false and `-0.0 < +0.0` false — exactly the scalar `a < 0.0`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sign_rows(
+        rows: &[f32],
+        plen: usize,
+        bits: usize,
+        panels: &[f32],
+        out: &mut Vec<u128>,
+    ) {
+        // Fixed accumulator counts let the block loop unroll and the
+        // accumulators live in registers, with one broadcast of `row[p]`
+        // shared by every block — the shipped ~20-bit signatures take the
+        // NB = 3 path. Wider configurations fall back to one pass per
+        // group of four blocks (32 bits), sharing the same row walk.
+        //
+        // SAFETY: AVX2 was verified by the caller; holds for all four calls.
+        unsafe {
+            match bits.div_ceil(LANES) {
+                1 => sign_rows_fixed::<1>(rows, plen, bits, panels, out),
+                2 => sign_rows_fixed::<2>(rows, plen, bits, panels, out),
+                3 => sign_rows_fixed::<3>(rows, plen, bits, panels, out),
+                _ => sign_rows_generic(rows, plen, bits, panels, out),
+            }
+        }
+    }
+
+    /// `sign_rows` with the block count fixed at compile time: `NB`
+    /// accumulators per row stay in registers across the row walk. The
+    /// main loop signs *four rows per pass* — `4·NB ≤ 12` accumulators
+    /// plus `NB` shared panel vectors fit the 16-register file — so each
+    /// panel load is reused by four broadcasts and the four-way
+    /// independent add chains hide the `vaddps` latency that serializes
+    /// a single row's walk.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    unsafe fn sign_rows_fixed<const NB: usize>(
+        rows: &[f32],
+        plen: usize,
+        bits: usize,
+        panels: &[f32],
+        out: &mut Vec<u128>,
+    ) {
+        debug_assert_eq!(bits.div_ceil(LANES), NB);
+        out.reserve(rows.len() / plen);
+        // SAFETY: every load reads 8 elements of a `chunks_exact(NB·LANES)`
+        // slab of the length-checked `panels` slice (one dense slab per
+        // row element — the element-major pack order) through the
+        // unaligned intrinsic.
+        unsafe {
+            let zero = _mm256_setzero_ps();
+            // Per row and block the operation sequence is identical in
+            // both loops — ascending p, separate mul then add — so the
+            // four-way batching below is unobservable in the output bits.
+            let slabs = &panels[..plen * NB * LANES];
+            let mut quads = rows.chunks_exact(4 * plen);
+            for quad in quads.by_ref() {
+                let (r01, r23) = quad.split_at(2 * plen);
+                let (r0, r1) = r01.split_at(plen);
+                let (r2, r3) = r23.split_at(plen);
+                let mut acc = [[zero; NB]; 4];
+                let xs = r0.iter().zip(r1).zip(r2).zip(r3);
+                for (slab, (((&x0, &x1), &x2), &x3)) in slabs.chunks_exact(NB * LANES).zip(xs) {
+                    let mut pv = [zero; NB];
+                    for (blk, v) in pv.iter_mut().enumerate() {
+                        *v = _mm256_loadu_ps(slab.as_ptr().add(blk * LANES));
+                    }
+                    for (accr, xv) in acc.iter_mut().zip([x0, x1, x2, x3]) {
+                        let xv = _mm256_set1_ps(xv);
+                        for (a, &v) in accr.iter_mut().zip(&pv) {
+                            *a = _mm256_add_ps(*a, _mm256_mul_ps(xv, v));
+                        }
+                    }
+                }
+                for accr in &acc {
+                    out.push(quantize::<NB>(accr, bits));
+                }
+            }
+            for row in quads.remainder().chunks_exact(plen) {
+                let mut acc = [zero; NB];
+                for (slab, &x) in slabs.chunks_exact(NB * LANES).zip(row) {
+                    let xv = _mm256_set1_ps(x);
+                    for (blk, a) in acc.iter_mut().enumerate() {
+                        let bv = _mm256_loadu_ps(slab.as_ptr().add(blk * LANES));
+                        *a = _mm256_add_ps(*a, _mm256_mul_ps(xv, bv));
+                    }
+                }
+                out.push(quantize::<NB>(&acc, bits));
+            }
+        }
+    }
+
+    /// Quantizes one row's `NB` accumulator blocks to a sign word with the
+    /// ordered `< +0.0` compare (NaN and `-0.0` lanes quantize to 0).
+    ///
+    /// Padding lanes accumulate only `x · 0.0` terms, which can never
+    /// drive a `+0.0`-seeded accumulator negative, but the contract (bits
+    /// at `bits` and above are zero) must not rest on that — hence the
+    /// final mask.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    unsafe fn quantize<const NB: usize>(acc: &[__m256; NB], bits: usize) -> u128 {
+        let zero = _mm256_setzero_ps();
+        // Up to eight blocks fit a u64, sparing the two-register u128
+        // shift/or per block; the assembled word is identical either way.
+        let mut word = if NB <= 8 {
+            let mut w = 0u64;
+            for (blk, &a) in acc.iter().enumerate() {
+                let neg = _mm256_cmp_ps::<_CMP_LT_OQ>(a, zero);
+                w |= (_mm256_movemask_ps(neg) as u32 as u64) << (blk * LANES);
+            }
+            w as u128
+        } else {
+            let mut w = 0u128;
+            for (blk, &a) in acc.iter().enumerate() {
+                let neg = _mm256_cmp_ps::<_CMP_LT_OQ>(a, zero);
+                w |= (_mm256_movemask_ps(neg) as u32 as u128) << (blk * LANES);
+            }
+            w
+        };
+        if bits < 128 {
+            word &= (1u128 << bits) - 1;
+        }
+        word
+    }
+
+    /// `sign_rows` for any block count: one accumulator per block,
+    /// blocks walked outer so the working set stays one vector.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    unsafe fn sign_rows_generic(
+        rows: &[f32],
+        plen: usize,
+        bits: usize,
+        panels: &[f32],
+        out: &mut Vec<u128>,
+    ) {
+        let nb = bits.div_ceil(LANES);
+        out.reserve(rows.len() / plen);
+        // SAFETY: every load reads 8 elements from a bounds-checked slice
+        // through the unaligned intrinsic.
+        unsafe {
+            let zero = _mm256_setzero_ps();
+            for row in rows.chunks_exact(plen) {
+                let mut word = 0u128;
+                for blk in 0..nb {
+                    let mut acc = zero;
+                    for (p, &x) in row.iter().enumerate() {
+                        let lanes = &panels[(p * nb + blk) * LANES..(p * nb + blk + 1) * LANES];
+                        let xv = _mm256_set1_ps(x);
+                        acc =
+                            _mm256_add_ps(acc, _mm256_mul_ps(xv, _mm256_loadu_ps(lanes.as_ptr())));
+                    }
+                    let neg = _mm256_cmp_ps::<_CMP_LT_OQ>(acc, zero);
+                    let mask = _mm256_movemask_ps(neg) as u32 as u128;
+                    word |= mask << (blk * LANES);
+                }
+                if bits < 128 {
+                    word &= (1u128 << bits) - 1;
+                }
+                out.push(word);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn reference_word(row: &[f32], t: &[f32], ldb: usize, bits: usize) -> u128 {
+        // Straight per-filter scalar dots — the semantics both paths pin to.
+        let mut word = 0u128;
+        for j in 0..bits {
+            let mut acc = 0.0f32;
+            for (p, &x) in row.iter().enumerate() {
+                acc += x * t[p * ldb + j];
+            }
+            word |= ((acc < 0.0) as u128) << j;
+        }
+        word
+    }
+
+    #[test]
+    fn packed_kernel_matches_scalar_dots_bit_for_bit() {
+        let mut rng = Rng::new(61);
+        for &(plen, ldb, bits, n) in &[
+            (9usize, 20usize, 20usize, 37usize),
+            (9, 20, 1, 5),
+            (4, 128, 128, 11),
+            (25, 64, 24, 8),
+            (1, 8, 7, 16),
+        ] {
+            let t: Vec<f32> = (0..plen * ldb).map(|_| rng.next_normal()).collect();
+            let rows: Vec<f32> = (0..n * plen).map(|_| rng.next_normal()).collect();
+            let mut panels = Vec::new();
+            pack_sign_panels(&t, plen, ldb, bits, &mut panels);
+            let mut simd = Vec::new();
+            sign_rows(&rows, plen, bits, &panels, &mut simd);
+            let mut scalar = Vec::new();
+            sign_rows_scalar(&rows, plen, bits, &panels, &mut scalar);
+            assert_eq!(simd, scalar, "plen={plen} bits={bits}");
+            for (i, row) in rows.chunks_exact(plen).enumerate() {
+                assert_eq!(
+                    simd[i],
+                    reference_word(row, &t, ldb, bits),
+                    "plen={plen} bits={bits} row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nan_and_negative_zero_quantize_to_zero_bits() {
+        // `acc < 0.0` is false for NaN and -0.0; the SIMD compare must
+        // agree on both paths.
+        let plen = 2;
+        let bits = 3;
+        // Filters: col 0 → NaN projection, col 1 → -0.0, col 2 → negative.
+        let t = vec![f32::INFINITY, -0.0, -1.0, f32::NEG_INFINITY, 0.0, 0.0];
+        let mut panels = Vec::new();
+        pack_sign_panels(&t, plen, bits, bits, &mut panels);
+        let rows = vec![1.0f32, 1.0];
+        let mut simd = Vec::new();
+        sign_rows(&rows, plen, bits, &panels, &mut simd);
+        let mut scalar = Vec::new();
+        sign_rows_scalar(&rows, plen, bits, &panels, &mut scalar);
+        assert_eq!(simd, scalar);
+        // inf + -inf = NaN → 0; 1·-0.0 + 1·0.0 = +0.0 → 0; -1 → 1.
+        assert_eq!(simd[0], 0b100);
+    }
+
+    #[test]
+    fn high_bits_beyond_requested_width_stay_zero() {
+        let mut rng = Rng::new(62);
+        let (plen, bits) = (6, 13);
+        let t: Vec<f32> = (0..plen * bits).map(|_| rng.next_normal()).collect();
+        let rows: Vec<f32> = (0..8 * plen).map(|_| rng.next_normal()).collect();
+        let mut panels = Vec::new();
+        pack_sign_panels(&t, plen, bits, bits, &mut panels);
+        let mut words = Vec::new();
+        sign_rows(&rows, plen, bits, &panels, &mut words);
+        for w in words {
+            assert_eq!(w >> bits, 0, "padding lanes leaked into the word");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in")]
+    fn zero_bits_rejected() {
+        pack_sign_panels(&[0.0], 1, 1, 0, &mut Vec::new());
+    }
+}

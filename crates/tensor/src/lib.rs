@@ -10,6 +10,9 @@
 //! * [`conv`] — im2col extraction and reference conv2d forward/backward,
 //!   matching the formulation of §II-C of the paper (equations 1 and 2),
 //! * [`ops`] — matmul, transpose and elementwise helpers,
+//! * [`kernel`] — the fixed-width SIMD kernels (GEMM block, pack, fused
+//!   sign quantization, tag scan) the hot loops dispatch through, each
+//!   pinned bit-identical to its scalar reference,
 //! * [`exec`] — the pluggable [`Executor`](exec::Executor) backend (serial
 //!   reference vs scoped thread pool) every parallel path in the workspace
 //!   schedules through, bit-identically,
@@ -36,6 +39,7 @@
 pub mod conv;
 mod error;
 pub mod exec;
+pub mod kernel;
 pub mod ops;
 pub mod rng;
 mod tensor;

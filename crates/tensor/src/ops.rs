@@ -1,6 +1,7 @@
 //! Matrix and vector operations used throughout the workspace.
 
 use crate::exec::Executor;
+use crate::kernel;
 use crate::{Tensor, TensorError};
 
 /// Dot product of two equal-length slices.
@@ -105,25 +106,40 @@ pub fn gemm_blocked(
     assert_eq!(b.len(), k * ldb, "b must be [k, ldb]");
     assert_eq!(out.len(), m * n, "out must be [m, n]");
     // Register-blocked along j: full JB-wide blocks keep the running
-    // accumulator in registers across the whole k loop (the constant-width
-    // inner loop unrolls into vector ops); the sub-JB tail streams the
-    // output row instead, so no variable-length block defeats unrolling.
-    const JB: usize = 16;
+    // accumulator in registers across the whole k loop (the SIMD strip
+    // kernel, or its unrolled scalar reference); the sub-JB tail streams
+    // the output row instead, so no variable-length block defeats
+    // unrolling.
+    const JB: usize = kernel::gemm::BLOCK;
+    const JW: usize = kernel::gemm::WIDE;
+    const JH: usize = kernel::gemm::HALF;
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         let orow = &mut out[i * n..(i + 1) * n];
         let mut jb = 0;
+        // Widest strip first: one broadcast of `a[i, p]` feeds 64 lanes.
+        // Both strip kernels perform the identical per-lane sequence, so
+        // the tiling split is unobservable in the output bits.
+        while jb + JW <= n {
+            let mut acc = [0.0f32; JW];
+            acc.copy_from_slice(&orow[jb..jb + JW]);
+            kernel::gemm::accumulate_wide(&mut acc, arow, b, ldb, jb);
+            orow[jb..jb + JW].copy_from_slice(&acc);
+            jb += JW;
+        }
         while jb + JB <= n {
             let mut acc = [0.0f32; JB];
             acc.copy_from_slice(&orow[jb..jb + JB]);
-            for (p, &aip) in arow.iter().enumerate() {
-                let brow = &b[p * ldb + jb..p * ldb + jb + JB];
-                for (aj, &bv) in acc.iter_mut().zip(brow) {
-                    *aj += aip * bv;
-                }
-            }
+            kernel::gemm::accumulate_block(&mut acc, arow, b, ldb, jb);
             orow[jb..jb + JB].copy_from_slice(&acc);
             jb += JB;
+        }
+        while jb + JH <= n {
+            let mut acc = [0.0f32; JH];
+            acc.copy_from_slice(&orow[jb..jb + JH]);
+            kernel::gemm::accumulate_half(&mut acc, arow, b, ldb, jb);
+            orow[jb..jb + JH].copy_from_slice(&acc);
+            jb += JH;
         }
         if jb < n {
             let orow = &mut orow[jb..];
@@ -144,8 +160,9 @@ pub fn gemm_blocked(
 /// element is unchanged — so the result is **bit-identical** to the
 /// serial call for any worker count.
 ///
-/// The chunks carry their FLOP count (`2 · rows · k · n`) as the
-/// executor's work-size hint, so the small GEMMs of service-style
+/// Each chunk carries its *own* FLOP count (`chunk_flops` of its actual
+/// row count — the final chunk is often short) as the executor's
+/// per-item work hint, so the small GEMMs of service-style
 /// single-request forwards run inline instead of waking pool workers —
 /// the pooled backend only dispatches once a product is large enough to
 /// amortize the handoff.
@@ -177,11 +194,26 @@ pub fn gemm_blocked_on(
         .chunks_mut(rows_per * n)
         .zip(a.chunks(rows_per * k))
         .collect();
-    let chunk_flops = 2 * rows_per * k * n;
-    exec.map_owned_sized(jobs, chunk_flops, |_, (orows, arows)| {
+    let work: Vec<usize> = jobs
+        .iter()
+        .map(|(_, arows)| chunk_flops(arows.len() / k, k, n))
+        .collect();
+    exec.map_owned_weighted(jobs, &work, |_, (orows, arows)| {
         let rows = arows.len() / k;
         gemm_blocked(orows, arows, b, rows, k, n, ldb);
     });
+}
+
+/// The dispatch work hint for a GEMM row chunk: `2 · rows · k · n`
+/// scalar FLOPs, computed with saturating multiplies so hint arithmetic
+/// on absurd dimensions clamps to `usize::MAX` instead of overflowing
+/// (the hint only gates pool dispatch — saturation errs toward
+/// dispatching, never toward wrapping small).
+pub(crate) fn chunk_flops(rows: usize, k: usize, n: usize) -> usize {
+    2usize
+        .saturating_mul(rows)
+        .saturating_mul(k)
+        .saturating_mul(n)
 }
 
 /// Blocked matrix multiplication of a `[m, k]` tensor by a `[k, n]` tensor.
@@ -454,6 +486,72 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn gemm_blocked_on_handles_degenerate_shapes() {
+        // m=0 must be a no-op on every backend; empty chunk vectors and
+        // zero-length slices must not panic the hint math.
+        for exec in [Executor::serial(), Executor::threaded(4)] {
+            let mut out: Vec<f32> = Vec::new();
+            gemm_blocked_on(&exec, &mut out, &[], &[0.0; 15], 0, 3, 5, 5);
+            assert!(out.is_empty());
+            // k=0 and n=0 short-circuit to the serial kernel.
+            let mut out = vec![1.0f32; 6];
+            gemm_blocked_on(&exec, &mut out, &[], &[], 2, 0, 3, 3);
+            assert_eq!(out, vec![1.0; 6]);
+            let mut out: Vec<f32> = Vec::new();
+            gemm_blocked_on(&exec, &mut out, &[0.0; 8], &[0.0; 12], 2, 4, 0, 3);
+            assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn short_tail_chunk_carries_its_own_hint() {
+        // threads=2, m=3 → rows_per=2: chunks of 2 and 1 rows. With
+        // k=64, n=80 the true work is 20480 + 10240 = 30720, under the
+        // 32768 dispatch floor — the old uniform hint (2 × 20480 = 40960)
+        // dispatched this region on the tail chunk's padding alone.
+        let (m, k, n) = (3, 64, 80);
+        let mut rng = Rng::new(23);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let mut serial = vec![0.0; m * n];
+        gemm_blocked(&mut serial, a.data(), b.data(), m, k, n, n);
+        let exec = Executor::threaded(2);
+        let before = exec.pool_stats().unwrap();
+        let mut sharded = vec![0.0; m * n];
+        gemm_blocked_on(&exec, &mut sharded, a.data(), b.data(), m, k, n, n);
+        let after = exec.pool_stats().unwrap();
+        assert_eq!(
+            after.regions_dispatched, before.regions_dispatched,
+            "under-threshold region must not wake the pool"
+        );
+        assert_eq!(after.regions_inlined, before.regions_inlined + 1);
+        for (s, p) in sharded.iter().zip(&serial) {
+            assert_eq!(s.to_bits(), p.to_bits());
+        }
+        // One more row tips the true total (40960) over the floor.
+        let (m2, k2, n2) = (4, 64, 80);
+        let a = Tensor::randn(&[m2, k2], &mut rng);
+        let b = Tensor::randn(&[k2, n2], &mut rng);
+        let mut out = vec![0.0; m2 * n2];
+        gemm_blocked_on(&exec, &mut out, a.data(), b.data(), m2, k2, n2, n2);
+        assert_eq!(
+            exec.pool_stats().unwrap().regions_dispatched,
+            after.regions_dispatched + 1
+        );
+    }
+
+    #[test]
+    fn chunk_flops_saturates_instead_of_overflowing() {
+        // Overflow-shaped dimensions: 2·rows·k·n far exceeds usize::MAX.
+        // The hint must clamp (erring toward dispatch), not wrap.
+        let huge = 1usize << 40;
+        assert_eq!(chunk_flops(huge, huge, huge), usize::MAX);
+        assert_eq!(chunk_flops(usize::MAX, 1, 1), usize::MAX);
+        assert_eq!(chunk_flops(0, huge, huge), 0);
+        assert_eq!(chunk_flops(3, 4, 5), 120);
     }
 
     #[test]
