@@ -202,6 +202,10 @@ impl EngineCache {
         out: &mut Vec<AccessOutcome>,
     ) {
         out.clear();
+        #[cfg(feature = "fault-inject")]
+        let faulted = bank_probe_faults(sigs);
+        #[cfg(feature = "fault-inject")]
+        let sigs: &[Signature] = faulted.as_deref().unwrap_or(sigs);
         if let EngineCache::Banked {
             banks,
             sets_per_bank,
@@ -329,6 +333,36 @@ impl EngineCache {
             EngineCache::Banked { banks, .. } => banks.entries(),
         }
     }
+}
+
+/// Draws one [`BankProbe`] fault event per signature, in stream order on
+/// the dispatching thread **before** any bank partitioning or fan-out, so
+/// which probe faults is independent of the executor and the bank layout.
+/// `Panic` fires immediately; `CorruptTag` flips the faulted signature's
+/// low tag bit (modelling a corrupted tag store — the probe itself stays
+/// well-formed but matches the wrong line); `NanPayload` has no meaning
+/// at the probe level and is ignored. Returns the possibly-corrupted
+/// copy of the stream, or `None` when no harness is open (the common
+/// case — one relaxed atomic load).
+///
+/// [`BankProbe`]: mercury_faults::FaultSite::BankProbe
+#[cfg(feature = "fault-inject")]
+fn bank_probe_faults(sigs: &[Signature]) -> Option<Vec<Signature>> {
+    use mercury_faults::{FaultAction, FaultSite};
+    if !mercury_faults::active() {
+        return None;
+    }
+    let mut copy = sigs.to_vec();
+    for sig in &mut copy {
+        match mercury_faults::poll(FaultSite::BankProbe) {
+            Some(FaultAction::Panic) => mercury_faults::injected_panic(FaultSite::BankProbe),
+            Some(FaultAction::CorruptTag) => {
+                *sig = Signature::from_bits(sig.bits() ^ 1, sig.len());
+            }
+            Some(FaultAction::NanPayload) | None => {}
+        }
+    }
+    Some(copy)
 }
 
 /// State shared by every engine family — the fields the old `ConvEngine` /

@@ -68,6 +68,29 @@ impl fmt::Display for ConfigError {
 
 impl Error for ConfigError {}
 
+/// What a [`MercurySession`](crate::MercurySession) does with an input
+/// tensor containing NaN or infinity.
+///
+/// Non-finite values are uniquely dangerous to a *persistent* reuse
+/// cache: a NaN that reaches signature generation plants signatures in
+/// the banked MCACHE that every later request may match against, turning
+/// one bad ingress into wrong reuse decisions forever after. `Reject`
+/// fences that class off at the session boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NonfinitePolicy {
+    /// Let non-finite values flow through, IEEE-style (the default, and
+    /// the behaviour of every release before this policy existed). Exact
+    /// compute propagates them faithfully; reuse may plant them in a
+    /// persistent bank.
+    #[default]
+    Propagate,
+    /// Refuse the request with a typed
+    /// [`NonfiniteInput`](crate::MercuryError::NonfiniteInput) error
+    /// *before* any engine or cache state is touched — bank state stays
+    /// byte-identical to never having seen the request.
+    Reject,
+}
+
 /// Configuration of the full MERCURY system.
 ///
 /// Defaults mirror the paper's evaluation setup: a 168-PE row-stationary
@@ -108,6 +131,16 @@ pub struct MercuryConfig {
     /// `parallel_determinism` suite). Defaults to `Serial` unless the
     /// `MERCURY_EXECUTOR` environment variable says otherwise.
     pub executor: ExecutorKind,
+    /// Session-boundary treatment of NaN/Inf inputs (see
+    /// [`NonfinitePolicy`]). Defaults to `Propagate`.
+    pub nonfinite_policy: NonfinitePolicy,
+    /// Number of exact-compute warm-up requests a layer serves after
+    /// [`MercurySession::recover`](crate::MercurySession::recover) before
+    /// reuse detection re-arms. During the warm-up the layer is correct
+    /// but unaccelerated and its
+    /// [`ReuseReport::degraded`](crate::ReuseReport::degraded) flag is
+    /// set. `0` re-arms immediately on recovery. Defaults to 8.
+    pub recovery_warmup: usize,
 }
 
 impl MercuryConfig {
@@ -162,6 +195,8 @@ impl Default for MercuryConfig {
             plateau_tolerance: 1e-3,
             stoppage_window: 3,
             executor: ExecutorKind::from_env_or(ExecutorKind::Serial),
+            nonfinite_policy: NonfinitePolicy::default(),
+            recovery_warmup: 8,
         }
     }
 }
@@ -237,6 +272,20 @@ impl MercuryConfigBuilder {
     /// session.
     pub fn executor(mut self, executor: ExecutorKind) -> Self {
         self.config.executor = executor;
+        self
+    }
+
+    /// Sets the session-boundary policy for NaN/Inf inputs.
+    pub fn nonfinite_policy(mut self, policy: NonfinitePolicy) -> Self {
+        self.config.nonfinite_policy = policy;
+        self
+    }
+
+    /// Sets the post-recovery exact-compute warm-up length (requests
+    /// served with reuse disabled after
+    /// [`MercurySession::recover`](crate::MercurySession::recover)).
+    pub fn recovery_warmup(mut self, requests: usize) -> Self {
+        self.config.recovery_warmup = requests;
         self
     }
 
@@ -344,6 +393,21 @@ mod tests {
                 ..c
             }
         );
+    }
+
+    #[test]
+    fn fault_containment_knobs_default_and_build() {
+        let c = MercuryConfig::default();
+        assert_eq!(c.nonfinite_policy, NonfinitePolicy::Propagate);
+        assert_eq!(c.recovery_warmup, 8);
+
+        let c = MercuryConfig::builder()
+            .nonfinite_policy(NonfinitePolicy::Reject)
+            .recovery_warmup(0)
+            .build()
+            .unwrap();
+        assert_eq!(c.nonfinite_policy, NonfinitePolicy::Reject);
+        assert_eq!(c.recovery_warmup, 0);
     }
 
     #[test]

@@ -209,63 +209,85 @@ impl ConvEngine {
                 }
             };
         }
-        let channel_outs: Vec<Result<(ChannelOut, Vec<f32>), MercuryError>> =
-            if self.base.persistent || !exec.is_parallel() {
-                // Sequential channel loop — persistent engines always (tags
-                // persist *across* channels; their parallelism is the bank
-                // probe fan-out and the row-sharded GEMMs inside each
-                // channel), batch engines whenever the executor is serial.
-                // Both accumulate straight into the output and reuse the
-                // engine's own cache, so the default path pays no
-                // per-channel contribution buffer and no scratch caches;
-                // batch mode restarts the cache per channel (clear_scope).
-                let clear_scope = !self.base.persistent;
-                let cache = &mut self.base.cache;
-                let ctx = make_ctx!();
-                let mut scratch = ConvScratch::default();
-                let od = output.data_mut();
-                (0..c)
-                    .map(|ch| {
-                        conv_channel(
-                            &ctx,
-                            ch,
-                            cache,
-                            clear_scope,
-                            &exec,
-                            &mut scratch,
-                            &mut od[..f * patches_n],
-                            true,
-                        )
-                        .map(|out| (out, Vec::new()))
-                    })
-                    .collect()
-            } else {
-                let cache_cfg = self.base.config.cache;
-                let ctx = make_ctx!();
-                // Channels already fan out across the pool; the work inside
-                // each channel stays on its worker (no nested parallelism).
-                // Workers probe their own scratch caches, so the engine's
-                // `base.cache` is untouched on this path — its counters only
-                // reflect serial-executor batch runs.
-                let inner = Executor::serial();
-                let ctx = &ctx;
-                // Work-size hint per channel: the dense GEMM FLOPs plus
-                // the probe stream (saturating — large layers must not
-                // overflow the hint), so single tiny-image requests run
-                // inline instead of waking the pool.
-                let channel_work = crate::base::conv_channel_work(f, plen, patches_n);
-                exec.map_with_sized(
-                    c,
-                    channel_work,
-                    || (EngineCache::mono(cache_cfg), ConvScratch::default()),
-                    move |ch, state| {
-                        let (cache, scratch) = state;
-                        let mut contrib = vec![0.0f32; f * patches_n];
-                        conv_channel(ctx, ch, cache, true, &inner, scratch, &mut contrib, false)
-                            .map(|out| (out, contrib))
-                    },
-                )
-            };
+        // Fault events are drawn here on the dispatching thread, one per
+        // channel in channel order, BEFORE any fan-out — which channel
+        // faults never depends on the executor or pool scheduling.
+        #[cfg(feature = "fault-inject")]
+        let channel_faults = channel_shard_faults(c);
+        #[cfg(feature = "fault-inject")]
+        let channel_faults = &channel_faults;
+        let channel_outs: Vec<Result<(ChannelOut, Vec<f32>), MercuryError>> = if self
+            .base
+            .persistent
+            || !exec.is_parallel()
+        {
+            // Sequential channel loop — persistent engines always (tags
+            // persist *across* channels; their parallelism is the bank
+            // probe fan-out and the row-sharded GEMMs inside each
+            // channel), batch engines whenever the executor is serial.
+            // Both accumulate straight into the output and reuse the
+            // engine's own cache, so the default path pays no
+            // per-channel contribution buffer and no scratch caches;
+            // batch mode restarts the cache per channel (clear_scope).
+            let clear_scope = !self.base.persistent;
+            let cache = &mut self.base.cache;
+            let ctx = make_ctx!();
+            let mut scratch = ConvScratch::default();
+            let od = output.data_mut();
+            (0..c)
+                .map(|ch| {
+                    #[cfg(feature = "fault-inject")]
+                    channel_fault_pre(channel_faults, ch);
+                    let res = conv_channel(
+                        &ctx,
+                        ch,
+                        cache,
+                        clear_scope,
+                        &exec,
+                        &mut scratch,
+                        &mut od[..f * patches_n],
+                        true,
+                    )
+                    .map(|out| (out, Vec::new()));
+                    #[cfg(feature = "fault-inject")]
+                    if res.is_ok() {
+                        channel_fault_post(channel_faults, ch, &mut od[..f * patches_n]);
+                    }
+                    res
+                })
+                .collect()
+        } else {
+            let cache_cfg = self.base.config.cache;
+            let ctx = make_ctx!();
+            // Channels already fan out across the pool; the work inside
+            // each channel stays on its worker (no nested parallelism).
+            // Workers probe their own scratch caches, so the engine's
+            // `base.cache` is untouched on this path — its counters only
+            // reflect serial-executor batch runs.
+            let inner = Executor::serial();
+            let ctx = &ctx;
+            // Work-size hint per channel: the dense GEMM FLOPs plus
+            // the probe stream (saturating — large layers must not
+            // overflow the hint), so single tiny-image requests run
+            // inline instead of waking the pool.
+            let channel_work = crate::base::conv_channel_work(f, plen, patches_n);
+            exec.map_with_sized(
+                c,
+                channel_work,
+                || (EngineCache::mono(cache_cfg), ConvScratch::default()),
+                move |ch, state| {
+                    #[cfg(feature = "fault-inject")]
+                    channel_fault_pre(channel_faults, ch);
+                    let (cache, scratch) = state;
+                    let mut contrib = vec![0.0f32; f * patches_n];
+                    let res =
+                        conv_channel(ctx, ch, cache, true, &inner, scratch, &mut contrib, false);
+                    #[cfg(feature = "fault-inject")]
+                    channel_fault_post(channel_faults, ch, &mut contrib);
+                    res.map(|out| (out, contrib))
+                },
+            )
+        };
 
         // ---- Deterministic reduce ----------------------------------------
         // Channel contributions fold into the output, the cycle simulator,
@@ -348,8 +370,58 @@ impl ConvEngine {
                     bits: self.base.signature_bits,
                     per_channel,
                 }),
+                degraded: false,
             },
         })
+    }
+}
+
+/// Draws one [`ChannelShard`] fault event per conv channel, in channel
+/// order on the dispatching thread (an empty vec when no harness is
+/// open, so the hot path pays one relaxed atomic load).
+///
+/// [`ChannelShard`]: mercury_faults::FaultSite::ChannelShard
+#[cfg(feature = "fault-inject")]
+fn channel_shard_faults(channels: usize) -> Vec<Option<mercury_faults::FaultAction>> {
+    if !mercury_faults::active() {
+        return Vec::new();
+    }
+    (0..channels)
+        .map(|_| mercury_faults::poll(mercury_faults::FaultSite::ChannelShard))
+        .collect()
+}
+
+/// Fires a pre-compute [`ChannelShard`] `Panic` on the thread that owns
+/// the channel — the dispatching thread on the sequential loop, a pool
+/// worker on the batch fan-out (the pool re-raises it after the region
+/// drains either way).
+///
+/// [`ChannelShard`]: mercury_faults::FaultSite::ChannelShard
+#[cfg(feature = "fault-inject")]
+fn channel_fault_pre(faults: &[Option<mercury_faults::FaultAction>], ch: usize) {
+    if matches!(
+        faults.get(ch),
+        Some(Some(mercury_faults::FaultAction::Panic))
+    ) {
+        mercury_faults::injected_panic(mercury_faults::FaultSite::ChannelShard);
+    }
+}
+
+/// Applies a post-compute [`ChannelShard`] `NanPayload`: plants a NaN in
+/// the channel's first output slot after real data was written (a
+/// corrupted-result fault rather than a crash). `CorruptTag` has no
+/// meaning at the channel level and is ignored.
+///
+/// [`ChannelShard`]: mercury_faults::FaultSite::ChannelShard
+#[cfg(feature = "fault-inject")]
+fn channel_fault_post(faults: &[Option<mercury_faults::FaultAction>], ch: usize, out: &mut [f32]) {
+    if matches!(
+        faults.get(ch),
+        Some(Some(mercury_faults::FaultAction::NanPayload))
+    ) {
+        if let Some(slot) = out.first_mut() {
+            *slot = f32::NAN;
+        }
     }
 }
 

@@ -196,6 +196,7 @@ impl FcEngine {
                 report: ReuseReport {
                     stats,
                     signatures: ReuseSignatures::Rows(Vec::new()),
+                    degraded: false,
                 },
             });
         }
@@ -268,6 +269,7 @@ impl FcEngine {
             report: ReuseReport {
                 stats,
                 signatures: ReuseSignatures::Rows(sigs),
+                degraded: false,
             },
         })
     }
@@ -386,6 +388,7 @@ impl AttentionEngine {
                 report: ReuseReport {
                     stats,
                     signatures: ReuseSignatures::Rows(Vec::new()),
+                    degraded: false,
                 },
             });
         }
@@ -488,6 +491,7 @@ impl AttentionEngine {
             report: ReuseReport {
                 stats,
                 signatures: ReuseSignatures::Rows(sigs),
+                degraded: false,
             },
         })
     }

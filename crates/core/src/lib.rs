@@ -69,7 +69,7 @@ mod session;
 pub mod stats;
 
 pub use adapt::{AdaptiveController, PlateauDetector, StoppageController};
-pub use config::{ConfigError, MercuryConfig, MercuryConfigBuilder};
+pub use config::{ConfigError, MercuryConfig, MercuryConfigBuilder, NonfinitePolicy};
 pub use engine::ConvEngine;
 pub use error::MercuryError;
 pub use fc::{AttentionEngine, FcEngine};
@@ -77,4 +77,4 @@ pub use mercury_tensor::exec::ExecutorKind;
 pub use reuse::{
     LayerForward, LayerOp, ReuseEngine, ReuseReport, ReuseSignatures, SavedSignatures,
 };
-pub use session::{LayerId, MercurySession};
+pub use session::{LayerHealth, LayerId, MercurySession};

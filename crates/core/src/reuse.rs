@@ -156,6 +156,12 @@ pub struct ReuseReport {
     pub stats: LayerStats,
     /// Signatures for §III-C2 backward reuse.
     pub signatures: ReuseSignatures,
+    /// `true` when this pass ran in post-recovery exact-compute
+    /// degradation: the layer was recovered from poisoning and is serving
+    /// its warm-up window with reuse detection disabled (correct but
+    /// unaccelerated). Callers and benches use this to tell a degraded
+    /// exact pass from a normal detection-off configuration.
+    pub degraded: bool,
 }
 
 /// Result of one [`ReuseEngine`] forward pass.

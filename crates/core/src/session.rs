@@ -40,14 +40,16 @@
 //! # }
 //! ```
 
-use crate::config::ConfigError;
+use crate::config::{ConfigError, NonfinitePolicy};
 use crate::fc::{AttentionEngine, FcEngine};
 use crate::reuse::{LayerForward, LayerOp, ReuseEngine};
 use crate::stats::LayerStats;
 use crate::{ConvEngine, MercuryConfig, MercuryError};
+use mercury_tensor::conv::ConvGeometry;
 use mercury_tensor::exec::Executor;
 use mercury_tensor::{Tensor, TensorError};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Handle to a layer registered with a [`MercurySession`]. Only valid for
 /// the session that issued it — ids carry a process-unique session token,
@@ -66,8 +68,66 @@ impl fmt::Display for LayerId {
     }
 }
 
+#[cfg(test)]
+impl LayerId {
+    /// A detached id for unit tests that only need a displayable layer
+    /// handle (never resolvable against a real session).
+    pub(crate) fn for_tests(index: usize) -> Self {
+        LayerId { index, session: 0 }
+    }
+}
+
 /// Source of process-unique session tokens.
 static SESSION_TOKENS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Observable health of one session layer (see
+/// [`MercurySession::layer_health`]).
+///
+/// The lifecycle is `Healthy → Poisoned` (an engine panic or error
+/// escaped mid-request, so the layer's persistent cache may be
+/// half-mutated), then `Poisoned → Degraded` via
+/// [`recover`](MercurySession::recover) (bank quarantined by flash-clear,
+/// serving exact compute), then `Degraded → Healthy` after the
+/// configured warm-up re-arms reuse detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerHealth {
+    /// Serving normally.
+    Healthy,
+    /// Refusing every submit with [`MercuryError::Poisoned`] until
+    /// [`recover`](MercurySession::recover) quarantines the cache.
+    Poisoned,
+    /// Recovered and serving correct exact-compute results with reuse
+    /// detection disabled; `warmup_remaining` more successful requests
+    /// re-arm detection.
+    Degraded {
+        /// Successful submits left before reuse detection re-arms.
+        warmup_remaining: u64,
+    },
+}
+
+/// Internal health state. `Degraded` additionally remembers whether
+/// detection should be re-armed when the warm-up completes — a layer the
+/// §III-D stoppage controller had switched off *stays* off after
+/// recovery instead of being silently re-enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Health {
+    Healthy,
+    Poisoned,
+    Degraded { remaining: u64, rearm: bool },
+}
+
+/// Renders a caught panic payload for [`MercuryError::EnginePanic`]:
+/// `&str` and `String` payloads (every `panic!` with a message, including
+/// injected faults) come through verbatim.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// The operands a session layer binds at registration time; the input
 /// tensor is the only per-submit operand.
@@ -91,13 +151,137 @@ struct SessionLayer {
     /// Statistics accumulated over every submit since session creation.
     stats: LayerStats,
     submits: u64,
+    health: Health,
 }
 
 impl SessionLayer {
+    /// The fault-containment boundary around [`run`](Self::run): the
+    /// single implementation behind [`MercurySession::submit`] and the
+    /// per-layer workers of [`MercurySession::submit_batch`].
+    ///
+    /// Order of operations is the contract the chaos suite pins:
+    ///
+    /// 1. a poisoned layer refuses immediately ([`MercuryError::Poisoned`]);
+    /// 2. the input is validated against the registered layer *before*
+    ///    any engine or cache state is touched — validation failures
+    ///    (shape, geometry, rejected non-finite values) never poison;
+    /// 3. the engine runs under `catch_unwind`: a panic or a
+    ///    post-validation engine error poisons this layer (its persistent
+    ///    cache may be half-mutated, so it is fenced until
+    ///    [`MercurySession::recover`] quarantines it);
+    /// 4. a successful pass in the post-recovery warm-up is flagged
+    ///    `degraded` and counts the warm-up down, re-arming reuse
+    ///    detection when it reaches zero.
+    fn serve(
+        &mut self,
+        id: LayerId,
+        input: &Tensor,
+        policy: NonfinitePolicy,
+    ) -> Result<LayerForward, MercuryError> {
+        if self.health == Health::Poisoned {
+            return Err(MercuryError::Poisoned(id));
+        }
+        self.validate_input(id, input, policy)?;
+        // AssertUnwindSafe: on a caught panic the layer is marked
+        // poisoned, which fences every broken invariant of the engine's
+        // half-mutated state behind `MercuryError::Poisoned` until
+        // `recover` flash-clears the cache.
+        match catch_unwind(AssertUnwindSafe(|| self.run(input))) {
+            Ok(Ok(mut fwd)) => {
+                if let Health::Degraded { remaining, rearm } = self.health {
+                    fwd.report.degraded = true;
+                    let remaining = remaining - 1;
+                    if remaining == 0 {
+                        self.engine.set_detection(rearm);
+                        self.health = Health::Healthy;
+                    } else {
+                        self.health = Health::Degraded { remaining, rearm };
+                    }
+                }
+                Ok(fwd)
+            }
+            Ok(Err(err)) => {
+                self.health = Health::Poisoned;
+                Err(err)
+            }
+            Err(payload) => {
+                self.health = Health::Poisoned;
+                Err(MercuryError::EnginePanic {
+                    layer: id,
+                    message: panic_message(payload.as_ref()),
+                })
+            }
+        }
+    }
+
+    /// Session-boundary input validation: shape against the registered
+    /// layer (a typed [`MercuryError::ShapeMismatch`] instead of a panic
+    /// deep inside a GEMM), conv spatial geometry, and the non-finite
+    /// ingress policy. Runs before the engine, so a rejected request
+    /// provably cannot have planted anything in the persistent bank.
+    fn validate_input(
+        &self,
+        id: LayerId,
+        input: &Tensor,
+        policy: NonfinitePolicy,
+    ) -> Result<(), MercuryError> {
+        match &self.params {
+            LayerParams::Conv {
+                kernels,
+                stride,
+                pad,
+            } => {
+                let kc = kernels.shape()[1];
+                if input.rank() != 3 || input.shape()[0] != kc {
+                    return Err(MercuryError::ShapeMismatch {
+                        layer: id,
+                        expected: vec![Some(kc), None, None],
+                        actual: input.shape().to_vec(),
+                    });
+                }
+                // Spatial geometry (kernel overrunning the padded input,
+                // zero stride) keeps its precise tensor-level error.
+                ConvGeometry::new(
+                    input.shape()[1],
+                    input.shape()[2],
+                    kernels.shape()[2],
+                    kernels.shape()[3],
+                    *stride,
+                    *pad,
+                )
+                .map_err(MercuryError::Tensor)?;
+            }
+            LayerParams::Fc { weights } => {
+                let l = weights.shape()[0];
+                if input.rank() != 2 || input.shape()[1] != l {
+                    return Err(MercuryError::ShapeMismatch {
+                        layer: id,
+                        expected: vec![None, Some(l)],
+                        actual: input.shape().to_vec(),
+                    });
+                }
+            }
+            LayerParams::Attention => {
+                if input.rank() != 2 {
+                    return Err(MercuryError::ShapeMismatch {
+                        layer: id,
+                        expected: vec![None, None],
+                        actual: input.shape().to_vec(),
+                    });
+                }
+            }
+        }
+        if policy == NonfinitePolicy::Reject {
+            if let Some(index) = input.data().iter().position(|v| !v.is_finite()) {
+                return Err(MercuryError::NonfiniteInput { layer: id, index });
+            }
+        }
+        Ok(())
+    }
+
     /// Runs one request through this layer's engine, accumulating the
-    /// layer statistics on success — the single implementation behind
-    /// [`MercurySession::submit`] and the per-layer workers of
-    /// [`MercurySession::submit_batch`].
+    /// layer statistics on success. Callers go through
+    /// [`serve`](Self::serve); this is the unguarded inner step.
     fn run(&mut self, input: &Tensor) -> Result<LayerForward, MercuryError> {
         let op = match &self.params {
             LayerParams::Conv {
@@ -216,6 +400,7 @@ impl MercurySession {
             params,
             stats: LayerStats::default(),
             submits: 0,
+            health: Health::Healthy,
         });
         id
     }
@@ -299,11 +484,17 @@ impl MercurySession {
     ///
     /// # Errors
     ///
-    /// [`MercuryError::UnknownLayer`] for a foreign id and
-    /// [`MercuryError::Tensor`] for a malformed input shape.
+    /// [`MercuryError::UnknownLayer`] for a foreign id;
+    /// [`MercuryError::ShapeMismatch`] / [`MercuryError::Tensor`] /
+    /// [`MercuryError::NonfiniteInput`] for an input rejected at the
+    /// session boundary (the layer is untouched and stays healthy);
+    /// [`MercuryError::Poisoned`] for a layer fenced off by an earlier
+    /// failure; [`MercuryError::EnginePanic`] (poisoning the layer) when
+    /// the engine panics mid-request.
     pub fn submit(&mut self, layer: LayerId, input: &Tensor) -> Result<LayerForward, MercuryError> {
         let index = self.slot_index(layer)?;
-        self.layers[index].run(input)
+        let policy = self.config.nonfinite_policy;
+        self.layers[index].serve(layer, input, policy)
     }
 
     /// Runs a batch of streaming requests, fanning the **independent
@@ -322,11 +513,14 @@ impl MercurySession {
     /// # Errors
     ///
     /// [`MercuryError::UnknownLayer`] if any id is foreign (checked up
-    /// front: no request runs in that case). Engine failures (malformed
-    /// input shapes) do not abort the batch — every request is attempted,
-    /// successful ones keep their statistics, and the error of the
-    /// **lowest-positioned** failing request is returned, independent of
-    /// scheduling.
+    /// front: no request runs in that case). Per-request failures
+    /// (rejected inputs, poisoned layers, engine panics) do not abort the
+    /// batch — every request is attempted, successful ones keep their
+    /// statistics, and the error of the **lowest-positioned** failing
+    /// request is returned, independent of scheduling. An engine panic
+    /// poisons only the layer it escaped from: later same-layer requests
+    /// in this batch answer [`MercuryError::Poisoned`], requests to other
+    /// layers are unaffected.
     pub fn submit_batch(
         &mut self,
         requests: &[(LayerId, &Tensor)],
@@ -350,11 +544,12 @@ impl MercurySession {
             .zip(per_layer)
             .filter(|(_, positions)| !positions.is_empty())
             .collect();
+        let policy = self.config.nonfinite_policy;
         let per_job: Vec<Vec<(usize, Result<LayerForward, MercuryError>)>> =
             self.exec.map_owned(jobs, |_, (slot, positions)| {
                 positions
                     .into_iter()
-                    .map(|pos| (pos, slot.run(requests[pos].1)))
+                    .map(|pos| (pos, slot.serve(requests[pos].0, requests[pos].1, policy)))
                     .collect()
             });
 
@@ -371,10 +566,71 @@ impl MercurySession {
             .collect()
     }
 
+    /// Recovers a layer from poisoning: quarantines its (possibly
+    /// half-mutated) persistent cache via the O(1)-per-set epoch
+    /// flash-clear, then re-enters the layer into service in
+    /// exact-compute degradation — reuse detection disabled for the
+    /// configured [`recovery_warmup`](MercuryConfig::recovery_warmup)
+    /// requests (each flagged [`degraded`](crate::ReuseReport::degraded)),
+    /// after which detection re-arms to its pre-failure setting. A
+    /// warm-up of `0` re-arms immediately.
+    ///
+    /// Calling this on a healthy layer is allowed and forces the same
+    /// quarantine + warm-up cycle (an operator's "flush this layer"
+    /// lever); on a degraded layer it restarts the warm-up.
+    ///
+    /// # Errors
+    ///
+    /// [`MercuryError::UnknownLayer`] for a foreign id.
+    pub fn recover(&mut self, layer: LayerId) -> Result<(), MercuryError> {
+        let index = self.slot_index(layer)?;
+        let warmup = self.config.recovery_warmup as u64;
+        let slot = &mut self.layers[index];
+        // Quarantine first: nothing planted by the failed request can
+        // survive into the recovered layer's reuse decisions.
+        slot.engine.end_epoch();
+        let rearm = match slot.health {
+            // Preserve the original re-arm target across repeated
+            // recoveries — the engine currently reads detection-off only
+            // because the warm-up turned it off.
+            Health::Degraded { rearm, .. } => rearm,
+            _ => slot.engine.detection_enabled(),
+        };
+        if warmup == 0 {
+            slot.engine.set_detection(rearm);
+            slot.health = Health::Healthy;
+        } else {
+            slot.engine.set_detection(false);
+            slot.health = Health::Degraded {
+                remaining: warmup,
+                rearm,
+            };
+        }
+        Ok(())
+    }
+
+    /// The health of one layer (`None` for a foreign id): `Healthy`,
+    /// `Poisoned` (refusing submits until [`recover`](Self::recover)), or
+    /// `Degraded` with the number of exact-compute warm-up requests left.
+    pub fn layer_health(&self, layer: LayerId) -> Option<LayerHealth> {
+        self.slot(layer).map(|l| match l.health {
+            Health::Healthy => LayerHealth::Healthy,
+            Health::Poisoned => LayerHealth::Poisoned,
+            Health::Degraded { remaining, .. } => LayerHealth::Degraded {
+                warmup_remaining: remaining,
+            },
+        })
+    }
+
     /// Ends the current epoch: every engine's MCACHE is evicted (tags and
     /// data) via the banked flash-clear — O(sets) occupancy reset plus an
     /// O(1) data-version epoch bump, never a per-entry walk — and the
     /// epoch counter advances. Returns the new epoch number.
+    ///
+    /// Poisoned layers stay poisoned: the epoch clear evicts their caches
+    /// too, but re-entering service is an explicit per-layer decision via
+    /// [`recover`](Self::recover), not a side effect of a global
+    /// boundary.
     pub fn advance_epoch(&mut self) -> u64 {
         for layer in &mut self.layers {
             layer.engine.end_epoch();
@@ -432,12 +688,25 @@ impl MercurySession {
     /// Enables/disables similarity detection on one layer (§III-D
     /// stoppage).
     ///
+    /// On a layer serving its post-recovery warm-up this updates the
+    /// **re-arm target** instead of the live engine: the warm-up's
+    /// exact-compute guarantee is not silently cut short, and when it
+    /// completes, detection lands on the setting requested here.
+    ///
     /// # Errors
     ///
     /// [`MercuryError::UnknownLayer`] for a foreign id.
     pub fn set_detection(&mut self, layer: LayerId, enabled: bool) -> Result<(), MercuryError> {
         let index = self.slot_index(layer)?;
-        self.layers[index].engine.set_detection(enabled);
+        let slot = &mut self.layers[index];
+        if let Health::Degraded { remaining, .. } = slot.health {
+            slot.health = Health::Degraded {
+                remaining,
+                rearm: enabled,
+            };
+        } else {
+            slot.engine.set_detection(enabled);
+        }
         Ok(())
     }
 
@@ -647,13 +916,210 @@ mod tests {
             "validation precedes execution"
         );
 
-        // Engine error: lowest failing position wins; the good request
-        // still counted.
+        // Rejected input: lowest failing position wins; the good request
+        // still counted, and boundary validation leaves the layer
+        // healthy — the engine never ran for the bad requests.
         let err = s
             .submit_batch(&[(conv, &good), (conv, &bad), (conv, &bad)])
             .unwrap_err();
-        assert!(matches!(err, MercuryError::Tensor(_)));
+        assert!(matches!(err, MercuryError::ShapeMismatch { .. }), "{err}");
         assert_eq!(s.layer_submits(conv), Some(1));
+        assert_eq!(s.layer_health(conv), Some(LayerHealth::Healthy));
+        assert!(s.submit(conv, &good).is_ok());
+    }
+
+    #[test]
+    fn shape_validation_is_typed_per_engine_family() {
+        let mut rng = Rng::new(60);
+        let mut s = session(60);
+        let conv = s
+            .register_conv(Tensor::randn(&[2, 3, 3, 3], &mut rng), 1, 1)
+            .unwrap();
+        let fc = s.register_fc(Tensor::randn(&[8, 4], &mut rng)).unwrap();
+        let att = s.register_attention().unwrap();
+
+        // Conv: wrong rank and wrong channel count both name the layer
+        // and the fixed dimension.
+        for bad in [Tensor::zeros(&[6, 6]), Tensor::zeros(&[2, 6, 6])] {
+            match s.submit(conv, &bad).unwrap_err() {
+                MercuryError::ShapeMismatch {
+                    layer,
+                    expected,
+                    actual,
+                } => {
+                    assert_eq!(layer, conv);
+                    assert_eq!(expected, vec![Some(3), None, None]);
+                    assert_eq!(actual, bad.shape().to_vec());
+                }
+                other => panic!("expected ShapeMismatch, got {other}"),
+            }
+        }
+        // Conv spatial geometry (kernel overrunning an unpadded input)
+        // keeps its precise tensor-level error.
+        let unpadded = s
+            .register_conv(Tensor::randn(&[2, 3, 3, 3], &mut rng), 1, 0)
+            .unwrap();
+        assert!(matches!(
+            s.submit(unpadded, &Tensor::zeros(&[3, 2, 2])),
+            Err(MercuryError::Tensor(_))
+        ));
+        assert_eq!(s.layer_health(unpadded), Some(LayerHealth::Healthy));
+
+        // FC: wrong inner dimension.
+        match s.submit(fc, &Tensor::zeros(&[3, 5])).unwrap_err() {
+            MercuryError::ShapeMismatch { expected, .. } => {
+                assert_eq!(expected, vec![None, Some(8)]);
+            }
+            other => panic!("expected ShapeMismatch, got {other}"),
+        }
+
+        // Attention: wrong rank.
+        match s.submit(att, &Tensor::zeros(&[4])).unwrap_err() {
+            MercuryError::ShapeMismatch { expected, .. } => {
+                assert_eq!(expected, vec![None, None]);
+            }
+            other => panic!("expected ShapeMismatch, got {other}"),
+        }
+
+        // Rejection happened before any engine or cache mutation: every
+        // layer is healthy, served zero submits, and still works.
+        for id in [conv, fc, att] {
+            assert_eq!(s.layer_submits(id), Some(0));
+            assert_eq!(s.layer_health(id), Some(LayerHealth::Healthy));
+        }
+        assert!(s.submit(fc, &Tensor::zeros(&[3, 8])).is_ok());
+    }
+
+    #[test]
+    fn nonfinite_reject_leaves_bank_state_untouched() {
+        let mut rng = Rng::new(61);
+        let kernels = Tensor::randn(&[2, 1, 3, 3], &mut rng);
+        let good = Tensor::full(&[1, 6, 6], 0.3);
+        let mut poisoned_input = Tensor::full(&[1, 6, 6], 0.3);
+        poisoned_input.data_mut()[7] = f32::NAN;
+
+        let build = || {
+            let config = MercuryConfig::builder()
+                .nonfinite_policy(NonfinitePolicy::Reject)
+                .build()
+                .unwrap();
+            let mut s = MercurySession::new(config, 61).unwrap();
+            let conv = s.register_conv(kernels.clone(), 1, 0).unwrap();
+            (s, conv)
+        };
+
+        // Two identical sessions; only one sees the rejected request.
+        let (mut a, conv_a) = build();
+        let (mut b, conv_b) = build();
+        a.submit(conv_a, &good).unwrap();
+        b.submit(conv_b, &good).unwrap();
+        assert_eq!(
+            a.submit(conv_a, &poisoned_input).unwrap_err(),
+            MercuryError::NonfiniteInput {
+                layer: conv_a,
+                index: 7
+            }
+        );
+        assert_eq!(a.layer_health(conv_a), Some(LayerHealth::Healthy));
+
+        // Bank state is untouched by the rejection: the next submit sees
+        // outputs, reports (hit counts probe the cache content), and
+        // accumulated statistics bit-identical to the session that never
+        // received it.
+        let after_a = a.submit(conv_a, &good).unwrap();
+        let after_b = b.submit(conv_b, &good).unwrap();
+        assert_eq!(after_a.output, after_b.output);
+        assert_eq!(after_a.report, after_b.report);
+        assert!(after_a.stats().hits > 0, "cache content survived");
+        assert_eq!(a.layer_stats(conv_a), b.layer_stats(conv_b));
+
+        // Propagate (the default) keeps pre-policy behaviour.
+        let mut s = session(61);
+        let conv = s.register_conv(kernels.clone(), 1, 0).unwrap();
+        let fwd = s.submit(conv, &poisoned_input).unwrap();
+        assert!(fwd.output.data().iter().any(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn recover_quarantines_and_warms_up_exact() {
+        let mut rng = Rng::new(62);
+        let kernels = Tensor::randn(&[4, 1, 3, 3], &mut rng);
+        let input = Tensor::full(&[1, 8, 8], 0.4);
+        let config = MercuryConfig::builder().recovery_warmup(2).build().unwrap();
+
+        let mut s = MercurySession::new(config, 62).unwrap();
+        let conv = s.register_conv(kernels.clone(), 1, 0).unwrap();
+        s.submit(conv, &input).unwrap();
+        assert!(s.submit(conv, &input).unwrap().stats().hits > 0);
+
+        // A fresh exact-compute reference: same construction, detection
+        // off from the start.
+        let mut exact = MercurySession::new(config, 62).unwrap();
+        let conv_e = exact.register_conv(kernels, 1, 0).unwrap();
+        exact.set_detection(conv_e, false).unwrap();
+        let want = exact.submit(conv_e, &input).unwrap();
+
+        // Recover forces quarantine + warm-up even on a healthy layer.
+        s.recover(conv).unwrap();
+        assert_eq!(
+            s.layer_health(conv),
+            Some(LayerHealth::Degraded {
+                warmup_remaining: 2
+            })
+        );
+        for remaining in [1u64, 0] {
+            let fwd = s.submit(conv, &input).unwrap();
+            assert!(fwd.report.degraded, "warm-up passes are flagged");
+            assert_eq!(fwd.stats().hits, 0, "reuse disabled during warm-up");
+            assert_eq!(
+                fwd.output, want.output,
+                "degraded output is bit-identical to a fresh exact session"
+            );
+            match remaining {
+                0 => assert_eq!(s.layer_health(conv), Some(LayerHealth::Healthy)),
+                r => assert_eq!(
+                    s.layer_health(conv),
+                    Some(LayerHealth::Degraded {
+                        warmup_remaining: r
+                    })
+                ),
+            }
+        }
+
+        // Warm-up complete: detection re-armed to its pre-recovery
+        // setting and reuse resumes against the quarantined (empty) bank.
+        assert!(s.engine(conv).unwrap().detection_enabled());
+        let rearmed = s.submit(conv, &input).unwrap();
+        assert!(!rearmed.report.degraded);
+        assert!(rearmed.stats().maus > 0, "bank was flash-cleared");
+    }
+
+    #[test]
+    fn set_detection_during_warmup_retargets_the_rearm() {
+        let mut rng = Rng::new(63);
+        let config = MercuryConfig::builder().recovery_warmup(1).build().unwrap();
+        let mut s = MercurySession::new(config, 63).unwrap();
+        let fc = s.register_fc(Tensor::randn(&[6, 3], &mut rng)).unwrap();
+        let rows = Tensor::randn(&[2, 6], &mut rng);
+
+        s.recover(fc).unwrap();
+        // The warm-up keeps serving exact compute...
+        s.set_detection(fc, false).unwrap();
+        let fwd = s.submit(fc, &rows).unwrap();
+        assert!(fwd.report.degraded);
+        // ...and the completed warm-up lands on the requested setting
+        // instead of silently re-enabling reuse.
+        assert_eq!(s.layer_health(fc), Some(LayerHealth::Healthy));
+        assert!(!s.engine(fc).unwrap().detection_enabled());
+
+        // recovery_warmup = 0 re-arms immediately.
+        let config = MercuryConfig::builder().recovery_warmup(0).build().unwrap();
+        let mut s = MercurySession::new(config, 63).unwrap();
+        let fc = s.register_fc(Tensor::randn(&[6, 3], &mut rng)).unwrap();
+        s.recover(fc).unwrap();
+        assert_eq!(s.layer_health(fc), Some(LayerHealth::Healthy));
+        assert!(s.engine(fc).unwrap().detection_enabled());
+        assert!(!s.submit(fc, &rows).unwrap().report.degraded);
     }
 
     #[test]

@@ -203,6 +203,13 @@ pub struct PoolStats {
     /// work, fewer than two items, or dispatched from inside another
     /// region).
     pub regions_inlined: u64,
+    /// Dispatched regions that ended in a panic (on the caller or a
+    /// recruited worker). The panic is re-raised on the dispatching
+    /// thread after the region drains; the pool itself survives — its
+    /// workers park and serve the next region — so this counter rising
+    /// while `threads` stays constant is the expected fault signature,
+    /// and a shrinking pool would show up as dispatch counters stalling.
+    pub regions_panicked: u64,
 }
 
 /// A runnable execution backend: serial, or a handle to a persistent
@@ -642,6 +649,7 @@ mod pool {
         core: OnceLock<PoolCore>,
         regions_dispatched: AtomicU64,
         regions_inlined: AtomicU64,
+        regions_panicked: AtomicU64,
     }
 
     impl std::fmt::Debug for WorkerPool {
@@ -662,6 +670,7 @@ mod pool {
                 core: OnceLock::new(),
                 regions_dispatched: AtomicU64::new(0),
                 regions_inlined: AtomicU64::new(0),
+                regions_panicked: AtomicU64::new(0),
             }
         }
 
@@ -678,6 +687,7 @@ mod pool {
                 threads: self.width,
                 regions_dispatched: self.regions_dispatched.load(Ordering::Relaxed),
                 regions_inlined: self.regions_inlined.load(Ordering::Relaxed),
+                regions_panicked: self.regions_panicked.load(Ordering::Relaxed),
             }
         }
 
@@ -729,6 +739,9 @@ mod pool {
                 state.panic.take()
             };
             drop(region_guard);
+            if caller_result.is_err() || worker_panic.is_some() {
+                self.regions_panicked.fetch_add(1, Ordering::Relaxed);
+            }
             if let Err(payload) = caller_result {
                 resume_unwind(payload);
             }
@@ -1223,8 +1236,13 @@ mod tests {
             })
         }));
         assert!(result.is_err(), "the item panic must reach the caller");
+        let stats = exec.pool_stats().unwrap();
+        assert_eq!(stats.regions_panicked, 1, "the fault left an audit trail");
         // The pool survives a panicked region and serves the next one.
         assert_eq!(exec.map_indexed(8, |i| i), (0..8).collect::<Vec<_>>());
+        let stats = exec.pool_stats().unwrap();
+        assert_eq!(stats.threads, 4, "no worker died");
+        assert_eq!(stats.regions_panicked, 1, "the clean region added nothing");
     }
 
     #[test]

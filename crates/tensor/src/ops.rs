@@ -183,7 +183,15 @@ pub fn gemm_blocked_on(
 ) {
     let workers = exec.threads().min(m);
     if workers <= 1 || k == 0 || n == 0 {
-        return gemm_blocked(out, a, b, m, k, n, ldb);
+        // The serial fallback is a single chunk: one fault event.
+        #[cfg(feature = "fault-inject")]
+        let fault = mercury_faults::poll(mercury_faults::FaultSite::GemmChunk);
+        #[cfg(feature = "fault-inject")]
+        chunk_fault_pre(fault);
+        gemm_blocked(out, a, b, m, k, n, ldb);
+        #[cfg(feature = "fault-inject")]
+        chunk_fault_post(fault, out);
+        return;
     }
     assert!(ldb >= n, "ldb {ldb} must be at least n {n}");
     assert_eq!(a.len(), m * k, "a must be [m, k]");
@@ -198,10 +206,50 @@ pub fn gemm_blocked_on(
         .iter()
         .map(|(_, arows)| chunk_flops(arows.len() / k, k, n))
         .collect();
-    exec.map_owned_weighted(jobs, &work, |_, (orows, arows)| {
+    // Fault events are drawn on the dispatching thread in chunk order,
+    // BEFORE the fan-out, so which chunk faults never depends on pool
+    // scheduling; the action itself fires on whichever worker runs the
+    // chunk.
+    #[cfg(feature = "fault-inject")]
+    let chunk_faults: Vec<Option<mercury_faults::FaultAction>> = jobs
+        .iter()
+        .map(|_| mercury_faults::poll(mercury_faults::FaultSite::GemmChunk))
+        .collect();
+    exec.map_owned_weighted(jobs, &work, |_i, (orows, arows)| {
+        #[cfg(feature = "fault-inject")]
+        chunk_fault_pre(chunk_faults[_i]);
         let rows = arows.len() / k;
         gemm_blocked(orows, arows, b, rows, k, n, ldb);
+        #[cfg(feature = "fault-inject")]
+        chunk_fault_post(chunk_faults[_i], orows);
     });
+}
+
+/// Applies the pre-compute half of a [`GemmChunk`] fault: `Panic` fires
+/// here so the unwind starts on the worker that owns the chunk, exactly
+/// where a real in-kernel fault would originate.
+///
+/// [`GemmChunk`]: mercury_faults::FaultSite::GemmChunk
+#[cfg(feature = "fault-inject")]
+fn chunk_fault_pre(action: Option<mercury_faults::FaultAction>) {
+    if matches!(action, Some(mercury_faults::FaultAction::Panic)) {
+        mercury_faults::injected_panic(mercury_faults::FaultSite::GemmChunk);
+    }
+}
+
+/// Applies the post-compute half of a [`GemmChunk`] fault: `NanPayload`
+/// plants a NaN in the chunk's first output slot after the kernel has
+/// written real data, modelling a corrupted result rather than a crash.
+/// `CorruptTag` has no meaning at the GEMM level and is ignored.
+///
+/// [`GemmChunk`]: mercury_faults::FaultSite::GemmChunk
+#[cfg(feature = "fault-inject")]
+fn chunk_fault_post(action: Option<mercury_faults::FaultAction>, orows: &mut [f32]) {
+    if matches!(action, Some(mercury_faults::FaultAction::NanPayload)) {
+        if let Some(slot) = orows.first_mut() {
+            *slot = f32::NAN;
+        }
+    }
 }
 
 /// The dispatch work hint for a GEMM row chunk: `2 · rows · k · n`

@@ -81,3 +81,35 @@ fn tiny_regions_take_the_inline_short_circuit() {
     assert_eq!(after.regions_dispatched, before.regions_dispatched);
     assert_eq!(after.regions_inlined, before.regions_inlined + 1);
 }
+
+#[test]
+fn panicked_regions_are_counted_and_the_pool_stays_live() {
+    // A panicking region must (1) surface the panic to the caller, (2)
+    // increment `regions_panicked` so a chaos run's pool accounting is
+    // auditable, and (3) leave every worker alive — a silently shrinking
+    // pool after a fault is a hard failure, not a perf footnote.
+    let exec = Executor::threaded(4);
+    assert_eq!(exec.pool_stats().unwrap().regions_panicked, 0);
+    for round in 1..=3u64 {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            exec.map_indexed(16, |i| {
+                assert!(i != 9, "injected region fault");
+                i
+            })
+        }));
+        assert!(
+            result.is_err(),
+            "round {round}: panic must reach the caller"
+        );
+        let stats = exec.pool_stats().unwrap();
+        assert_eq!(stats.regions_panicked, round);
+        assert_eq!(stats.threads, 4, "round {round}: pool width shrank");
+    }
+    // Liveness: the same pool still executes a clean multi-thread region.
+    assert_pool_engaged(&exec, "post-panic liveness");
+    assert_eq!(
+        exec.pool_stats().unwrap().regions_panicked,
+        3,
+        "clean regions do not move the fault counter"
+    );
+}
