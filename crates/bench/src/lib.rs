@@ -461,6 +461,159 @@ pub mod results {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         parse(&text).ok_or_else(|| format!("{path} holds no `\"name\": nanoseconds` entries"))
     }
+
+    /// Renders a measurement map in the shim's flat, sorted JSON format.
+    /// Labels containing `"` or `\` are skipped — no label in this
+    /// workspace produces one.
+    pub fn render(map: &BTreeMap<String, u128>) -> String {
+        let mut out = String::from("{\n");
+        let mut first = true;
+        for (k, v) in map {
+            if k.contains('"') || k.contains('\\') {
+                continue;
+            }
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!("  \"{k}\": {v}"));
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Merges `entries` into the snapshot at `path` (creating the file if
+    /// absent), the same merge-on-write convention as the criterion shim —
+    /// which is what lets `loadgen` percentiles accumulate into the same
+    /// `BENCH_RESULTS.json` a `cargo bench` run writes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the existing file cannot be read (other
+    /// than not existing) or the merged snapshot cannot be written.
+    pub fn merge_into(path: &str, entries: &BTreeMap<String, u128>) -> Result<(), String> {
+        let mut merged = match std::fs::read_to_string(path) {
+            Ok(s) => parse(&s).unwrap_or_default(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => BTreeMap::new(),
+            Err(e) => return Err(format!("cannot read {path}: {e}")),
+        };
+        merged.extend(entries.iter().map(|(k, v)| (k.clone(), *v)));
+        std::fs::write(path, render(&merged)).map_err(|e| format!("cannot write {path}: {e}"))
+    }
+
+    /// The snapshot path the current process should write: the
+    /// `BENCH_RESULTS_PATH` environment variable when set, the shim's
+    /// default `BENCH_RESULTS.json` otherwise.
+    pub fn default_path() -> String {
+        std::env::var("BENCH_RESULTS_PATH").unwrap_or_else(|_| "BENCH_RESULTS.json".to_string())
+    }
+}
+
+/// Per-request latency accounting for the serving load generator:
+/// nearest-rank percentiles over nanosecond samples.
+pub mod latency {
+    /// Accumulates nanosecond latency samples and answers percentile
+    /// queries. Sorting is deferred to query time; recording stays O(1).
+    #[derive(Debug, Clone, Default)]
+    pub struct LatencyRecorder {
+        samples_ns: Vec<u64>,
+    }
+
+    /// The percentile triple `loadgen` publishes, plus the sample count.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct LatencySummary {
+        /// Number of samples recorded.
+        pub count: usize,
+        /// Median latency in nanoseconds.
+        pub p50_ns: u64,
+        /// 95th-percentile latency in nanoseconds.
+        pub p95_ns: u64,
+        /// 99th-percentile latency in nanoseconds.
+        pub p99_ns: u64,
+    }
+
+    impl LatencyRecorder {
+        /// Creates an empty recorder.
+        pub fn new() -> Self {
+            LatencyRecorder::default()
+        }
+
+        /// Records one latency sample.
+        pub fn record_ns(&mut self, ns: u64) {
+            self.samples_ns.push(ns);
+        }
+
+        /// Number of recorded samples.
+        pub fn len(&self) -> usize {
+            self.samples_ns.len()
+        }
+
+        /// Whether no samples have been recorded.
+        pub fn is_empty(&self) -> bool {
+            self.samples_ns.is_empty()
+        }
+
+        /// The nearest-rank `p`-th percentile (`0 < p <= 100`): the
+        /// smallest sample with at least `⌈p/100 · n⌉` samples at or below
+        /// it — p100 is the maximum, p50 the (upper) median.
+        ///
+        /// # Panics
+        ///
+        /// Panics if no samples were recorded or `p` is out of range.
+        pub fn percentile_ns(&self, p: f64) -> u64 {
+            assert!(!self.samples_ns.is_empty(), "no latency samples recorded");
+            assert!(p > 0.0 && p <= 100.0, "percentile out of range: {p}");
+            let mut sorted = self.samples_ns.clone();
+            sorted.sort_unstable();
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        }
+
+        /// The p50/p95/p99 summary.
+        ///
+        /// # Panics
+        ///
+        /// Panics if no samples were recorded.
+        pub fn summary(&self) -> LatencySummary {
+            LatencySummary {
+                count: self.len(),
+                p50_ns: self.percentile_ns(50.0),
+                p95_ns: self.percentile_ns(95.0),
+                p99_ns: self.percentile_ns(99.0),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn nearest_rank_percentiles() {
+            let mut r = LatencyRecorder::new();
+            for ns in [50, 10, 40, 20, 30] {
+                r.record_ns(ns);
+            }
+            // Sorted: 10 20 30 40 50. p50 → rank ⌈2.5⌉=3 → 30;
+            // p95 → rank ⌈4.75⌉=5 → 50; p20 → rank 1 → 10.
+            assert_eq!(r.percentile_ns(50.0), 30);
+            assert_eq!(r.percentile_ns(95.0), 50);
+            assert_eq!(r.percentile_ns(20.0), 10);
+            assert_eq!(r.percentile_ns(100.0), 50);
+            let s = r.summary();
+            assert_eq!(s.count, 5);
+            assert_eq!(s.p50_ns, 30);
+            assert_eq!(s.p99_ns, 50);
+        }
+
+        #[test]
+        fn single_sample_is_every_percentile() {
+            let mut r = LatencyRecorder::new();
+            r.record_ns(7);
+            assert_eq!(r.percentile_ns(1.0), 7);
+            assert_eq!(r.percentile_ns(100.0), 7);
+        }
+    }
 }
 
 /// Prints a TSV header line.
@@ -529,6 +682,25 @@ mod tests {
         // layers must be off (Figure 14a shows off-layers for MobNet-V2).
         let (_, off) = adaptive.detection_counts();
         assert!(off > 0, "expected some stopped layers in MobileNet-V2");
+    }
+
+    #[test]
+    fn results_render_round_trips_and_merges() {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("serve_loadgen/p50_ns".to_string(), 123u128);
+        assert_eq!(results::parse(&results::render(&map)).unwrap(), map);
+
+        let path = std::env::temp_dir().join(format!("mercury_merge_{}.json", std::process::id()));
+        let path = path.to_str().unwrap().to_string();
+        let _ = std::fs::remove_file(&path);
+        results::merge_into(&path, &map).unwrap();
+        let mut more = std::collections::BTreeMap::new();
+        more.insert("serve_loadgen/p95_ns".to_string(), 456u128);
+        results::merge_into(&path, &more).unwrap();
+        let loaded = results::load(&path).unwrap();
+        assert_eq!(loaded.get("serve_loadgen/p50_ns"), Some(&123));
+        assert_eq!(loaded.get("serve_loadgen/p95_ns"), Some(&456));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

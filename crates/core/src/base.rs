@@ -68,6 +68,10 @@ macro_rules! reuse_engine_lifecycle {
         fn end_epoch(&mut self) {
             self.base.end_epoch();
         }
+
+        fn cache_bytes(&self) -> usize {
+            self.base.cache.resident_bytes()
+        }
     };
 }
 pub(crate) use reuse_engine_lifecycle;
@@ -331,6 +335,16 @@ impl EngineCache {
         match self {
             EngineCache::Mono(cache) => cache.config().entries(),
             EngineCache::Banked { banks, .. } => banks.entries(),
+        }
+    }
+
+    /// Bytes of resident cache state (tags + data versions of occupied
+    /// lines); drops to zero on [`clear`](Self::clear). The serving
+    /// tier's memory budget meters sessions through this figure.
+    pub fn resident_bytes(&self) -> usize {
+        match self {
+            EngineCache::Mono(cache) => cache.resident_bytes(),
+            EngineCache::Banked { banks, .. } => banks.resident_bytes(),
         }
     }
 }

@@ -251,4 +251,12 @@ pub trait ReuseEngine: fmt::Debug + Send {
     /// engines already restart per reuse scope, so for them this is a
     /// cheap extra flash-clear.
     fn end_epoch(&mut self);
+
+    /// Bytes of MCACHE state currently resident in this engine: tags plus
+    /// data versions of every occupied line. Occupancy-sensitive — an
+    /// epoch eviction ([`end_epoch`](Self::end_epoch)) drops it to zero —
+    /// so a serving tier can meter many sessions against one global
+    /// memory budget through
+    /// [`MercurySession::bank_bytes`](crate::MercurySession::bank_bytes).
+    fn cache_bytes(&self) -> usize;
 }

@@ -352,6 +352,20 @@ impl MercurySession {
         Self::with_banks(config, seed, banks)
     }
 
+    /// [`new`](Self::new) scheduling on a caller-provided executor: cloned
+    /// `Executor`s share one worker pool, so a multi-session owner (the
+    /// `mercury-serve` server) resolves its backend once and hands the
+    /// same pool to every session it creates, overriding each session
+    /// config's own `executor` field.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] the configuration violates.
+    pub fn new_on(config: MercuryConfig, seed: u64, exec: Executor) -> Result<Self, ConfigError> {
+        let banks = if config.cache.sets % 8 == 0 { 8 } else { 1 };
+        Self::with_banks_on(config, seed, banks, exec)
+    }
+
     /// Creates a session with an explicit MCACHE bank count (the §V
     /// banked-cache knob; `ablation_banked_cache` measures the trade-off).
     ///
@@ -360,6 +374,22 @@ impl MercurySession {
     /// Returns a [`ConfigError`] for an invalid configuration, zero banks,
     /// or a bank count that does not divide the cache's set count.
     pub fn with_banks(config: MercuryConfig, seed: u64, banks: usize) -> Result<Self, ConfigError> {
+        Self::with_banks_on(config, seed, banks, Executor::from_kind(config.executor))
+    }
+
+    /// [`with_banks`](Self::with_banks) scheduling on a caller-provided
+    /// executor (see [`new_on`](Self::new_on) for the sharing rationale).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for an invalid configuration, zero banks,
+    /// or a bank count that does not divide the cache's set count.
+    pub fn with_banks_on(
+        config: MercuryConfig,
+        seed: u64,
+        banks: usize,
+        exec: Executor,
+    ) -> Result<Self, ConfigError> {
         config.validate()?;
         crate::base::validate_bank_split(config.cache.sets, banks)?;
         Ok(MercurySession {
@@ -369,7 +399,7 @@ impl MercurySession {
             token: SESSION_TOKENS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             layers: Vec::new(),
             epoch: 0,
-            exec: Executor::from_kind(config.executor),
+            exec,
         })
     }
 
@@ -525,6 +555,25 @@ impl MercurySession {
         &mut self,
         requests: &[(LayerId, &Tensor)],
     ) -> Result<Vec<LayerForward>, MercuryError> {
+        self.submit_batch_each(requests)?.into_iter().collect()
+    }
+
+    /// [`submit_batch`](Self::submit_batch) with **per-request** results:
+    /// the same fan-out, ordering, and bit-identity guarantees, but
+    /// instead of collapsing to the lowest-positioned error, every
+    /// request's own `Result` comes back in request order. A serving tier
+    /// coalescing many tenants' requests needs this — one tenant's
+    /// poisoned layer must not eat its neighbours' answers.
+    ///
+    /// # Errors
+    ///
+    /// The outer `Err` is [`MercuryError::UnknownLayer`] only, checked up
+    /// front — no request runs in that case. Everything else is a
+    /// per-request inner `Result`.
+    pub fn submit_batch_each(
+        &mut self,
+        requests: &[(LayerId, &Tensor)],
+    ) -> Result<Vec<Result<LayerForward, MercuryError>>, MercuryError> {
         // Validate every id before any engine runs.
         let mut indices = Vec::with_capacity(requests.len());
         for &(layer, _) in requests {
@@ -560,10 +609,10 @@ impl MercurySession {
                 results[pos] = Some(result);
             }
         }
-        results
+        Ok(results
             .into_iter()
             .map(|r| r.expect("every request answered exactly once"))
-            .collect()
+            .collect())
     }
 
     /// Recovers a layer from poisoning: quarantines its (possibly
@@ -620,6 +669,40 @@ impl MercurySession {
                 warmup_remaining: remaining,
             },
         })
+    }
+
+    /// Whether one layer is currently poisoned — the cheap fast path for
+    /// a serving tier scanning for layers that need
+    /// [`recover`](Self::recover) (a health-flag read; no engine or cache
+    /// access). `false` for foreign ids: a layer this session never
+    /// issued cannot be poisoned in it.
+    pub fn is_poisoned(&self, layer: LayerId) -> bool {
+        self.slot(layer)
+            .map(|l| l.health == Health::Poisoned)
+            .unwrap_or(false)
+    }
+
+    /// The ids of every currently poisoned layer, in registration order —
+    /// what an auto-recovery sweep feeds to [`recover`](Self::recover).
+    pub fn poisoned_layers(&self) -> impl Iterator<Item = LayerId> + '_ {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.health == Health::Poisoned)
+            .map(|(index, _)| LayerId {
+                index,
+                session: self.token,
+            })
+    }
+
+    /// Bytes of MCACHE state resident across every layer's banks (see
+    /// [`ReuseEngine::cache_bytes`]): the session's logical reuse-state
+    /// working set. Occupancy-sensitive — an epoch boundary
+    /// ([`advance_epoch`](Self::advance_epoch)) drops it to zero — which
+    /// is exactly the lever a multi-session memory budget pulls when it
+    /// evicts an idle session.
+    pub fn bank_bytes(&self) -> usize {
+        self.layers.iter().map(|l| l.engine.cache_bytes()).sum()
     }
 
     /// Ends the current epoch: every engine's MCACHE is evicted (tags and
@@ -1174,6 +1257,116 @@ mod tests {
             s.update_weights(att, Tensor::zeros(&[2, 2])).unwrap_err(),
             MercuryError::NoParameters(att)
         );
+    }
+
+    #[test]
+    fn bank_bytes_track_cache_state_and_drop_on_epoch() {
+        let mut rng = Rng::new(70);
+        let mut s = session(70);
+        let conv = s
+            .register_conv(Tensor::randn(&[2, 1, 3, 3], &mut rng), 1, 0)
+            .unwrap();
+        let fc = s.register_fc(Tensor::randn(&[8, 4], &mut rng)).unwrap();
+        assert_eq!(s.bank_bytes(), 0, "fresh session holds no cache state");
+
+        s.submit(conv, &Tensor::randn(&[1, 8, 8], &mut rng))
+            .unwrap();
+        let after_conv = s.bank_bytes();
+        assert!(after_conv > 0, "a served request pins cache lines");
+        assert_eq!(
+            after_conv,
+            s.engine(conv).unwrap().cache_bytes(),
+            "only the served layer contributes"
+        );
+
+        s.submit(fc, &Tensor::randn(&[3, 8], &mut rng)).unwrap();
+        assert!(s.bank_bytes() > after_conv, "layers sum");
+
+        // The epoch flash-clear is the eviction lever: reported bytes
+        // drop to zero even though the buffers stay allocated.
+        s.advance_epoch();
+        assert_eq!(s.bank_bytes(), 0);
+    }
+
+    #[test]
+    fn shared_executor_sessions_stay_bit_identical() {
+        use mercury_tensor::exec::ExecutorKind;
+        let mut rng = Rng::new(71);
+        let kernels = Tensor::randn(&[2, 1, 3, 3], &mut rng);
+        let input = Tensor::randn(&[1, 8, 8], &mut rng);
+
+        let config = MercuryConfig::builder()
+            .executor(ExecutorKind::Serial)
+            .build()
+            .unwrap();
+        let mut own = MercurySession::new(config, 71).unwrap();
+        let conv_own = own.register_conv(kernels.clone(), 1, 0).unwrap();
+        let want = own.submit(conv_own, &input).unwrap();
+
+        // Two sessions on one shared pool answer identically to a session
+        // that resolved its own backend.
+        let shared = Executor::threaded(4);
+        for seed_session in 0..2 {
+            let mut s = MercurySession::new_on(config, 71, shared.clone()).unwrap();
+            let conv = s.register_conv(kernels.clone(), 1, 0).unwrap();
+            let got = s.submit(conv, &input).unwrap();
+            assert_eq!(got.output, want.output, "session {seed_session}");
+            assert_eq!(got.report, want.report, "session {seed_session}");
+        }
+    }
+
+    #[test]
+    fn submit_batch_each_returns_per_request_results() {
+        let mut rng = Rng::new(72);
+        let mut s = session(72);
+        let conv = s
+            .register_conv(Tensor::randn(&[2, 1, 3, 3], &mut rng), 1, 0)
+            .unwrap();
+        let good = Tensor::zeros(&[1, 6, 6]);
+        let bad = Tensor::zeros(&[6, 6]); // wrong rank
+
+        let results = s
+            .submit_batch_each(&[(conv, &good), (conv, &bad), (conv, &good)])
+            .unwrap();
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(MercuryError::ShapeMismatch { .. })
+        ));
+        assert!(
+            results[2].is_ok(),
+            "a rejected neighbour does not eat later requests"
+        );
+
+        // Foreign ids still fail the whole call up front.
+        let mut other = session(73);
+        let foreign = other
+            .register_conv(Tensor::randn(&[1, 1, 3, 3], &mut rng), 1, 0)
+            .unwrap();
+        assert_eq!(
+            s.submit_batch_each(&[(conv, &good), (foreign, &good)])
+                .unwrap_err(),
+            MercuryError::UnknownLayer(foreign)
+        );
+    }
+
+    #[test]
+    fn poisoned_scan_is_empty_on_healthy_sessions() {
+        let mut rng = Rng::new(74);
+        let mut s = session(74);
+        let conv = s
+            .register_conv(Tensor::randn(&[2, 1, 3, 3], &mut rng), 1, 0)
+            .unwrap();
+        assert!(!s.is_poisoned(conv));
+        assert_eq!(s.poisoned_layers().count(), 0);
+
+        // Foreign ids read as not-poisoned, never as an error.
+        let mut other = session(75);
+        let foreign = other
+            .register_conv(Tensor::randn(&[1, 1, 3, 3], &mut rng), 1, 0)
+            .unwrap();
+        assert!(!s.is_poisoned(foreign));
     }
 
     #[test]

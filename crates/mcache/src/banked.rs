@@ -163,6 +163,14 @@ impl BankedMCache {
         }
     }
 
+    /// Bytes of cache state resident across every bank (see
+    /// [`MCache::resident_bytes`]): the logical working set a serving
+    /// tier's memory budget meters. [`clear`](Self::clear) drops it to
+    /// zero.
+    pub fn resident_bytes(&self) -> usize {
+        self.banks.iter().map(MCache::resident_bytes).sum()
+    }
+
     /// Sums statistics over all banks.
     pub fn stats(&self) -> MCacheStats {
         let mut total = MCacheStats::default();
@@ -323,6 +331,23 @@ mod tests {
         };
         assert_eq!(c.read_counted(bogus, 0), None);
         assert_eq!(c.stats().data_misses, 1);
+    }
+
+    #[test]
+    fn resident_bytes_sum_banks_and_drop_on_clear() {
+        let mut c = cache(4);
+        assert_eq!(c.resident_bytes(), 0);
+        for i in 0..20 {
+            c.probe_insert(sig(i));
+        }
+        let per_line = 16 + 1 + (4 + 8); // single-version line
+        assert_eq!(
+            c.resident_bytes(),
+            c.stats().maus as usize * per_line,
+            "every MAU pins exactly one line"
+        );
+        c.clear();
+        assert_eq!(c.resident_bytes(), 0);
     }
 
     #[test]

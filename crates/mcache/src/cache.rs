@@ -399,6 +399,21 @@ impl MCache {
     pub fn occupancy(&self) -> usize {
         self.set_len.iter().map(|&l| l as usize).sum()
     }
+
+    /// Bytes of cache state the resident tags pin: per occupied line, the
+    /// packed tag (bits + length) plus every data version's payload and
+    /// VD epoch. Occupancy-sensitive by design — [`clear`](Self::clear)
+    /// (the flash-clear an eviction performs) drops the figure to zero
+    /// even though the backing buffers stay allocated, because this is
+    /// the *logical* working set a serving tier's memory budget meters,
+    /// not the allocator's view.
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let per_line = size_of::<u128>()
+            + size_of::<u8>()
+            + self.config.versions * (size_of::<f32>() + size_of::<u64>());
+        self.occupancy() * per_line
+    }
 }
 
 #[cfg(test)]
@@ -586,6 +601,22 @@ mod tests {
             assert_eq!(cache.probe_insert(sig(1)).kind, HitKind::Mau);
             cache.clear();
         }
+    }
+
+    #[test]
+    fn resident_bytes_track_occupancy_and_flash_clear() {
+        let mut cache = small_cache(4, 2, 2);
+        assert_eq!(cache.resident_bytes(), 0);
+        cache.probe_insert(sig(1));
+        cache.probe_insert(sig(2));
+        let per_line = 16 + 1 + 2 * (4 + 8); // u128 tag + u8 len + 2×(f32 + u64 epoch)
+        assert_eq!(cache.resident_bytes(), cache.occupancy() * per_line);
+        assert!(cache.resident_bytes() > 0);
+        // Data invalidation keeps tags resident; only clear() releases.
+        cache.invalidate_all_data();
+        assert_eq!(cache.resident_bytes(), cache.occupancy() * per_line);
+        cache.clear();
+        assert_eq!(cache.resident_bytes(), 0);
     }
 
     #[test]

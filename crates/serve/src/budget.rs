@@ -1,0 +1,145 @@
+//! The global memory budget's victim selector: a second-chance (clock)
+//! list over tenant sessions, keyed by "served since last considered".
+//!
+//! The budget treats every tenant's banked MCACHE state as one evictable
+//! unit (a session epoch flash-clear releases all of it in O(sets)), so
+//! the classic page-replacement algorithm maps cleanly: the ring holds
+//! tenant indices in registration order, a tenant served since its last
+//! consideration gets one more trip around the ring (its *reference bit*
+//! is cleared and it is re-queued), and the first unreferenced tenant
+//! with resident bytes is the victim. Idle tenants therefore always age
+//! out before busy ones, and the tenant served *this* tick is evicted
+//! only as a last resort — when every other session is already empty.
+
+use crate::server::TenantId;
+
+/// One eviction performed by the memory budget, recorded in the server's
+/// [`eviction_log`](crate::Server::eviction_log).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// The tick whose budget enforcement evicted.
+    pub tick: u64,
+    /// The tenant whose banked caches were flash-cleared.
+    pub tenant: TenantId,
+    /// Resident bytes the eviction released.
+    pub bytes_freed: usize,
+}
+
+/// What the victim-selection callback reports about one tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VictimState {
+    /// Served since last considered; the callback cleared the reference
+    /// bit and the tenant earns one more trip around the ring.
+    Referenced,
+    /// Holds no resident bytes — evicting it would free nothing.
+    Empty,
+    /// Unreferenced with resident bytes: a valid victim.
+    Evictable,
+}
+
+/// The second-chance ring. Purely index-based so it can be unit-tested
+/// without sessions; the server owns the mapping from index to tenant.
+#[derive(Debug, Default)]
+pub(crate) struct SecondChance {
+    ring: std::collections::VecDeque<usize>,
+}
+
+impl SecondChance {
+    /// Adds a newly registered tenant to the back of the ring.
+    pub fn register(&mut self, index: usize) {
+        self.ring.push_back(index);
+    }
+
+    /// Selects the next victim: pops ring entries, querying `state` for
+    /// each, until an `Evictable` tenant appears. `Referenced` and
+    /// `Empty` tenants are re-queued (the former with its bit cleared by
+    /// the callback). Bounded at two full trips — enough to clear every
+    /// reference bit once and then find any evictable tenant — so a ring
+    /// of all-empty sessions returns `None` instead of spinning.
+    ///
+    /// The selected index is re-queued at the back (an evicted tenant
+    /// restarts cold and should be the *last* candidate next time).
+    pub fn select<F>(&mut self, mut state: F) -> Option<usize>
+    where
+        F: FnMut(usize) -> VictimState,
+    {
+        for _ in 0..2 * self.ring.len() {
+            let index = self.ring.pop_front()?;
+            self.ring.push_back(index);
+            if state(index) == VictimState::Evictable {
+                return Some(index);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_tenants_age_out_before_referenced_ones() {
+        let mut clock = SecondChance::default();
+        for i in 0..3 {
+            clock.register(i);
+        }
+        // Tenant 0 was just served (referenced); 1 and 2 are idle with
+        // resident bytes. The first victim must be 1, not 0.
+        let mut referenced = [true, false, false];
+        let victim = clock.select(|i| {
+            if referenced[i] {
+                referenced[i] = false;
+                VictimState::Referenced
+            } else {
+                VictimState::Evictable
+            }
+        });
+        assert_eq!(victim, Some(1));
+        // Next selection continues around the ring: tenant 2.
+        let victim = clock.select(|i| {
+            if referenced[i] {
+                referenced[i] = false;
+                VictimState::Referenced
+            } else {
+                VictimState::Evictable
+            }
+        });
+        assert_eq!(victim, Some(2));
+        // With its bit long cleared, tenant 0 is now fair game — the
+        // last-resort case where the active tenant is the only one left.
+        let victim = clock.select(|_| VictimState::Evictable);
+        assert_eq!(victim, Some(0));
+    }
+
+    #[test]
+    fn all_empty_ring_returns_none() {
+        let mut clock = SecondChance::default();
+        clock.register(0);
+        clock.register(1);
+        assert_eq!(clock.select(|_| VictimState::Empty), None);
+        // An empty ring is also a clean None.
+        let mut empty = SecondChance::default();
+        assert_eq!(empty.select(|_| VictimState::Evictable), None);
+    }
+
+    #[test]
+    fn referenced_everywhere_still_terminates_and_picks_second_pass() {
+        let mut clock = SecondChance::default();
+        for i in 0..4 {
+            clock.register(i);
+        }
+        // Every tenant referenced: the first pass clears all bits, the
+        // second pass evicts the ring head (registration order).
+        let mut referenced = [true; 4];
+        let victim = clock.select(|i| {
+            if referenced[i] {
+                referenced[i] = false;
+                VictimState::Referenced
+            } else {
+                VictimState::Evictable
+            }
+        });
+        assert_eq!(victim, Some(0));
+    }
+}

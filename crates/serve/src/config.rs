@@ -1,0 +1,261 @@
+//! Server configuration: the typed builder for [`ServeConfig`] plus the
+//! per-tenant epoch and recovery policies.
+
+use mercury_tensor::exec::ExecutorKind;
+use std::error::Error;
+use std::fmt;
+
+/// A structurally invalid [`ServeConfig`] (or tenant policy). Every way a
+/// configuration can be rejected is its own variant, matching the
+/// `ConfigError` convention in `mercury-core`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeConfigError {
+    /// `queue_capacity` was zero: a tenant that can never admit a request
+    /// is a misconfiguration, not a policy.
+    ZeroQueueCapacity,
+    /// `batch_window` was zero: a tick that can never drain a request
+    /// would make the server spin without serving.
+    ZeroBatchWindow,
+    /// An [`EpochPolicy::EveryRequests`] interval was zero; epochs need at
+    /// least one request between boundaries.
+    ZeroEpochInterval,
+}
+
+impl fmt::Display for ServeConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeConfigError::ZeroQueueCapacity => {
+                write!(f, "per-tenant queue capacity must be positive")
+            }
+            ServeConfigError::ZeroBatchWindow => {
+                write!(f, "batching window must be positive")
+            }
+            ServeConfigError::ZeroEpochInterval => {
+                write!(f, "epoch-every-N-requests interval must be positive")
+            }
+        }
+    }
+}
+
+impl Error for ServeConfigError {}
+
+/// When a tenant's session advances its epoch (evicting every layer's
+/// banked MCACHE, the §V persistence boundary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochPolicy {
+    /// Advance after every `n` served requests (`n ≥ 1`). The boundary
+    /// lands *exactly* after the `n`-th request regardless of how the
+    /// batching window groups requests, so a tenant's output stream is
+    /// bit-identical to a dedicated session replaying the same requests
+    /// with `advance_epoch` every `n` submits.
+    EveryRequests(u64),
+    /// Only [`Server::advance_epoch`](crate::Server::advance_epoch)
+    /// advances (an operator- or trainer-driven boundary).
+    Manual,
+    /// Never advance: the banked caches persist until the memory budget
+    /// evicts them (or forever, without a budget).
+    Never,
+}
+
+/// How the server responds to a tenant layer poisoned by an engine
+/// failure (the PR 7 containment contract: the layer refuses requests
+/// with typed errors until `recover` quarantines its cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// At the end of any tick that served the tenant, every poisoned
+    /// layer is recovered automatically: its bank is quarantined by
+    /// flash-clear and the layer re-enters service in the configured
+    /// exact-compute warm-up. The default — a service self-heals.
+    #[default]
+    Immediate,
+    /// Poisoned layers stay fenced (answering
+    /// [`MercuryError::Poisoned`](mercury_core::MercuryError::Poisoned))
+    /// until an explicit [`Server::recover`](crate::Server::recover).
+    Manual,
+}
+
+/// Configuration of a [`Server`](crate::Server).
+///
+/// Build with [`ServeConfig::builder`]; the builder funnels every
+/// instance through [`validate`](Self::validate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Execution backend for the **one** worker pool every tenant session
+    /// shares. Resolved once at server creation; each tenant's
+    /// `MercuryConfig::executor` field is overridden by it — a server's
+    /// whole point is that N tenants do not spawn N pools. Defaults to
+    /// `MERCURY_EXECUTOR` when set, serial otherwise.
+    pub executor: ExecutorKind,
+    /// Bounded ingress depth per tenant: an
+    /// [`enqueue`](crate::Server::enqueue) beyond this answers a typed
+    /// [`QueueFull`](crate::ServeError::QueueFull) instead of growing
+    /// without bound (admission control, not load shedding by OOM).
+    pub queue_capacity: usize,
+    /// Batching window: the most requests one tick coalesces per tenant
+    /// into a single `submit_batch` call. Within a tenant the window
+    /// preserves FIFO order; epoch boundaries cap it so they land on
+    /// exact request counts.
+    pub batch_window: usize,
+    /// Global cap on the summed
+    /// [`bank_bytes`](mercury_core::MercurySession::bank_bytes) of every
+    /// tenant, enforced after each tick by evicting idle tenants' banked
+    /// caches (second-chance LRU over sessions). `None` disables the
+    /// budget.
+    pub memory_budget: Option<usize>,
+    /// Poisoned-layer handling (see [`RecoveryPolicy`]).
+    pub recovery: RecoveryPolicy,
+}
+
+impl ServeConfig {
+    /// Starts a builder seeded with the defaults.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            config: ServeConfig::default(),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ServeConfigError`] variant describing the first
+    /// violated constraint.
+    pub fn validate(&self) -> Result<(), ServeConfigError> {
+        if self.queue_capacity == 0 {
+            return Err(ServeConfigError::ZeroQueueCapacity);
+        }
+        if self.batch_window == 0 {
+            return Err(ServeConfigError::ZeroBatchWindow);
+        }
+        Ok(())
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            executor: ExecutorKind::from_env_or(ExecutorKind::Serial),
+            queue_capacity: 64,
+            batch_window: 8,
+            memory_budget: None,
+            recovery: RecoveryPolicy::default(),
+        }
+    }
+}
+
+/// Typed builder for [`ServeConfig`], mirroring the
+/// `MercuryConfigBuilder` convention.
+///
+/// # Examples
+///
+/// ```
+/// use mercury_serve::ServeConfig;
+///
+/// let config = ServeConfig::builder()
+///     .queue_capacity(16)
+///     .batch_window(4)
+///     .memory_budget(Some(1 << 20))
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(config.batch_window, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Sets the shared worker-pool backend.
+    pub fn executor(mut self, executor: ExecutorKind) -> Self {
+        self.config.executor = executor;
+        self
+    }
+
+    /// Sets the bounded per-tenant ingress depth.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the per-tenant batching window.
+    pub fn batch_window(mut self, window: usize) -> Self {
+        self.config.batch_window = window;
+        self
+    }
+
+    /// Sets (or clears) the global memory budget in bytes.
+    pub fn memory_budget(mut self, budget: Option<usize>) -> Self {
+        self.config.memory_budget = budget;
+        self
+    }
+
+    /// Sets the poisoned-layer recovery policy.
+    pub fn recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.config.recovery = recovery;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ServeConfigError`] the configuration violates.
+    pub fn build(self) -> Result<ServeConfig, ServeConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        let c = ServeConfig::default();
+        c.validate().unwrap();
+        assert!(c.queue_capacity > 0);
+        assert!(c.batch_window > 0);
+        assert_eq!(c.memory_budget, None);
+        assert_eq!(c.recovery, RecoveryPolicy::Immediate);
+    }
+
+    #[test]
+    fn builder_round_trips_and_validates() {
+        let c = ServeConfig::builder()
+            .queue_capacity(3)
+            .batch_window(2)
+            .memory_budget(Some(4096))
+            .recovery(RecoveryPolicy::Manual)
+            .build()
+            .unwrap();
+        assert_eq!(c.queue_capacity, 3);
+        assert_eq!(c.batch_window, 2);
+        assert_eq!(c.memory_budget, Some(4096));
+        assert_eq!(c.recovery, RecoveryPolicy::Manual);
+
+        assert_eq!(
+            ServeConfig::builder()
+                .queue_capacity(0)
+                .build()
+                .unwrap_err(),
+            ServeConfigError::ZeroQueueCapacity
+        );
+        assert_eq!(
+            ServeConfig::builder().batch_window(0).build().unwrap_err(),
+            ServeConfigError::ZeroBatchWindow
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            ServeConfigError::ZeroQueueCapacity,
+            ServeConfigError::ZeroBatchWindow,
+            ServeConfigError::ZeroEpochInterval,
+        ] {
+            assert!(!e.to_string().is_empty());
+            assert!(std::error::Error::source(&e).is_none());
+        }
+    }
+}

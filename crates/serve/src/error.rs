@@ -1,0 +1,105 @@
+//! The typed error surface of the serving tier.
+
+use crate::config::ServeConfigError;
+use crate::server::TenantId;
+use mercury_core::MercuryError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for [`Server`](crate::Server) operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The server or a tenant policy was misconfigured.
+    Config(ServeConfigError),
+    /// A tenant name was already registered; names are the stable
+    /// operator-facing handle, so silently shadowing one would misroute
+    /// traffic.
+    DuplicateTenant(String),
+    /// A call referenced a tenant id this server never issued (wrong
+    /// server, or out of range).
+    UnknownTenant(TenantId),
+    /// Admission control refused the request: the tenant's bounded
+    /// ingress queue is at capacity. Typed backpressure — the caller
+    /// decides whether to retry, shed, or slow down; the server never
+    /// grows the queue to absorb the overload.
+    QueueFull {
+        /// The tenant whose queue is full.
+        tenant: TenantId,
+        /// The configured queue capacity it is at.
+        capacity: usize,
+    },
+    /// An underlying session operation failed (unknown layer, rejected
+    /// input, poisoned layer, ...).
+    Session(MercuryError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Config(e) => write!(f, "invalid serve configuration: {e}"),
+            ServeError::DuplicateTenant(name) => {
+                write!(f, "tenant name {name:?} is already registered")
+            }
+            ServeError::UnknownTenant(id) => write!(f, "unknown tenant {id}"),
+            ServeError::QueueFull { tenant, capacity } => {
+                write!(
+                    f,
+                    "ingress queue for {tenant} is full (capacity {capacity}); \
+                     request rejected for backpressure"
+                )
+            }
+            ServeError::Session(e) => write!(f, "session error: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Config(e) => Some(e),
+            ServeError::Session(e) => Some(e),
+            ServeError::DuplicateTenant(_)
+            | ServeError::UnknownTenant(_)
+            | ServeError::QueueFull { .. } => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<ServeConfigError> for ServeError {
+    fn from(e: ServeConfigError) -> Self {
+        ServeError::Config(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<MercuryError> for ServeError {
+    fn from(e: MercuryError) -> Self {
+        ServeError::Session(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        let e = ServeError::from(ServeConfigError::ZeroBatchWindow);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("configuration"));
+
+        let mut session =
+            mercury_core::MercurySession::new(mercury_core::MercuryConfig::default(), 1).unwrap();
+        let layer = session.register_attention().unwrap();
+        let s = ServeError::from(MercuryError::NoParameters(layer));
+        assert!(s.source().is_some());
+        assert!(s.to_string().contains("session error"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeError>();
+    }
+}

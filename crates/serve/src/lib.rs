@@ -1,0 +1,80 @@
+//! `mercury-serve` — a multi-tenant session service over MERCURY's
+//! persistent reuse sessions.
+//!
+//! The paper's §V banked MCACHEs make a trained-up session a *stateful
+//! asset*: its caches embody the input similarity the layer has already
+//! paid to discover. This crate turns many such assets into a service.
+//! A [`Server`] owns named tenant [`MercurySession`]s that all schedule
+//! on **one** shared worker pool (the executor is resolved once and
+//! cloned into every session; clones share the pool), fed by a bounded
+//! per-tenant ingress queue whose batching window coalesces requests
+//! into `submit_batch` calls while preserving per-tenant FIFO order.
+//!
+//! Four mechanisms ride on that spine:
+//!
+//! * **Admission control** — bounded queues answer overload with a
+//!   typed [`ServeError::QueueFull`] instead of growing without bound.
+//! * **Epoch policy** — each tenant picks when its session's epoch
+//!   advances ([`EpochPolicy`]): every `n` requests (with the batching
+//!   window capped so the boundary lands exactly on the `n`-th), by
+//!   explicit lever, or never.
+//! * **Fault containment** — a poisoned tenant layer answers its own
+//!   requests with typed errors while every other tenant serves
+//!   bit-identically; under [`RecoveryPolicy::Immediate`] the server
+//!   auto-quarantines and re-enters the layer through warm-up.
+//! * **Memory budget** — a global cap on the summed
+//!   [`bank_bytes`](MercurySession::bank_bytes), enforced after every
+//!   tick by flash-clearing idle tenants' banks (second-chance LRU over
+//!   sessions, keyed by last-served tick).
+//!
+//! The load-bearing invariant, pinned by `tests/serve_streaming.rs`:
+//! interleaving tenants on a shared pool changes *throughput*, never
+//! *answers* — each tenant's completion stream is bit-identical to a
+//! dedicated single-tenant session replaying its admission order, at
+//! any pool width.
+//!
+//! # Example
+//!
+//! ```
+//! use mercury_core::MercuryConfig;
+//! use mercury_serve::{EpochPolicy, ServeConfig, Server};
+//! use mercury_tensor::{rng::Rng, Tensor};
+//!
+//! let config = ServeConfig::builder()
+//!     .queue_capacity(16)
+//!     .batch_window(4)
+//!     .build()
+//!     .unwrap();
+//! let mut server = Server::new(config).unwrap();
+//!
+//! let tenant = server
+//!     .register_tenant("vision", MercuryConfig::default(), 42, EpochPolicy::Never)
+//!     .unwrap();
+//! let mut rng = Rng::new(42);
+//! let layer = server
+//!     .register_fc(tenant, Tensor::randn(&[8, 4], &mut rng))
+//!     .unwrap();
+//!
+//! let id = server
+//!     .enqueue(tenant, layer, Tensor::randn(&[2, 8], &mut rng))
+//!     .unwrap();
+//! let report = server.tick();
+//! assert_eq!(report.completions[0].id, id);
+//! assert!(report.completions[0].result.is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+mod budget;
+mod config;
+mod error;
+mod server;
+
+pub use budget::Eviction;
+pub use config::{EpochPolicy, RecoveryPolicy, ServeConfig, ServeConfigBuilder, ServeConfigError};
+pub use error::ServeError;
+pub use server::{Completion, RequestId, Server, TenantId, TickReport};
+
+// Re-exported so downstream code can name the session types the server
+// hands back without a separate `mercury-core` dependency line.
+pub use mercury_core::{LayerForward, LayerId, MercuryConfig, MercuryError, MercurySession};

@@ -17,9 +17,14 @@
 //! * [`sequences`] — token-sequence classification data for the
 //!   transformer experiments, with repeated prototype tokens providing
 //!   attention-level similarity.
+//! * [`tenants`] — per-tenant request streams for the `mercury-serve`
+//!   load generator: every tenant owns private prototype clusters under
+//!   a Zipf-like popularity skew, and streams are deterministic per
+//!   `(seed, tenant)` pair.
 
 #![warn(missing_docs)]
 
 pub mod images;
 pub mod sequences;
 pub mod stream;
+pub mod tenants;

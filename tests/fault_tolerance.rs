@@ -341,6 +341,61 @@ fn partial_batch_panic_poisons_only_involved_layers() {
 }
 
 #[test]
+fn lowest_position_error_wins_when_two_layers_fail_in_one_batch() {
+    // Two layers fail inside a single submit_batch — one by injected
+    // panic (conv, the batch's only ChannelShard emitter, so the ordinal
+    // is deterministic under any schedule), one by input validation (fc
+    // with the wrong inner dimension, side-effect-free). Whatever order
+    // the pool runs them in, the *returned* error must be the
+    // lowest-positioned failing request's — both ways round.
+    let bad_rows = Tensor::randn(&[3, 5], &mut Rng::new(80)); // fc wants [n, 8]
+    for kind in EXECUTORS {
+        // Ordering 1: the fc validation failure sits at position 0, the
+        // conv panic at position 1 → ShapeMismatch wins.
+        let mut r = rig(kind, 80);
+        let h = harness();
+        h.arm(FaultSpec::panic_at(FaultSite::ChannelShard, 1));
+        let att_in = seq(81);
+        let err = r
+            .session
+            .submit_batch(&[(r.fc, &bad_rows), (r.conv, &img()), (r.att, &att_in)])
+            .unwrap_err();
+        assert!(
+            matches!(&err, MercuryError::ShapeMismatch { layer, .. } if *layer == r.fc),
+            "{kind:?}: position 0's validation error must win, got {err}"
+        );
+        // Both failures really happened: the higher-positioned panic
+        // still fired and poisoned the conv, and the bystander served.
+        assert_eq!(h.fired().len(), 1, "{kind:?}");
+        assert_eq!(r.session.layer_health(r.conv), Some(LayerHealth::Poisoned));
+        assert_eq!(
+            r.session.layer_health(r.fc),
+            Some(LayerHealth::Healthy),
+            "{kind:?}: validation failures never poison"
+        );
+        assert_eq!(r.session.layer_submits(r.att), Some(1), "{kind:?}");
+        drop(h);
+
+        // Ordering 2: the conv panic sits at position 0, the fc
+        // validation failure at position 2 → the panic wins.
+        let mut r = rig(kind, 80);
+        let h = harness();
+        h.arm(FaultSpec::panic_at(FaultSite::ChannelShard, 1));
+        let err = r
+            .session
+            .submit_batch(&[(r.conv, &img()), (r.att, &att_in), (r.fc, &bad_rows)])
+            .unwrap_err();
+        assert!(
+            matches!(&err, MercuryError::EnginePanic { layer, .. } if *layer == r.conv),
+            "{kind:?}: position 0's panic must win, got {err}"
+        );
+        assert_eq!(h.fired().len(), 1, "{kind:?}");
+        assert_eq!(r.session.layer_health(r.conv), Some(LayerHealth::Poisoned));
+        assert_eq!(r.session.layer_submits(r.att), Some(1), "{kind:?}");
+    }
+}
+
+#[test]
 fn seeded_faults_reproduce_and_recovery_is_exact() {
     // A seeded chaos run is pinned by its seed alone: the same seed arms
     // the same ordinal, fails the same request, and recovers to the same
