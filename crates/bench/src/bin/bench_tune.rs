@@ -1,0 +1,258 @@
+//! Host calibration pass for the executor's dispatch tuning.
+//!
+//! Four microbench sweeps measure, on *this* machine, the quantities the
+//! `DispatchTuning` knobs encode, and the result is written as a
+//! versioned [`TuneProfile`] JSON that `MERCURY_TUNE_PROFILE` feeds back
+//! into every executor in the workspace:
+//!
+//! 1. **dispatch crossover** — synthetic FLOP regions run serial vs
+//!    always-dispatch pooled; the smallest total work where waking the
+//!    pool beats running inline becomes `dispatch_min_work`.
+//! 2. **probe cost** — a serial banked-MCACHE probe stream is timed
+//!    against the FLOP cost from sweep 1; their ratio (ns per probe over
+//!    ns per FLOP) becomes `probe_work_units`.
+//! 3. **probe fan-out crossover** — banked probe batches of growing
+//!    stream length run serial vs forced-parallel; the smallest length
+//!    where fan-out wins becomes `parallel_probe_min`.
+//! 4. **pool width** — a blocked GEMM runs at every pool width up to the
+//!    core count; the smallest width within 5% of the best wall-clock
+//!    becomes `max_pool_width` (wider pools that stop scaling only add
+//!    wakeup latency to every region).
+//!
+//! Every point is the **minimum of `REPS` timed runs** (the standard
+//! microbenchmark noise filter), and the raw sweep curves are embedded in
+//! the profile's `curves` map so a surprising knob can be audited from
+//! the artifact alone. Prints TSV; usage:
+//! `bench_tune [output-path]` (default `TUNE_PROFILE.json`).
+
+use mercury_bench::{f3, tsv_header};
+use mercury_core::calibrate::{spread_signatures, ProbeBench};
+use mercury_mcache::MCacheConfig;
+use mercury_tensor::exec::Executor;
+use mercury_tensor::ops;
+use mercury_tensor::rng::Rng;
+use mercury_tensor::tune::{DispatchTuning, TuneCurve, TuneProfile};
+use mercury_tensor::Tensor;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Timed runs per sweep point; each point reports the minimum.
+const REPS: usize = 5;
+/// Signature length of the calibration probe streams (the paper's
+/// starting RPQ length).
+const SIG_BITS: usize = 20;
+/// Clamp band for the measured per-probe cost in FLOP-units: outside
+/// this band the measurement is noise (a probe is never cheaper than a
+/// few FLOPs, and never costs more than a small GEMM).
+const PROBE_UNITS_BAND: (usize, usize) = (8, 4096);
+
+/// Minimum wall-clock of `reps` runs of `f`, in nanoseconds.
+fn min_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+/// One synthetic parallel region: `items` independent chains of
+/// `flops_per_item` fused multiply-adds (2 FLOPs each). The plain
+/// `map_indexed` always dispatches on a parallel backend, so the pooled
+/// leg pays the real wakeup + handoff cost at every size.
+fn flop_region(exec: &Executor, items: usize, flops_per_item: usize) -> f32 {
+    let iters = (flops_per_item / 2).max(1);
+    exec.map_indexed(items, |i| {
+        let mut acc = i as f32 * 1e-6;
+        for _ in 0..iters {
+            acc = acc * 0.999_999_4 + 1e-7;
+        }
+        acc
+    })
+    .iter()
+    .sum()
+}
+
+struct DispatchSweep {
+    dispatch_min_work: usize,
+    /// Serial cost of one FLOP at the largest sweep point, for sweep 2.
+    flop_ns: f64,
+    curve: TuneCurve,
+}
+
+/// Sweep 1: serial vs always-dispatch pooled over growing region sizes.
+fn sweep_dispatch(serial: &Executor, pooled: &Executor) -> DispatchSweep {
+    let items = pooled.threads().max(2);
+    let mut curve = TuneCurve::new();
+    let mut crossover = None;
+    let mut flop_ns = f64::NAN;
+    let mut per_item = 512usize;
+    while per_item <= 1 << 17 {
+        let total = items * per_item;
+        let t_serial = min_ns(REPS, || {
+            black_box(flop_region(serial, items, per_item));
+        });
+        let t_pooled = min_ns(REPS, || {
+            black_box(flop_region(pooled, items, per_item));
+        });
+        let ratio = t_pooled / t_serial;
+        curve.push((total as f64, ratio));
+        if ratio <= 1.0 && crossover.is_none() {
+            crossover = Some(total);
+        }
+        flop_ns = t_serial / total as f64;
+        per_item *= 2;
+    }
+    DispatchSweep {
+        // A pool that never won keeps the threshold at the top of the
+        // sweep: dispatch stays possible for bigger regions than we
+        // measured, but nothing measured here will wake the workers.
+        dispatch_min_work: crossover.unwrap_or(items * (1 << 17)),
+        flop_ns,
+        curve,
+    }
+}
+
+/// Sweep 2: serial per-probe cost, expressed in FLOP units.
+fn sweep_probe_units(flop_ns: f64) -> (usize, TuneCurve) {
+    let cfg = MCacheConfig::new(64, 2, 1).expect("static geometry");
+    let mut bench = ProbeBench::new(cfg, 4).expect("64 sets split 4 banks");
+    let sigs = spread_signatures(4096, SIG_BITS);
+    let serial = Executor::serial();
+    let probe_ns = min_ns(REPS, || {
+        bench.reset();
+        black_box(bench.probe_batch(&sigs, &serial));
+    }) / sigs.len() as f64;
+    let units = (probe_ns / flop_ns).round() as usize;
+    let clamped = units.clamp(PROBE_UNITS_BAND.0, PROBE_UNITS_BAND.1);
+    (clamped, vec![(probe_ns, flop_ns)])
+}
+
+/// Sweep 3: serial vs forced-parallel banked probing over stream length.
+fn sweep_probe_fanout(serial: &Executor, forced: &Executor) -> (usize, TuneCurve) {
+    let cfg = MCacheConfig::new(64, 2, 1).expect("static geometry");
+    let mut serial_bench = ProbeBench::new(cfg, 4).expect("64 sets split 4 banks");
+    let mut pooled_bench = ProbeBench::new(cfg, 4).expect("64 sets split 4 banks");
+    let mut curve = TuneCurve::new();
+    let mut crossover = None;
+    let mut len = 16usize;
+    while len <= 4096 {
+        let sigs = spread_signatures(len, SIG_BITS);
+        let t_serial = min_ns(REPS, || {
+            serial_bench.reset();
+            black_box(serial_bench.probe_batch(&sigs, serial));
+        });
+        let t_pooled = min_ns(REPS, || {
+            pooled_bench.reset();
+            black_box(pooled_bench.probe_batch(&sigs, forced));
+        });
+        let ratio = t_pooled / t_serial;
+        curve.push((len as f64, ratio));
+        if ratio <= 1.0 && crossover.is_none() {
+            crossover = Some(len);
+        }
+        len *= 2;
+    }
+    (crossover.unwrap_or(4096), curve)
+}
+
+/// Sweep 4: blocked GEMM wall-clock at every pool width up to the core
+/// count; smallest width within 5% of the best wins.
+fn sweep_pool_width(cores: usize, base: DispatchTuning) -> (usize, TuneCurve) {
+    let mut rng = Rng::new(0x70_4E);
+    let a = Tensor::randn(&[192, 128], &mut rng);
+    let b = Tensor::randn(&[128, 160], &mut rng);
+    let mut curve = TuneCurve::new();
+    let mut times = Vec::new();
+    for width in 1..=cores {
+        let exec = Executor::threaded_tuned(width, base);
+        let t = min_ns(REPS.min(3), || {
+            black_box(ops::matmul_blocked_on(&exec, &a, &b).expect("static shapes"));
+        });
+        curve.push((width as f64, t));
+        times.push((width, t));
+    }
+    let best = times.iter().map(|&(_, t)| t).fold(f64::INFINITY, f64::min);
+    let width = times
+        .iter()
+        .find(|&&(_, t)| t <= best * 1.05)
+        .map(|&(w, _)| w)
+        .unwrap_or(1);
+    (width, curve)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "TUNE_PROFILE.json".to_string());
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Both "forced" executors dispatch everything: a 1-work-unit floor
+    // and a 1-signature fan-out cutoff, so the sweeps measure the true
+    // cost of waking the pool at every point instead of the gate's
+    // opinion of it.
+    let forced = DispatchTuning {
+        dispatch_min_work: 1,
+        parallel_probe_min: 1,
+        ..DispatchTuning::default()
+    };
+    let serial = Executor::serial();
+    let pooled = Executor::threaded_tuned(0, forced);
+
+    tsv_header(&["knob", "value", "source"]);
+    println!("cores\t{cores}\tavailable_parallelism");
+
+    let dispatch = sweep_dispatch(&serial, &pooled);
+    println!(
+        "dispatch_min_work\t{}\tcrossover of {} sweep points",
+        dispatch.dispatch_min_work,
+        dispatch.curve.len()
+    );
+
+    let (probe_units, probe_curve) = sweep_probe_units(dispatch.flop_ns);
+    println!(
+        "probe_work_units\t{probe_units}\tprobe_ns/flop_ns = {}/{}",
+        f3(probe_curve[0].0),
+        f3(probe_curve[0].1)
+    );
+
+    let (fanout_min, fanout_curve) = sweep_probe_fanout(&serial, &pooled);
+    println!(
+        "parallel_probe_min\t{fanout_min}\tcrossover of {} sweep points",
+        fanout_curve.len()
+    );
+
+    let (width, width_curve) = sweep_pool_width(cores, forced);
+    println!("max_pool_width\t{width}\tsmallest width within 5% of best");
+
+    let mut curves: BTreeMap<String, TuneCurve> = BTreeMap::new();
+    curves.insert("dispatch/pooled_over_serial".into(), dispatch.curve);
+    curves.insert("probe/ns_per_probe_vs_flop".into(), probe_curve);
+    curves.insert("probe_fanout/pooled_over_serial".into(), fanout_curve);
+    curves.insert("pool_width/gemm_ns".into(), width_curve);
+    let profile = TuneProfile {
+        cores: Some(cores),
+        dispatch_min_work: Some(dispatch.dispatch_min_work),
+        probe_work_units: Some(probe_units),
+        parallel_probe_min: Some(fanout_min),
+        max_pool_width: Some(width),
+        curves,
+    };
+    // The profile must survive the loader's own validation — a
+    // calibration artifact the executors reject is worse than none.
+    profile
+        .overlay(DispatchTuning::default())
+        .validate()
+        .expect("calibrated knobs are positive");
+    match profile.save(&out_path) {
+        Ok(()) => eprintln!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

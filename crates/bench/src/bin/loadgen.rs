@@ -45,6 +45,7 @@ struct LegReport {
     recorder: LatencyRecorder,
     evictions: u64,
     hit_rate: f64,
+    pool: Option<mercury_tensor::exec::PoolStats>,
 }
 
 /// Runs one serving leg: every tenant's stream is admitted in
@@ -130,6 +131,7 @@ fn run_leg(tenants: usize, requests: usize, budget: Option<usize>) -> LegReport 
         } else {
             hits as f64 / lookups as f64
         },
+        pool: server.pool_stats(),
     }
 }
 
@@ -150,6 +152,20 @@ fn tight_budget(tenants: usize, requests: usize) -> usize {
     (session.bank_bytes().max(1) * 2).min(usize::MAX / tenants.max(1))
 }
 
+/// Prints one leg's pool dispatch counters: how many parallel regions
+/// woke the shared pool vs ran inline under the resolved tuning (a
+/// throughput number without these is unexplainable after the fact).
+fn print_pool(leg: &str, pool: Option<&mercury_tensor::exec::PoolStats>) {
+    match pool {
+        Some(p) => {
+            println!("{leg}\tpool_threads\t{}", p.threads);
+            println!("{leg}\tregions_dispatched\t{}", p.regions_dispatched);
+            println!("{leg}\tregions_inlined\t{}", p.regions_inlined);
+        }
+        None => println!("{leg}\tpool_threads\t0"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let tenants: usize = args.get(1).map_or(6, |a| a.parse().expect("tenant count"));
@@ -168,6 +184,7 @@ fn main() {
     println!("open\tp99_ns\t{}", summary.p99_ns);
     println!("open\thit_rate\t{}", f3(open.hit_rate));
     println!("open\tevictions\t{}", open.evictions);
+    print_pool("open", open.pool.as_ref());
     assert_eq!(open.evictions, 0, "no budget, no evictions");
     entries.insert(
         "serve_loadgen/throughput_rps".into(),
@@ -185,6 +202,7 @@ fn main() {
     println!("tight\tp50_ns\t{}", tight_summary.p50_ns);
     println!("tight\thit_rate\t{}", f3(tight.hit_rate));
     println!("tight\tevictions\t{}", tight.evictions);
+    print_pool("tight", tight.pool.as_ref());
     assert!(
         tight.evictions > 0,
         "a budget below the working set must evict"

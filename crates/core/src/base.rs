@@ -76,15 +76,6 @@ macro_rules! reuse_engine_lifecycle {
 }
 pub(crate) use reuse_engine_lifecycle;
 
-/// Below this many probes per batch, partitioning by bank costs more
-/// than it saves; [`EngineCache::probe_insert_batch`] stays serial.
-pub(crate) const PARALLEL_PROBE_MIN: usize = 64;
-
-/// Rough cost of one MCACHE probe in the executor's work units (~scalar
-/// FLOPs): a hash, a set scan, and an insert. Feeds the pooled backend's
-/// work-size heuristic so short probe streams never wake pool workers.
-pub(crate) const PROBE_WORK_UNITS: usize = 64;
-
 /// The dispatch work hint for one dense product of `rows` vectors of
 /// length `len` against `cols` outputs: `2 · rows · len · cols` scalar
 /// FLOPs, with saturating multiplies — hint arithmetic on overflow-shaped
@@ -99,9 +90,18 @@ pub(crate) fn dense_work(rows: usize, len: usize, cols: usize) -> usize {
 
 /// The dispatch work hint for one conv channel under the reuse engine:
 /// the `[f, plen] × [plen, patches_n]` GEMM plus one cache probe per
-/// patch. Saturating throughout, like [`dense_work`].
-pub(crate) fn conv_channel_work(f: usize, plen: usize, patches_n: usize) -> usize {
-    dense_work(f, plen, patches_n).saturating_add(PROBE_WORK_UNITS.saturating_mul(patches_n))
+/// patch, where `probe_work_units` is the executor's calibrated per-probe
+/// cost ([`DispatchTuning::probe_work_units`] — the historical constant
+/// before autotuning landed). Saturating throughout, like [`dense_work`].
+///
+/// [`DispatchTuning::probe_work_units`]: mercury_tensor::tune::DispatchTuning::probe_work_units
+pub(crate) fn conv_channel_work(
+    f: usize,
+    plen: usize,
+    patches_n: usize,
+    probe_work_units: usize,
+) -> usize {
+    dense_work(f, plen, patches_n).saturating_add(probe_work_units.saturating_mul(patches_n))
 }
 
 /// The single owner of the bank-split constraint: `banks` must be
@@ -185,8 +185,9 @@ impl EngineCache {
     /// stream serially — only the wall-clock changes.
     ///
     /// Parallelism only pays when each bank gets a meaningful run of
-    /// probes; below [`PARALLEL_PROBE_MIN`] signatures the serial loop
-    /// wins and is used regardless of the executor.
+    /// probes; below the executor's calibrated `parallel_probe_min`
+    /// signatures the serial loop wins and is used regardless of the
+    /// backend.
     pub fn probe_insert_batch(
         &mut self,
         sigs: &[Signature],
@@ -216,7 +217,8 @@ impl EngineCache {
         } = self
         {
             let num_banks = banks.num_banks();
-            if exec.is_parallel() && num_banks > 1 && sigs.len() >= PARALLEL_PROBE_MIN {
+            let tuning = exec.tuning();
+            if exec.is_parallel() && num_banks > 1 && sigs.len() >= tuning.parallel_probe_min {
                 let sets_per_bank = *sets_per_bank;
                 let mut per_bank: Vec<Vec<(u32, Signature)>> = vec![Vec::new(); num_banks];
                 for (i, &sig) in sigs.iter().enumerate() {
@@ -231,15 +233,17 @@ impl EngineCache {
                 );
                 let jobs: Vec<_> = banks.shards().into_iter().zip(per_bank).collect();
                 // Work-size hints: each bank job carries its *actual*
-                // probe count × the per-probe cost. A batch average would
-                // mis-size every job on skewed batches (similar inputs
-                // hash to few banks): the hot bank understated, workers
-                // woken for near-empty ones. With per-item hints, a batch
-                // whose probes all land in one bank runs inline — a
-                // second thread could not share that bank's shard.
+                // probe count × the executor's calibrated per-probe cost
+                // (the same units its dispatch gate compares against). A
+                // batch average would mis-size every job on skewed
+                // batches (similar inputs hash to few banks): the hot
+                // bank understated, workers woken for near-empty ones.
+                // With per-item hints, a batch whose probes all land in
+                // one bank runs inline — a second thread could not share
+                // that bank's shard.
                 let work: Vec<usize> = jobs
                     .iter()
-                    .map(|(_, probes)| probes.len().saturating_mul(PROBE_WORK_UNITS))
+                    .map(|(_, probes)| probes.len().saturating_mul(tuning.probe_work_units))
                     .collect();
                 let results = exec.map_owned_weighted(jobs, &work, |_, (mut shard, probes)| {
                     probes
@@ -571,8 +575,9 @@ mod tests {
     fn batched_probes_match_serial_probes_on_every_backend() {
         // The concurrent banked probe path must be indistinguishable from
         // the serial loop: same outcomes in stream order, same aggregate
-        // stats. The stream is long enough to cross PARALLEL_PROBE_MIN
-        // and repeats signatures so all three outcome kinds occur.
+        // stats. The stream is long enough to cross any committed
+        // parallel-probe cutoff and repeats signatures so all three
+        // outcome kinds occur.
         let cfg = MCacheConfig::new(8, 2, 1).unwrap();
         let sigs: Vec<Signature> = (0..200u128).map(|i| sig(i % 61)).collect();
 
@@ -659,13 +664,73 @@ mod tests {
         assert_eq!(dense_work(huge, huge, huge), usize::MAX);
         assert_eq!(dense_work(1, usize::MAX, 2), usize::MAX);
         assert_eq!(dense_work(1, 3, 4), 24);
-        assert_eq!(conv_channel_work(huge, huge, huge), usize::MAX);
-        // The probe-stream term saturates on its own too.
-        assert_eq!(conv_channel_work(0, 0, usize::MAX), usize::MAX);
+        assert_eq!(conv_channel_work(huge, huge, huge, 64), usize::MAX);
+        // The probe-stream term saturates on its own too, for any
+        // calibrated per-probe cost.
+        assert_eq!(conv_channel_work(0, 0, usize::MAX, 64), usize::MAX);
+        assert_eq!(conv_channel_work(0, 0, 2, usize::MAX), usize::MAX);
         assert_eq!(
-            conv_channel_work(2, 3, 5),
-            60 + PROBE_WORK_UNITS * 5,
+            conv_channel_work(2, 3, 5, 64),
+            60 + 64 * 5,
             "small shapes keep the exact FLOP count"
+        );
+    }
+
+    #[test]
+    fn tuned_probe_knobs_move_the_inline_dispatch_decision() {
+        // Regression for the hard-coded-consts era: the probe fan-out
+        // gate and the per-bank work hints must follow the executor's
+        // tuning, so a calibrated profile actually changes scheduling.
+        use mercury_tensor::tune::DispatchTuning;
+        let cfg = MCacheConfig::new(8, 2, 1).unwrap();
+        let spread: Vec<Signature> = (0..100u128).map(sig).collect();
+        let mut reference = EngineCache::banked(cfg, 4).unwrap();
+        let want = reference.probe_insert_batch(&spread, &Executor::serial());
+
+        // Probe-heavy tuning: each probe costs a huge number of work
+        // units, so even this short stream clears the dispatch floor.
+        let probe_heavy = DispatchTuning {
+            probe_work_units: 1 << 20,
+            parallel_probe_min: 2,
+            ..DispatchTuning::default()
+        };
+        let exec = Executor::threaded_tuned(4, probe_heavy);
+        let mut cache = EngineCache::banked(cfg, 4).unwrap();
+        assert_eq!(cache.probe_insert_batch(&spread, &exec), want);
+        assert_eq!(
+            exec.pool_stats().unwrap().regions_dispatched,
+            1,
+            "probe-heavy tuning dispatches the 100-probe stream"
+        );
+
+        // Probe-cheap tuning: probes are nearly free, so the identical
+        // stream stays under the floor and runs inline.
+        let probe_cheap = DispatchTuning {
+            probe_work_units: 1,
+            parallel_probe_min: 2,
+            ..DispatchTuning::default()
+        };
+        let exec = Executor::threaded_tuned(4, probe_cheap);
+        let mut cache = EngineCache::banked(cfg, 4).unwrap();
+        assert_eq!(cache.probe_insert_batch(&spread, &exec), want);
+        let stats = exec.pool_stats().unwrap();
+        assert_eq!(stats.regions_dispatched, 0, "cheap probes stay inline");
+        assert_eq!(stats.regions_inlined, 1);
+
+        // A raised cutoff keeps the stream off the fan-out path entirely
+        // (serial loop, no per-bank partitioning) whatever the hints say.
+        let high_cutoff = DispatchTuning {
+            probe_work_units: 1 << 20,
+            parallel_probe_min: 101,
+            ..DispatchTuning::default()
+        };
+        let exec = Executor::threaded_tuned(4, high_cutoff);
+        let mut cache = EngineCache::banked(cfg, 4).unwrap();
+        assert_eq!(cache.probe_insert_batch(&spread, &exec), want);
+        assert_eq!(
+            exec.pool_stats().unwrap().regions_dispatched,
+            0,
+            "under the cutoff the serial loop runs — no region at all"
         );
     }
 

@@ -1,0 +1,134 @@
+//! Calibration harness for the `bench_tune` binary.
+//!
+//! The banked probe fan-out (`EngineCache::probe_insert_batch` in
+//! `base`) is crate-private plumbing — engines reach it through their
+//! forward paths, and nothing outside the crate can drive it directly.
+//! `bench_tune` needs exactly that: probe a signature stream of a chosen
+//! length against a banked cache under a chosen [`Executor`] tuning, and
+//! time it. [`ProbeBench`] is the minimal public surface for that — a
+//! banked cache plus the batch-probe entry point, with a reusable outcome
+//! buffer so the measurement loop does not time allocator noise.
+//!
+//! # Examples
+//!
+//! ```
+//! use mercury_core::calibrate::{spread_signatures, ProbeBench};
+//! use mercury_tensor::exec::Executor;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = mercury_mcache::MCacheConfig::new(64, 2, 1)?;
+//! let mut bench = ProbeBench::new(config, 4)?;
+//! let sigs = spread_signatures(256, 20);
+//! let hits_cold = bench.probe_batch(&sigs, &Executor::serial());
+//! bench.reset();
+//! assert_eq!(bench.probe_batch(&sigs, &Executor::serial()), hits_cold);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::base::EngineCache;
+use crate::config::ConfigError;
+use mercury_mcache::{HitKind, MCacheConfig};
+use mercury_rpq::Signature;
+use mercury_tensor::exec::Executor;
+
+/// A signature stream that fans out across banks: consecutive small bit
+/// patterns hash to different homes, so an `n`-probe batch exercises the
+/// parallel per-bank shards rather than serializing on one. `bits` is the
+/// signature length (the paper's RPQ signatures start at 20 bits).
+pub fn spread_signatures(n: usize, bits: usize) -> Vec<Signature> {
+    (0..n)
+        .map(|i| Signature::from_bits(i as u128, bits))
+        .collect()
+}
+
+/// A standalone banked MCACHE plus the batch-probe hot path, exposed so
+/// `bench_tune` can measure probe cost and fan-out crossovers without
+/// standing up a whole engine. The probe semantics (bank homing, stream
+/// order, outcome accounting) are byte-for-byte the ones the engines use
+/// — this wraps the same `EngineCache`, it does not reimplement it.
+#[derive(Debug)]
+pub struct ProbeBench {
+    cache: EngineCache,
+    outcomes: Vec<mercury_mcache::AccessOutcome>,
+}
+
+impl ProbeBench {
+    /// A banked cache with the given total geometry, split across
+    /// `banks` banks.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] when the set count does not divide evenly across
+    /// the banks (each bank must keep at least one set).
+    pub fn new(config: MCacheConfig, banks: usize) -> Result<Self, ConfigError> {
+        Ok(ProbeBench {
+            cache: EngineCache::banked(config, banks)?,
+            outcomes: Vec::new(),
+        })
+    }
+
+    /// Probes the whole stream through the cache on `exec` (dispatching
+    /// per the executor's tuning, exactly as an engine forward would) and
+    /// returns how many probes hit — a value derived from every outcome,
+    /// so the work cannot be dead-code-eliminated out of a timing loop.
+    pub fn probe_batch(&mut self, sigs: &[Signature], exec: &Executor) -> usize {
+        self.cache
+            .probe_insert_batch_into(sigs, exec, &mut self.outcomes);
+        self.outcomes
+            .iter()
+            .filter(|o| o.kind == HitKind::Hit)
+            .count()
+    }
+
+    /// Empties the cache (keeping its geometry), so repeated timing reps
+    /// start from the identical cold state.
+    pub fn reset(&mut self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_bench_matches_engine_cache_semantics() {
+        let cfg = MCacheConfig::new(8, 2, 1).unwrap();
+        let mut bench = ProbeBench::new(cfg, 4).unwrap();
+        let sigs = spread_signatures(64, 20);
+        let serial = Executor::serial();
+        let cold = bench.probe_batch(&sigs, &serial);
+        // Second pass over the same stream: everything previously
+        // inserted now hits.
+        let warm = bench.probe_batch(&sigs, &serial);
+        assert!(warm > cold, "warm pass must hit more than cold");
+        bench.reset();
+        assert_eq!(
+            bench.probe_batch(&sigs, &serial),
+            cold,
+            "reset restores cold state"
+        );
+    }
+
+    #[test]
+    fn spread_stream_touches_every_bank_and_keeps_serial_outcomes() {
+        let sigs = spread_signatures(256, 20);
+        let cfg = MCacheConfig::new(8, 2, 1).unwrap();
+        let mut serial_bench = ProbeBench::new(cfg, 4).unwrap();
+        let want = serial_bench.probe_batch(&sigs, &Executor::serial());
+        let mut pooled = ProbeBench::new(cfg, 4).unwrap();
+        let got = pooled.probe_batch(&sigs, &Executor::threaded(4));
+        assert_eq!(got, want, "pooled probing is bit-identical to serial");
+    }
+
+    #[test]
+    fn bad_geometry_is_a_typed_error() {
+        let cfg = MCacheConfig::new(8, 2, 1).unwrap();
+        assert!(
+            ProbeBench::new(cfg, 3).is_err(),
+            "3 banks cannot split 8 sets"
+        );
+        assert!(ProbeBench::new(cfg, 0).is_err());
+    }
+}

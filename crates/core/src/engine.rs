@@ -9,6 +9,7 @@ use mercury_rpq::analysis::unique_signature_count;
 use mercury_rpq::{SignPlan, Signature, SignatureGenerator};
 use mercury_tensor::conv::{extract_patches_into, ConvGeometry};
 use mercury_tensor::exec::Executor;
+use mercury_tensor::scratch::ScratchF32;
 use mercury_tensor::{kernel, ops, Tensor, TensorError};
 
 /// The MERCURY convolution engine: similarity detection + computation
@@ -264,13 +265,15 @@ impl ConvEngine {
             // Workers probe their own scratch caches, so the engine's
             // `base.cache` is untouched on this path — its counters only
             // reflect serial-executor batch runs.
-            let inner = Executor::serial();
+            let inner = Executor::serial_tuned(exec.tuning());
             let ctx = &ctx;
             // Work-size hint per channel: the dense GEMM FLOPs plus
-            // the probe stream (saturating — large layers must not
-            // overflow the hint), so single tiny-image requests run
-            // inline instead of waking the pool.
-            let channel_work = crate::base::conv_channel_work(f, plen, patches_n);
+            // the probe stream at the executor's calibrated per-probe
+            // cost (saturating — large layers must not overflow the
+            // hint), so single tiny-image requests run inline instead
+            // of waking the pool.
+            let channel_work =
+                crate::base::conv_channel_work(f, plen, patches_n, exec.tuning().probe_work_units);
             exec.map_with_sized(
                 c,
                 channel_work,
@@ -450,13 +453,17 @@ struct ChannelCtx<'a> {
 /// submatrix in `[plen, rows]` (transposed) layout, its `[f, rows]` GEMM
 /// output, and per-cache-entry maps from entry to producer packed row /
 /// consumer group. A worker allocates these once and reuses them across
-/// every channel it claims.
+/// every channel it claims; the `f32` buffers draw from the per-thread
+/// [`ScratchF32`] arena, so a pool worker's *next* region recycles the
+/// same allocations instead of contending on the global allocator (the
+/// scratch is created and dropped inside the worker's runner closure, so
+/// take and return land on the same thread-local free list).
 #[derive(Default)]
 struct ConvScratch {
-    patch_buf: Vec<f32>,
-    filt_rows: Vec<f32>,
-    packed_t: Vec<f32>,
-    contrib_t: Vec<f32>,
+    patch_buf: ScratchF32,
+    filt_rows: ScratchF32,
+    packed_t: ScratchF32,
+    contrib_t: ScratchF32,
     probe_buf: Vec<AccessOutcome>,
     sig_words: Vec<u128>,
     entry_row: Vec<u32>,
@@ -548,7 +555,7 @@ fn conv_channel(
             patches_n,
         );
         if accumulate {
-            for (o, &x) in dest.iter_mut().zip(&scratch.contrib_t) {
+            for (o, &x) in dest.iter_mut().zip(scratch.contrib_t.iter()) {
                 *o += x;
             }
         } else {
@@ -680,7 +687,10 @@ fn conv_channel(
         // filter's write), and later passes re-clear before any group
         // read of their own.
         if accumulate {
-            for (o, &x) in dest[..f * patches_n].iter_mut().zip(&scratch.contrib_t) {
+            for (o, &x) in dest[..f * patches_n]
+                .iter_mut()
+                .zip(scratch.contrib_t.iter())
+            {
                 *o += x;
             }
         } else {

@@ -7,6 +7,7 @@ use mercury_accel::fc::{simulate_attention, simulate_fc, FcWork};
 use mercury_mcache::HitKind;
 use mercury_rpq::analysis::unique_signature_count;
 use mercury_rpq::Signature;
+use mercury_tensor::exec::Executor;
 use mercury_tensor::{ops, Tensor, TensorError};
 use std::collections::HashMap;
 
@@ -94,6 +95,43 @@ fn rows_reusable(saved: Option<&[Signature]>, n: usize, bits: usize) -> bool {
     saved
         .map(|sigs| sigs.len() == n && sigs.iter().all(|s| s.len() == bits))
         .unwrap_or(false)
+}
+
+/// Runs the producer rows of a row-sharded dense product: each index in
+/// `compute` (strictly increasing — it is built by filtering `0..n` in
+/// order) names one `width`-wide row of `out`, and `fill` computes that
+/// row in place. The rows are disjoint `&mut` chunks fanned out across
+/// the executor as owned items, so producer rows write straight into the
+/// output tensor — no per-row result buffers, no copy-back pass, and no
+/// allocator traffic on the pool workers. `row_work` is the per-row
+/// dispatch hint in the executor's (calibrated) work units; the dispatch
+/// decision is the same as the old collect-then-copy path made for the
+/// same `compute.len()` and hint. `fill` performs the identical
+/// per-element accumulation on either backend, so threaded output stays
+/// bit-identical to serial.
+fn producer_rows_into<F>(
+    exec: &Executor,
+    out: &mut [f32],
+    width: usize,
+    compute: &[usize],
+    row_work: usize,
+    fill: F,
+) where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if width == 0 {
+        return; // zero-width rows carry no values to compute
+    }
+    let mut rows: Vec<(usize, &mut [f32])> = Vec::with_capacity(compute.len());
+    let mut next = compute.iter().peekable();
+    for (i, chunk) in out.chunks_mut(width).enumerate() {
+        if next.peek().is_some_and(|&&c| c == i) {
+            next.next();
+            rows.push((i, chunk));
+        }
+    }
+    debug_assert_eq!(rows.len(), compute.len(), "every producer row resolved");
+    exec.map_owned_sized(rows, row_work, |_, (i, row)| fill(i, row));
 }
 
 /// The MERCURY engine for fully-connected layers (§III-C3): one PE per
@@ -218,13 +256,17 @@ impl FcEngine {
         let exec = self.base.exec.clone();
         let compute: Vec<usize> = (0..n).filter(|&i| plan.row_source[i] == i).collect();
         let (id, wd) = (inputs.data(), weights.data());
+        let od = output.data_mut();
         // Work-size hint: one producer row costs a [1, l] x [l, m] product
         // (saturating, so overflow-shaped layers can't wrap the hint).
-        let rows_out =
-            exec.map_indexed_sized(compute.len(), crate::base::dense_work(1, l, m), |ci| {
-                let i = compute[ci];
+        producer_rows_into(
+            &exec,
+            od,
+            m,
+            &compute,
+            crate::base::dense_work(1, l, m),
+            |i, out_row| {
                 let row = &id[i * l..(i + 1) * l];
-                let mut out_row = vec![0.0f32; m];
                 for (j, o) in out_row.iter_mut().enumerate() {
                     let mut acc = 0.0;
                     for (k, &x) in row.iter().enumerate() {
@@ -232,12 +274,8 @@ impl FcEngine {
                     }
                     *o = acc;
                 }
-                out_row
-            });
-        let od = output.data_mut();
-        for (ci, &i) in compute.iter().enumerate() {
-            od[i * m..(i + 1) * m].copy_from_slice(&rows_out[ci]);
-        }
+            },
+        );
         for i in 0..n {
             let src = plan.row_source[i];
             if src != i {
@@ -411,20 +449,20 @@ impl AttentionEngine {
         // W = X·Xᵀ with row reuse. Work-size hint: one producer row is t
         // k-element dots (saturating).
         let mut w = Tensor::zeros(&[t, t]);
-        let w_rows =
-            exec.map_indexed_sized(compute.len(), crate::base::dense_work(1, k, t), |ci| {
-                let i = compute[ci];
+        let wd = w.data_mut();
+        producer_rows_into(
+            &exec,
+            wd,
+            t,
+            &compute,
+            crate::base::dense_work(1, k, t),
+            |i, row| {
                 let xi = &xd[i * k..(i + 1) * k];
-                let mut row = vec![0.0f32; t];
                 for (j, o) in row.iter_mut().enumerate() {
                     *o = ops::dot(xi, &xd[j * k..(j + 1) * k]);
                 }
-                row
-            });
-        let wd = w.data_mut();
-        for (ci, &i) in compute.iter().enumerate() {
-            wd[i * t..(i + 1) * t].copy_from_slice(&w_rows[ci]);
-        }
+            },
+        );
         for (i, &src) in plan.row_source.iter().enumerate() {
             if src != i {
                 let row: Vec<f32> = wd[src * t..(src + 1) * t].to_vec();
@@ -435,10 +473,14 @@ impl AttentionEngine {
         // Y = W·X with the same row reuse (identical xᵢ ⇒ identical rows).
         let mut y = Tensor::zeros(&[t, k]);
         let wd = w.data();
-        let y_rows =
-            exec.map_indexed_sized(compute.len(), crate::base::dense_work(1, t, k), |ci| {
-                let i = compute[ci];
-                let mut row = vec![0.0f32; k];
+        let yd = y.data_mut();
+        producer_rows_into(
+            &exec,
+            yd,
+            k,
+            &compute,
+            crate::base::dense_work(1, t, k),
+            |i, row| {
                 for (j, o) in row.iter_mut().enumerate() {
                     let mut acc = 0.0;
                     for p in 0..t {
@@ -446,12 +488,8 @@ impl AttentionEngine {
                     }
                     *o = acc;
                 }
-                row
-            });
-        let yd = y.data_mut();
-        for (ci, &i) in compute.iter().enumerate() {
-            yd[i * k..(i + 1) * k].copy_from_slice(&y_rows[ci]);
-        }
+            },
+        );
         for (i, &src) in plan.row_source.iter().enumerate() {
             if src != i {
                 let row: Vec<f32> = yd[src * k..(src + 1) * k].to_vec();

@@ -60,6 +60,7 @@
 
 pub mod adapt;
 mod base;
+pub mod calibrate;
 mod config;
 mod engine;
 mod error;

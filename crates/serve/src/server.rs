@@ -141,15 +141,32 @@ impl Server {
     /// (wrapped in [`ServeError::Config`]).
     pub fn new(config: ServeConfig) -> Result<Self, ServeError> {
         config.validate()?;
+        let tuning = config
+            .tuning
+            .unwrap_or_else(mercury_tensor::tune::DispatchTuning::resolved);
         Ok(Server {
             config,
-            exec: Executor::from_kind(config.executor),
+            exec: Executor::from_kind_tuned(config.executor, tuning),
             token: SERVER_TOKENS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             tenants: Vec::new(),
             tick: 0,
             clock: SecondChance::default(),
             eviction_log: Vec::new(),
         })
+    }
+
+    /// Dispatch counters of the shared worker pool (`None` on the serial
+    /// backend): how many parallel regions actually woke the workers vs
+    /// ran inline under the resolved tuning. Loadgen prints these so pool
+    /// behaviour under a profile is observable, not inferred.
+    pub fn pool_stats(&self) -> Option<mercury_tensor::exec::PoolStats> {
+        self.exec.pool_stats()
+    }
+
+    /// The dispatch tuning the shared pool resolved at creation (either
+    /// the pinned [`ServeConfig::tuning`] or the process-wide profile).
+    pub fn tuning(&self) -> mercury_tensor::tune::DispatchTuning {
+        self.exec.tuning()
     }
 
     /// Resolves an id to this server's tenant slot, rejecting ids issued

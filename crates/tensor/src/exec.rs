@@ -38,9 +38,12 @@
 //! Three safeguards keep the pool cheap and deadlock-free:
 //!
 //! * **Inline short-circuit** — regions whose estimated total work is
-//!   below [`POOL_DISPATCH_MIN_WORK`] (as reported by the `*_sized`
-//!   scheduling variants), or with fewer than two items, run inline on
-//!   the calling thread without waking any worker.
+//!   below the executor's tuned dispatch threshold
+//!   ([`DispatchTuning::dispatch_min_work`], seeded by
+//!   [`POOL_DISPATCH_MIN_WORK`] and host-calibrated via
+//!   `MERCURY_TUNE_PROFILE` — see [`crate::tune`]), or with fewer than
+//!   two items, run inline on the calling thread without waking any
+//!   worker.
 //! * **Nested regions** — a thread that is already executing region
 //!   items (a pool worker, or the dispatching caller itself) runs any
 //!   inner parallel region inline instead of re-entering a pool, so an
@@ -68,7 +71,9 @@
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+use crate::tune::DispatchTuning;
 
 /// Which execution backend to build — the [`Copy`] configuration-level
 /// selector stored in `MercuryConfig` (and `ModelSimConfig`); resolve it
@@ -181,13 +186,30 @@ impl ExecutorKind {
     }
 }
 
-/// Below this much estimated total work (in abstract units of roughly one
-/// scalar FLOP — i.e. very roughly a nanosecond of scalar compute), a
-/// region dispatched through one of the `*_sized` scheduling variants
-/// runs inline on the calling thread instead of waking pool workers: the
+/// The historical (1-core-calibrated) dispatch threshold: below this much
+/// estimated total work (in abstract units of roughly one scalar FLOP —
+/// i.e. very roughly a nanosecond of scalar compute), a region dispatched
+/// through one of the `*_sized` scheduling variants runs inline on the
+/// calling thread instead of waking pool workers, because the
 /// wakeup/handoff cost (~µs) would exceed the parallel win. The plain
 /// variants assume chunky items and always dispatch.
+///
+/// Since the autotuning pass landed this constant is only the **default
+/// seed** for [`DispatchTuning::dispatch_min_work`] — the value an
+/// executor actually gates on is resolved per process (profile file →
+/// committed per-core defaults → this constant; see
+/// [`DispatchTuning::resolved`]) and readable via [`Executor::tuning`].
 pub const POOL_DISPATCH_MIN_WORK: usize = 32 * 1024;
+
+/// The process-wide resolved tuning, computed once at the first executor
+/// construction and reused for every later one: resolution can read a
+/// profile file (`MERCURY_TUNE_PROFILE`), and hot paths construct
+/// short-lived serial executors (e.g. per conv forward), so re-reading
+/// the file per construction would put I/O on the forward path.
+fn process_tuning() -> DispatchTuning {
+    static TUNING: OnceLock<DispatchTuning> = OnceLock::new();
+    *TUNING.get_or_init(DispatchTuning::resolved)
+}
 
 /// Snapshot of a pool's dispatch counters (see
 /// [`Executor::pool_stats`]) — the observability hook the
@@ -224,6 +246,11 @@ pub struct PoolStats {
 #[derive(Debug, Clone, Default)]
 pub struct Executor {
     backend: Backend,
+    /// The dispatch knob set this executor gates regions with, fixed at
+    /// construction. Clones carry the same values, so every engine a
+    /// session hands a clone to sizes its work hints in the same units
+    /// the dispatch gate compares against.
+    tuning: DispatchTuning,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -234,29 +261,53 @@ enum Backend {
 }
 
 impl Executor {
-    /// The serial backend.
+    /// The serial backend, with the process-resolved tuning (see
+    /// [`DispatchTuning::resolved`]).
     pub fn serial() -> Self {
+        Executor::serial_tuned(process_tuning())
+    }
+
+    /// The serial backend with explicit tuning. Serial scheduling itself
+    /// ignores the dispatch knobs, but engines still read
+    /// [`tuning`](Self::tuning) back for their work-hint units, so the
+    /// serial reference in an A/B comparison should carry the same
+    /// values as the pool it is compared against.
+    pub fn serial_tuned(tuning: DispatchTuning) -> Self {
         Executor {
             backend: Backend::Serial,
+            tuning,
         }
     }
 
     /// A threaded backend with an explicit worker count (`0` = auto-size,
-    /// `1` collapses to serial). The pool's threads are spawned lazily at
-    /// the first dispatched region, then parked between regions.
+    /// `1` collapses to serial) and the process-resolved tuning. The
+    /// pool's threads are spawned lazily at the first dispatched region,
+    /// then parked between regions.
     pub fn threaded(threads: usize) -> Self {
+        Executor::threaded_tuned(threads, process_tuning())
+    }
+
+    /// [`threaded`](Self::threaded) with explicit tuning. Auto-sizing
+    /// (`threads: 0`) resolves to the available parallelism **capped by
+    /// `tuning.max_pool_width`** — the widest pool that measured as
+    /// useful on this host; an *explicit* width is never capped
+    /// (determinism suites deliberately pin oversubscribed pools).
+    pub fn threaded_tuned(threads: usize, tuning: DispatchTuning) -> Self {
         let threads = if threads == 0 {
             std::thread::available_parallelism()
                 .map(|p| p.get())
                 .unwrap_or(1)
+                .min(tuning.max_pool_width)
+                .max(1)
         } else {
             threads
         };
         if threads <= 1 {
-            return Executor::serial();
+            return Executor::serial_tuned(tuning);
         }
         Executor {
             backend: Backend::Pool(Arc::new(pool::WorkerPool::new(threads))),
+            tuning,
         }
     }
 
@@ -264,10 +315,24 @@ impl Executor {
     /// Each call builds a *fresh* pool; owners that serve many requests
     /// should resolve once and clone the result (clones share the pool).
     pub fn from_kind(kind: ExecutorKind) -> Self {
+        Executor::from_kind_tuned(kind, process_tuning())
+    }
+
+    /// [`from_kind`](Self::from_kind) with explicit tuning, for owners
+    /// that resolve their own profile (e.g. `mercury-serve`'s config
+    /// override) or tests pinning a tuning point.
+    pub fn from_kind_tuned(kind: ExecutorKind, tuning: DispatchTuning) -> Self {
         match kind {
-            ExecutorKind::Serial => Executor::serial(),
-            ExecutorKind::Threaded { threads } => Executor::threaded(threads),
+            ExecutorKind::Serial => Executor::serial_tuned(tuning),
+            ExecutorKind::Threaded { threads } => Executor::threaded_tuned(threads, tuning),
         }
+    }
+
+    /// The dispatch tuning this executor was constructed with. Engines
+    /// use this to size their work hints (probe costs, channel hints) in
+    /// the same calibrated units the dispatch gate compares against.
+    pub fn tuning(&self) -> DispatchTuning {
+        self.tuning
     }
 
     /// Worker count (1 for the serial backend).
@@ -303,13 +368,13 @@ impl Executor {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
-        self.map_indexed_sized(n, POOL_DISPATCH_MIN_WORK, f)
+        self.map_indexed_sized(n, self.tuning.dispatch_min_work, f)
     }
 
     /// [`map_indexed`](Self::map_indexed) with an estimated per-item cost
-    /// (in [`POOL_DISPATCH_MIN_WORK`] units, roughly scalar FLOPs): the
-    /// pooled backend runs the region inline when `n * item_work` falls
-    /// below the dispatch threshold, so tiny regions never pay a worker
+    /// (in dispatch-threshold units, roughly scalar FLOPs): the pooled
+    /// backend runs the region inline when `n * item_work` falls below
+    /// the tuned dispatch threshold, so tiny regions never pay a worker
     /// wakeup.
     pub fn map_indexed_sized<R, F>(&self, n: usize, item_work: usize, f: F) -> Vec<R>
     where
@@ -346,7 +411,7 @@ impl Executor {
         I: Fn() -> S + Sync,
         F: Fn(usize, &mut S) -> R + Sync,
     {
-        self.map_with_sized(n, POOL_DISPATCH_MIN_WORK, init, f)
+        self.map_with_sized(n, self.tuning.dispatch_min_work, init, f)
     }
 
     /// [`map_with`](Self::map_with) with an estimated per-item cost (see
@@ -395,7 +460,7 @@ impl Executor {
         R: Send,
         F: Fn(usize, T) -> R + Sync,
     {
-        self.map_owned_sized(items, POOL_DISPATCH_MIN_WORK, f)
+        self.map_owned_sized(items, self.tuning.dispatch_min_work, f)
     }
 
     /// [`map_owned`](Self::map_owned) with an estimated per-item cost
@@ -438,7 +503,7 @@ impl Executor {
     /// only when at least **two** items carry nonzero work (a region with
     /// one hot item and the rest empty runs inline, however large the hot
     /// item — a second thread could not share its work) and the
-    /// saturating total crosses [`POOL_DISPATCH_MIN_WORK`]. Recruitment
+    /// saturating total crosses the tuned dispatch threshold. Recruitment
     /// is likewise capped by the busy-item count, not the item count.
     ///
     /// # Panics
@@ -480,16 +545,16 @@ impl Executor {
 
     /// The pool to dispatch a region of `n` items (each costing roughly
     /// `item_work` units) to, or `None` when the region should run inline:
-    /// serial backend, fewer than two items, estimated work below
-    /// [`POOL_DISPATCH_MIN_WORK`], or the calling thread is already
-    /// executing items of an outer region (nested regions run inline —
-    /// never deadlock, never oversubscribe).
+    /// serial backend, fewer than two items, estimated work below the
+    /// tuned `dispatch_min_work` threshold, or the calling thread is
+    /// already executing items of an outer region (nested regions run
+    /// inline — never deadlock, never oversubscribe).
     fn dispatch_pool(&self, n: usize, item_work: usize) -> Option<&pool::WorkerPool> {
         match &self.backend {
             Backend::Serial => None,
             Backend::Pool(pool) => {
                 if n >= 2
-                    && n.saturating_mul(item_work) >= POOL_DISPATCH_MIN_WORK
+                    && n.saturating_mul(item_work) >= self.tuning.dispatch_min_work
                     && !pool::in_region()
                 {
                     Some(pool)
@@ -515,7 +580,10 @@ impl Executor {
         match &self.backend {
             Backend::Serial => None,
             Backend::Pool(pool) => {
-                if n >= 2 && busy >= 2 && total_work >= POOL_DISPATCH_MIN_WORK && !pool::in_region()
+                if n >= 2
+                    && busy >= 2
+                    && total_work >= self.tuning.dispatch_min_work
+                    && !pool::in_region()
                 {
                     Some(pool)
                 } else {
@@ -1243,6 +1311,78 @@ mod tests {
         let stats = exec.pool_stats().unwrap();
         assert_eq!(stats.threads, 4, "no worker died");
         assert_eq!(stats.regions_panicked, 1, "the clean region added nothing");
+    }
+
+    #[test]
+    fn tuned_threshold_moves_the_dispatch_decision() {
+        // The same region shape flips between inline and pooled purely by
+        // the tuning it was constructed with — the contract a calibrated
+        // profile relies on.
+        let lax = DispatchTuning {
+            dispatch_min_work: 8,
+            ..DispatchTuning::default()
+        };
+        let exec = Executor::threaded_tuned(4, lax);
+        assert_eq!(exec.tuning(), lax);
+        assert_eq!(exec.map_indexed_sized(4, 2, |i| i), vec![0, 1, 2, 3]);
+        assert_eq!(
+            exec.pool_stats().unwrap().regions_dispatched,
+            1,
+            "8 units of declared work crossed the lax 8-unit threshold"
+        );
+
+        let strict = DispatchTuning {
+            dispatch_min_work: usize::MAX,
+            ..DispatchTuning::default()
+        };
+        let exec = Executor::threaded_tuned(4, strict);
+        // The default (untuned) executor dispatches this exact shape —
+        // see `tiny_sized_regions_short_circuit_inline`.
+        let out = exec.map_indexed_sized(4, POOL_DISPATCH_MIN_WORK, |i| i * 2);
+        assert_eq!(out, vec![0, 2, 4, 6]);
+        let stats = exec.pool_stats().unwrap();
+        assert_eq!(stats.regions_dispatched, 0, "strict threshold inlines it");
+        assert_eq!(stats.regions_inlined, 1);
+
+        // The weighted gate reads the same tuned threshold.
+        let exec = Executor::threaded_tuned(4, lax);
+        let out = exec.map_owned_weighted(vec![1, 2], &[4, 4], |_, v| v);
+        assert_eq!(out, vec![1, 2]);
+        assert_eq!(exec.pool_stats().unwrap().regions_dispatched, 1);
+    }
+
+    #[test]
+    fn auto_sizing_respects_the_tuned_width_cap() {
+        // A measured useful width caps auto-sizing…
+        let capped = DispatchTuning {
+            max_pool_width: 1,
+            ..DispatchTuning::default()
+        };
+        let exec = Executor::threaded_tuned(0, capped);
+        assert!(
+            !exec.is_parallel(),
+            "auto-size capped to width 1 collapses to serial"
+        );
+        // …but never a pinned width: determinism suites oversubscribe on
+        // purpose.
+        let exec = Executor::threaded_tuned(8, capped);
+        assert_eq!(exec.threads(), 8);
+        // Serial executors still carry their tuning for engines to read.
+        assert_eq!(Executor::serial_tuned(capped).tuning(), capped);
+    }
+
+    #[test]
+    fn plain_variants_still_always_dispatch_under_extreme_tuning() {
+        // The unsized primitives assume chunky items; even a profile with
+        // a saturating threshold must not flip them to inline (n ≥ 2
+        // times the threshold itself saturates back to the threshold).
+        let strict = DispatchTuning {
+            dispatch_min_work: usize::MAX,
+            ..DispatchTuning::default()
+        };
+        let exec = Executor::threaded_tuned(2, strict);
+        assert_eq!(exec.map_indexed(4, |i| i), vec![0, 1, 2, 3]);
+        assert_eq!(exec.pool_stats().unwrap().regions_dispatched, 1);
     }
 
     #[test]

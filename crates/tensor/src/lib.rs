@@ -14,8 +14,13 @@
 //!   sign quantization, tag scan) the hot loops dispatch through, each
 //!   pinned bit-identical to its scalar reference,
 //! * [`exec`] — the pluggable [`Executor`](exec::Executor) backend (serial
-//!   reference vs scoped thread pool) every parallel path in the workspace
-//!   schedules through, bit-identically,
+//!   reference vs persistent worker pool) every parallel path in the
+//!   workspace schedules through, bit-identically,
+//! * [`tune`] — the host-calibrated [`DispatchTuning`](tune::DispatchTuning)
+//!   knob set executors resolve at construction, and the versioned
+//!   `TuneProfile` JSON the `bench_tune` calibration pass emits,
+//! * [`scratch`] — per-thread recycling arenas for the hot paths' scratch
+//!   buffers, so pool workers stop hitting the global allocator once warm,
 //! * [`rng`] — a small deterministic RNG (SplitMix64 + Box–Muller) so every
 //!   experiment in the workspace is reproducible from a single `u64` seed.
 //!
@@ -42,7 +47,9 @@ pub mod exec;
 pub mod kernel;
 pub mod ops;
 pub mod rng;
+pub mod scratch;
 mod tensor;
+pub mod tune;
 
 pub use error::TensorError;
 pub use tensor::Tensor;

@@ -1,0 +1,68 @@
+//! Real-environment resolution of `MERCURY_TUNE_PROFILE`.
+//!
+//! The unit tests in `tune.rs` pin the *pure* precedence chain
+//! ([`DispatchTuning::resolve`]); this binary owns the actual process
+//! environment and pins that [`DispatchTuning::resolved`] honours it:
+//! profile file → committed per-core defaults → constants, per knob, and
+//! a bad profile fails loudly instead of silently falling back.
+//!
+//! Everything lives in ONE `#[test]` because the environment variable is
+//! process-global and the test harness runs functions concurrently.
+
+use mercury_tensor::tune::{DispatchTuning, TuneProfile};
+use std::collections::BTreeMap;
+
+#[test]
+fn env_profile_resolution_precedence_and_failure_modes() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("mercury_tune_{}.json", std::process::id()));
+    let path = path.to_str().expect("temp path is UTF-8").to_string();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let unset_baseline = DispatchTuning::resolve(None, cores);
+
+    // A partial profile: only the dispatch floor is calibrated. The
+    // other knobs must fall through to the committed/default base — per
+    // knob, not per layer.
+    let profile = TuneProfile {
+        cores: Some(cores),
+        dispatch_min_work: Some(777),
+        probe_work_units: None,
+        parallel_probe_min: None,
+        max_pool_width: Some(3),
+        curves: BTreeMap::new(),
+    };
+    profile.save(&path).expect("temp profile writes");
+
+    std::env::set_var("MERCURY_TUNE_PROFILE", &path);
+    let resolved = DispatchTuning::resolved();
+    assert_eq!(resolved.dispatch_min_work, 777, "profile knob wins");
+    assert_eq!(resolved.max_pool_width, 3, "profile knob wins");
+    assert_eq!(
+        resolved.probe_work_units, unset_baseline.probe_work_units,
+        "unset knob falls through to the no-profile base"
+    );
+    assert_eq!(
+        resolved.parallel_probe_min, unset_baseline.parallel_probe_min,
+        "unset knob falls through to the no-profile base"
+    );
+
+    // A corrupt profile must panic loudly (naming the path), never
+    // silently taint a calibrated run with fallback guesses.
+    std::fs::write(&path, "{\"version\": 1, \"dispatch_min_work\": 0}").unwrap();
+    let failure = std::panic::catch_unwind(DispatchTuning::resolved);
+    assert!(
+        failure.is_err(),
+        "zero knob in the profile must refuse to load"
+    );
+
+    std::fs::remove_file(&path).unwrap();
+    let missing = std::panic::catch_unwind(DispatchTuning::resolved);
+    assert!(
+        missing.is_err(),
+        "pointing at a missing file must fail loudly"
+    );
+
+    // With the variable cleared, resolution is the pure no-profile chain.
+    std::env::remove_var("MERCURY_TUNE_PROFILE");
+    assert_eq!(DispatchTuning::resolved(), unset_baseline);
+}

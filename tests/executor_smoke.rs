@@ -9,6 +9,7 @@
 //! matrix leg goes red instead of silently testing serial twice.
 
 use mercury_tensor::exec::{Executor, ExecutorKind};
+use mercury_tensor::tune::DispatchTuning;
 use std::collections::HashSet;
 use std::sync::Mutex;
 use std::time::Duration;
@@ -80,6 +81,67 @@ fn tiny_regions_take_the_inline_short_circuit() {
     let after = exec.pool_stats().unwrap();
     assert_eq!(after.regions_dispatched, before.regions_dispatched);
     assert_eq!(after.regions_inlined, before.regions_inlined + 1);
+}
+
+#[test]
+fn tuned_dispatch_floor_flips_the_same_region_between_inline_and_pool() {
+    // The autotuning contract from the outside: one identical region,
+    // two profiles, two scheduling outcomes — and the pool counters
+    // prove which path ran, so a calibrated profile's effect is
+    // observable rather than inferred from wall-clock.
+    let region = |exec: &Executor| {
+        let out = exec.map_indexed_sized(4, 1 << 10, |i| i * 7);
+        assert_eq!(out, vec![0, 7, 14, 21]);
+    };
+
+    let lax = Executor::threaded_tuned(
+        2,
+        DispatchTuning {
+            dispatch_min_work: 1,
+            ..DispatchTuning::default()
+        },
+    );
+    let before = lax.pool_stats().unwrap();
+    region(&lax);
+    let after = lax.pool_stats().unwrap();
+    assert_eq!(after.regions_dispatched, before.regions_dispatched + 1);
+    assert_eq!(after.regions_inlined, before.regions_inlined);
+
+    let strict = Executor::threaded_tuned(
+        2,
+        DispatchTuning {
+            dispatch_min_work: usize::MAX,
+            ..DispatchTuning::default()
+        },
+    );
+    let before = strict.pool_stats().unwrap();
+    region(&strict);
+    let after = strict.pool_stats().unwrap();
+    assert_eq!(after.regions_dispatched, before.regions_dispatched);
+    assert_eq!(after.regions_inlined, before.regions_inlined + 1);
+}
+
+#[test]
+fn width_cap_from_tuning_bounds_the_auto_sized_pool() {
+    // A profile's measured best width caps auto-sizing (threads = 0) but
+    // never an explicitly pinned width — the determinism suites
+    // deliberately oversubscribe 1-core machines.
+    let capped = Executor::threaded_tuned(
+        0,
+        DispatchTuning {
+            max_pool_width: 1,
+            ..DispatchTuning::default()
+        },
+    );
+    assert!(!capped.is_parallel(), "width cap 1 must collapse to serial");
+    let pinned = Executor::threaded_tuned(
+        8,
+        DispatchTuning {
+            max_pool_width: 1,
+            ..DispatchTuning::default()
+        },
+    );
+    assert_eq!(pinned.threads(), 8, "explicit widths are never capped");
 }
 
 #[test]

@@ -11,7 +11,9 @@ use mercury_core::{
     AttentionEngine, ConvEngine, ExecutorKind, FcEngine, LayerForward, LayerOp, MercuryConfig,
     MercurySession, ReuseEngine,
 };
+use mercury_tensor::exec::Executor;
 use mercury_tensor::rng::Rng;
+use mercury_tensor::tune::DispatchTuning;
 use mercury_tensor::Tensor;
 
 /// The pool widths every equivalence in this suite is checked at. Width 1
@@ -151,8 +153,14 @@ fn fc_and_attention_threaded_pools_match_serial() {
 /// interleaved submits (some via `submit_batch`), an epoch boundary,
 /// signature growth, and a weight update.
 fn session_stream(kind: ExecutorKind) -> Vec<LayerForward> {
+    session_stream_on(Executor::from_kind(kind))
+}
+
+/// [`session_stream`] on an explicit executor, so the tuning grid below
+/// can drive the identical stream through arbitrarily-tuned pools.
+fn session_stream_on(exec: Executor) -> Vec<LayerForward> {
     let mut rng = Rng::new(23);
-    let mut session = MercurySession::new(config(kind), 55).unwrap();
+    let mut session = MercurySession::new_on(config(ExecutorKind::Serial), 55, exec).unwrap();
     let conv = session
         .register_conv(Tensor::randn(&[4, 1, 3, 3], &mut rng), 1, 1)
         .unwrap();
@@ -259,6 +267,59 @@ fn nested_engine_regions_inside_submit_batch_match_serial_without_deadlock() {
         assert_eq!(got.len(), want.len());
         for (i, (g, w)) in got.iter().zip(&want).enumerate() {
             assert_same(g, w, &format!("nested pool={threads} submit={i}"));
+        }
+    }
+}
+
+#[test]
+fn extreme_dispatch_tunings_stay_bit_identical_across_pools() {
+    // The autotuning contract: `DispatchTuning` may only move *where*
+    // work runs (inline vs pool, fan-out vs serial loop), never *what*
+    // it computes. The grid pins the pathological corners a calibrated
+    // profile could reach — everything dispatched, nothing dispatched,
+    // and probe hints so skewed that scheduling decisions flip — at
+    // every pool width, against the untuned serial reference.
+    let grid = [
+        (
+            "always-dispatch",
+            DispatchTuning {
+                dispatch_min_work: 1,
+                probe_work_units: 1,
+                parallel_probe_min: 1,
+                ..DispatchTuning::default()
+            },
+        ),
+        (
+            "never-dispatch",
+            DispatchTuning {
+                dispatch_min_work: usize::MAX,
+                ..DispatchTuning::default()
+            },
+        ),
+        (
+            "probe-heavy",
+            DispatchTuning {
+                probe_work_units: 1 << 20,
+                parallel_probe_min: 2,
+                ..DispatchTuning::default()
+            },
+        ),
+    ];
+    let want = session_stream_on(Executor::serial());
+    for (name, tuning) in grid {
+        // The serial backend under the same tuning: tuning must be
+        // scheduling-only there too.
+        let got = session_stream_on(Executor::serial_tuned(tuning));
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_same(g, w, &format!("tuning={name} serial submit={i}"));
+        }
+        for threads in POOLS {
+            let got = session_stream_on(Executor::threaded_tuned(threads, tuning));
+            assert_eq!(got.len(), want.len());
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_same(g, w, &format!("tuning={name} pool={threads} submit={i}"));
+            }
         }
     }
 }
