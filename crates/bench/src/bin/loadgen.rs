@@ -3,12 +3,16 @@
 //! Drives N tenants × M requests of cluster-structured traffic
 //! ([`mercury_workloads::tenants::TenantMix`]) through one [`Server`] on
 //! the shared worker pool, measuring per-request latency from admission
-//! (`enqueue`) to completion and overall serving throughput. Two legs
-//! run: an *unconstrained* leg (no memory budget — the steady-state
-//! throughput/latency figure) and a *tight-budget* leg (budget pinned
-//! well below the working set, demonstrating the eviction machinery
-//! under pressure). Prints TSV and merges
-//! `serve_loadgen/{throughput_rps,p50_ns,p95_ns,p99_ns,...}` into
+//! to completion and overall serving throughput. Three legs run: an
+//! *unconstrained* embedding-mode leg (synchronous `enqueue`/`tick` —
+//! the steady-state throughput/latency figure), a *tight-budget* leg
+//! (budget pinned well below the working set, demonstrating the
+//! eviction machinery under pressure), and a *threaded-clients ingress*
+//! leg (the server on its own service thread, one submitting thread per
+//! tenant through cloned [`ServeClient`](mercury_serve::ServeClient)s,
+//! clocking the full submit → completion round trip). Prints TSV and
+//! merges `serve_loadgen/{throughput_rps,p50_ns,p95_ns,p99_ns,...}` and
+//! `serve_ingress/{p50,p95,p99}_submit_to_completion_ns` into
 //! `BENCH_RESULTS.json` (path overridable via `BENCH_RESULTS_PATH`),
 //! the same snapshot `cargo bench` accumulates — so `bench_diff` can
 //! compare serving percentiles across commits, and the multicore CI
@@ -20,12 +24,13 @@
 use mercury_bench::latency::LatencyRecorder;
 use mercury_bench::{f3, results, tsv_header};
 use mercury_core::MercuryConfig;
-use mercury_serve::{EpochPolicy, RequestId, ServeConfig, Server};
+use mercury_serve::{EpochPolicy, PacingPolicy, RequestId, ServeConfig, Server, Ticket};
 use mercury_tensor::rng::Rng;
 use mercury_tensor::Tensor;
 use mercury_workloads::tenants::TenantMix;
 use std::collections::BTreeMap;
 use std::collections::HashMap;
+use std::collections::VecDeque;
 use std::time::Instant;
 
 /// Feature width of every request (rows through an `[features, out]` FC
@@ -101,9 +106,9 @@ fn run_leg(tenants: usize, requests: usize, budget: Option<usize>) -> LegReport 
                 admitted.insert(id, Instant::now());
             }
         }
-        let report = server.tick();
+        server.tick();
         let now = Instant::now();
-        for completion in &report.completions {
+        for completion in &server.drain_completions() {
             let t0 = admitted
                 .remove(&completion.id)
                 .expect("every completion was admitted");
@@ -113,6 +118,118 @@ fn run_leg(tenants: usize, requests: usize, budget: Option<usize>) -> LegReport 
         }
     }
     let elapsed = started.elapsed();
+
+    let mut hits = 0u64;
+    let mut lookups = 0u64;
+    for &(tenant, layer) in &handles {
+        let session = server.session(tenant).expect("tenant exists");
+        let stats = session.layer_stats(layer).expect("layer exists");
+        hits += stats.hits;
+        lookups += stats.hits + stats.maus + stats.mnus;
+    }
+    LegReport {
+        throughput_rps: total as f64 / elapsed.as_secs_f64(),
+        recorder,
+        evictions: server.evictions(),
+        hit_rate: if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        },
+        pool: server.pool_stats(),
+    }
+}
+
+/// How many tickets one client thread keeps in flight before it blocks
+/// on the oldest. Below the serve queue capacity (64), so steady
+/// per-tenant submission never trips `QueueFull` — this leg measures
+/// latency, not shedding.
+const IN_FLIGHT: usize = 16;
+
+/// Runs the threaded-clients leg: the server moves onto its service
+/// thread ([`Server::serve`], saturation pacing) and one OS thread per
+/// tenant submits that tenant's stream through its own
+/// [`mercury_serve::ServeClient`] clone, keeping up to [`IN_FLIGHT`]
+/// tickets outstanding and clocking
+/// each request from `submit` to `Ticket::wait` returning — the full
+/// channel → admission → tick → mailbox path a real client sees.
+fn run_ingress_leg(tenants: usize, requests: usize) -> LegReport {
+    let config = ServeConfig::builder()
+        .queue_capacity(64)
+        .batch_window(16)
+        .pacing(PacingPolicy::Saturation)
+        .build()
+        .expect("static configuration is valid");
+    let mut server = Server::new(config).expect("server creation");
+
+    let mix = TenantMix::new(FEATURES, CLUSTERS, NOISE, SEED);
+    let streams = mix.client_streams(tenants, requests);
+    let mut handles = Vec::new();
+    for t in 0..tenants {
+        let tenant = server
+            .register_tenant(
+                &format!("tenant-{t}"),
+                MercuryConfig::default(),
+                SEED + t as u64,
+                EpochPolicy::EveryRequests(128),
+            )
+            .expect("tenant registration");
+        let mut rng = Rng::new(SEED + t as u64);
+        let layer = server
+            .register_fc(tenant, Tensor::randn(&[FEATURES, OUTPUTS], &mut rng))
+            .expect("layer registration");
+        handles.push((tenant, layer));
+    }
+
+    let serve_handle = server.serve();
+    let root_client = serve_handle.client();
+    let total = tenants * requests;
+    let started = Instant::now();
+    let per_thread: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = streams
+            .into_iter()
+            .zip(&handles)
+            .map(|(stream, &(tenant, layer))| {
+                let client = root_client.clone();
+                scope.spawn(move || {
+                    let mut latencies = Vec::with_capacity(stream.len());
+                    let mut in_flight: VecDeque<(Ticket, Instant)> =
+                        VecDeque::with_capacity(IN_FLIGHT);
+                    let settle = |(ticket, t0): (Ticket, Instant)| {
+                        ticket.wait().expect("healthy serving leg");
+                        Instant::now().duration_since(t0).as_nanos() as u64
+                    };
+                    for input in stream {
+                        if in_flight.len() == IN_FLIGHT {
+                            let oldest = in_flight.pop_front().expect("non-empty at capacity");
+                            latencies.push(settle(oldest));
+                        }
+                        let t0 = Instant::now();
+                        let ticket = client.submit(tenant, layer, input).expect("admission");
+                        in_flight.push_back((ticket, t0));
+                    }
+                    for pending in in_flight {
+                        latencies.push(settle(pending));
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+    let server = serve_handle.shutdown();
+
+    let mut recorder = LatencyRecorder::new();
+    for latencies in &per_thread {
+        for &ns in latencies {
+            recorder.record_ns(ns);
+        }
+    }
+    assert_eq!(recorder.len(), total, "every submission completed");
 
     let mut hits = 0u64;
     let mut lookups = 0u64;
@@ -216,10 +333,45 @@ fn main() {
         tight_summary.p50_ns.into(),
     );
 
+    let ingress = run_ingress_leg(tenants, requests);
+    let ingress_summary = ingress.recorder.summary();
+    println!("ingress\tthroughput_rps\t{}", f3(ingress.throughput_rps));
+    println!(
+        "ingress\tp50_submit_to_completion_ns\t{}",
+        ingress_summary.p50_ns
+    );
+    println!(
+        "ingress\tp95_submit_to_completion_ns\t{}",
+        ingress_summary.p95_ns
+    );
+    println!(
+        "ingress\tp99_submit_to_completion_ns\t{}",
+        ingress_summary.p99_ns
+    );
+    println!("ingress\thit_rate\t{}", f3(ingress.hit_rate));
+    print_pool("ingress", ingress.pool.as_ref());
+    assert_eq!(ingress.evictions, 0, "no budget, no evictions");
+    entries.insert(
+        "serve_ingress/throughput_rps".into(),
+        ingress.throughput_rps.round() as u128,
+    );
+    entries.insert(
+        "serve_ingress/p50_submit_to_completion_ns".into(),
+        ingress_summary.p50_ns.into(),
+    );
+    entries.insert(
+        "serve_ingress/p95_submit_to_completion_ns".into(),
+        ingress_summary.p95_ns.into(),
+    );
+    entries.insert(
+        "serve_ingress/p99_submit_to_completion_ns".into(),
+        ingress_summary.p99_ns.into(),
+    );
+
     let path = results::default_path();
     match results::merge_into(&path, &entries) {
         Ok(()) => eprintln!(
-            "recorded {} serve_loadgen entries into {path}",
+            "recorded {} serve_loadgen/serve_ingress entries into {path}",
             entries.len()
         ),
         Err(e) => eprintln!("warning: {e}"),

@@ -5,6 +5,7 @@ use mercury_tensor::exec::ExecutorKind;
 use mercury_tensor::tune::DispatchTuning;
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
 
 /// A structurally invalid [`ServeConfig`] (or tenant policy). Every way a
 /// configuration can be rejected is its own variant, matching the
@@ -20,6 +21,11 @@ pub enum ServeConfigError {
     /// An [`EpochPolicy::EveryRequests`] interval was zero; epochs need at
     /// least one request between boundaries.
     ZeroEpochInterval,
+    /// A [`PacingPolicy::Deadline`] of zero duration was configured: the
+    /// service thread would spin ticking the instant work arrived, which
+    /// is [`PacingPolicy::Saturation`] with a busy-loop bolted on. Ask
+    /// for saturation pacing instead of a zero deadline.
+    ZeroDeadline,
 }
 
 impl fmt::Display for ServeConfigError {
@@ -33,6 +39,13 @@ impl fmt::Display for ServeConfigError {
             }
             ServeConfigError::ZeroEpochInterval => {
                 write!(f, "epoch-every-N-requests interval must be positive")
+            }
+            ServeConfigError::ZeroDeadline => {
+                write!(
+                    f,
+                    "deadline pacing needs a positive duration \
+                     (use PacingPolicy::Saturation for tick-as-soon-as-possible)"
+                )
             }
         }
     }
@@ -56,6 +69,42 @@ pub enum EpochPolicy {
     /// Never advance: the banked caches persist until the memory budget
     /// evicts them (or forever, without a budget).
     Never,
+}
+
+/// When the ingress service thread runs a [`tick`](crate::Server::tick)
+/// — the pacing half of the channel-driven front end
+/// ([`Server::serve`](crate::Server::serve)).
+///
+/// Pacing trades latency against batching: ticking sooner answers the
+/// requests already queued, ticking later lets the batching window fill
+/// so each `submit_batch` amortizes better. Whatever the policy, the
+/// determinism law is untouched — per-tenant completion streams depend
+/// only on admission order, never on *when* ticks happen — so pacing is
+/// purely a throughput/latency knob.
+///
+/// The synchronous embedding mode (driving [`tick`](crate::Server::tick)
+/// yourself) ignores this policy; it exists for the service thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PacingPolicy {
+    /// Tick as soon as there is work: whenever a tenant's batching
+    /// window fills, or the ingress channel runs dry with requests
+    /// queued. Lowest latency, window-limited batching. The default.
+    #[default]
+    Saturation,
+    /// Tick on a wall-clock budget: once work is queued, admission keeps
+    /// absorbing requests until the deadline elapses (or a batching
+    /// window fills first — a full window gains nothing by waiting),
+    /// then a tick serves what accumulated. Bounds the batching delay
+    /// any request can pay. Must be positive —
+    /// [`ServeConfigError::ZeroDeadline`] otherwise.
+    Deadline(Duration),
+    /// Tick only on an explicit
+    /// [`ServeHandle::tick_now`](crate::ServeHandle::tick_now) control
+    /// message: the operator (or a test) owns the clock. Submissions are
+    /// still admitted eagerly; they wait in the bounded queues until the
+    /// lever is pulled. [`shutdown`](crate::ServeHandle::shutdown) still
+    /// drains — a manual service cannot strand admitted work.
+    Manual,
 }
 
 /// How the server responds to a tenant layer poisoned by an engine
@@ -111,6 +160,11 @@ pub struct ServeConfig {
     pub memory_budget: Option<usize>,
     /// Poisoned-layer handling (see [`RecoveryPolicy`]).
     pub recovery: RecoveryPolicy,
+    /// When the ingress service thread ticks (see [`PacingPolicy`]).
+    /// Only consulted by [`Server::serve`](crate::Server::serve); the
+    /// synchronous embedding mode paces itself by calling
+    /// [`tick`](crate::Server::tick).
+    pub pacing: PacingPolicy,
 }
 
 impl ServeConfig {
@@ -134,6 +188,9 @@ impl ServeConfig {
         if self.batch_window == 0 {
             return Err(ServeConfigError::ZeroBatchWindow);
         }
+        if self.pacing == PacingPolicy::Deadline(Duration::ZERO) {
+            return Err(ServeConfigError::ZeroDeadline);
+        }
         Ok(())
     }
 }
@@ -147,6 +204,7 @@ impl Default for ServeConfig {
             batch_window: 8,
             memory_budget: None,
             recovery: RecoveryPolicy::default(),
+            pacing: PacingPolicy::default(),
         }
     }
 }
@@ -154,15 +212,32 @@ impl Default for ServeConfig {
 /// Typed builder for [`ServeConfig`], mirroring the
 /// `MercuryConfigBuilder` convention.
 ///
+/// # Defaults
+///
+/// Every knob the builder exposes, with the value an untouched builder
+/// produces:
+///
+/// | Knob | Default | Meaning |
+/// |------|---------|---------|
+/// | [`executor`](Self::executor) | `MERCURY_EXECUTOR`, else serial | Backend of the one shared worker pool |
+/// | [`tuning`](Self::tuning) | `None` | Dispatch tuning; `None` resolves the process-wide profile at server creation |
+/// | [`queue_capacity`](Self::queue_capacity) | `64` | Bounded ingress depth per tenant (`QueueFull` beyond it) |
+/// | [`batch_window`](Self::batch_window) | `8` | Max requests one tick coalesces per tenant |
+/// | [`memory_budget`](Self::memory_budget) | `None` | Global cap on summed tenant `bank_bytes` (`None` = unbounded) |
+/// | [`recovery`](Self::recovery) | [`RecoveryPolicy::Immediate`] | Poisoned layers auto-recover at tick end |
+/// | [`pacing`](Self::pacing) | [`PacingPolicy::Saturation`] | Service thread ticks as soon as work is queued |
+///
 /// # Examples
 ///
 /// ```
-/// use mercury_serve::ServeConfig;
+/// use mercury_serve::{PacingPolicy, ServeConfig};
+/// use std::time::Duration;
 ///
 /// let config = ServeConfig::builder()
 ///     .queue_capacity(16)
 ///     .batch_window(4)
 ///     .memory_budget(Some(1 << 20))
+///     .pacing(PacingPolicy::Deadline(Duration::from_millis(2)))
 ///     .build()
 ///     .expect("valid configuration");
 /// assert_eq!(config.batch_window, 4);
@@ -210,6 +285,16 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Sets the ingress tick pacing policy.
+    /// [`Deadline`](PacingPolicy::Deadline) must be positive —
+    /// [`build`](Self::build) rejects a zero deadline with
+    /// [`ServeConfigError::ZeroDeadline`] instead of letting the service
+    /// thread spin.
+    pub fn pacing(mut self, pacing: PacingPolicy) -> Self {
+        self.config.pacing = pacing;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -234,6 +319,30 @@ mod tests {
         assert_eq!(c.memory_budget, None);
         assert_eq!(c.recovery, RecoveryPolicy::Immediate);
         assert_eq!(c.tuning, None, "default defers to the process profile");
+        assert_eq!(c.pacing, PacingPolicy::Saturation);
+    }
+
+    #[test]
+    fn zero_deadline_is_a_typed_error_not_a_panic() {
+        assert_eq!(
+            ServeConfig::builder()
+                .pacing(PacingPolicy::Deadline(Duration::ZERO))
+                .build()
+                .unwrap_err(),
+            ServeConfigError::ZeroDeadline
+        );
+        // Any positive deadline is fine, down to a nanosecond.
+        for d in [Duration::from_nanos(1), Duration::from_millis(5)] {
+            let c = ServeConfig::builder()
+                .pacing(PacingPolicy::Deadline(d))
+                .build()
+                .unwrap();
+            assert_eq!(c.pacing, PacingPolicy::Deadline(d));
+        }
+        // The other policies never reject.
+        for p in [PacingPolicy::Saturation, PacingPolicy::Manual] {
+            ServeConfig::builder().pacing(p).build().unwrap();
+        }
     }
 
     #[test]
@@ -289,6 +398,7 @@ mod tests {
             ServeConfigError::ZeroQueueCapacity,
             ServeConfigError::ZeroBatchWindow,
             ServeConfigError::ZeroEpochInterval,
+            ServeConfigError::ZeroDeadline,
         ] {
             assert!(!e.to_string().is_empty());
             assert!(std::error::Error::source(&e).is_none());

@@ -31,6 +31,12 @@ pub enum ServeError {
     /// An underlying session operation failed (unknown layer, rejected
     /// input, poisoned layer, ...).
     Session(MercuryError),
+    /// The ingress service thread is gone: the server was shut down (or
+    /// its thread died) between this client obtaining its handle and the
+    /// call completing. Submissions admitted *before* shutdown are never
+    /// answered with this — they drain to their tickets; only work that
+    /// raced past the shutdown point is refused.
+    Stopped,
 }
 
 impl fmt::Display for ServeError {
@@ -49,6 +55,9 @@ impl fmt::Display for ServeError {
                 )
             }
             ServeError::Session(e) => write!(f, "session error: {e}"),
+            ServeError::Stopped => {
+                write!(f, "serving endpoint has stopped; no new work is accepted")
+            }
         }
     }
 }
@@ -60,7 +69,8 @@ impl Error for ServeError {
             ServeError::Session(e) => Some(e),
             ServeError::DuplicateTenant(_)
             | ServeError::UnknownTenant(_)
-            | ServeError::QueueFull { .. } => None,
+            | ServeError::QueueFull { .. }
+            | ServeError::Stopped => None,
         }
     }
 }

@@ -27,11 +27,39 @@
 //!   tick by flash-clearing idle tenants' banks (second-chance LRU over
 //!   sessions, keyed by last-served tick).
 //!
-//! The load-bearing invariant, pinned by `tests/serve_streaming.rs`:
-//! interleaving tenants on a shared pool changes *throughput*, never
-//! *answers* — each tenant's completion stream is bit-identical to a
-//! dedicated single-tenant session replaying its admission order, at
-//! any pool width.
+//! # Two ways to drive it
+//!
+//! **Service mode** (the default front door): [`Server::serve`] moves
+//! the server onto a dedicated service thread and returns a
+//! [`ServeHandle`]. The handle mints cheap `Clone`-able
+//! [`ServeClient`]s whose [`submit`](ServeClient::submit) sends over a
+//! bounded MPSC channel and returns a [`Ticket`] redeemable for that
+//! request's completion ([`Ticket::wait`] blocking,
+//! [`Ticket::try_take`] polling). Backpressure stays typed: a full
+//! tenant queue answers the submit itself with
+//! [`ServeError::QueueFull`]. A [`PacingPolicy`] picks when the thread
+//! ticks — as soon as a window fills ([`Saturation`]), on a wall-clock
+//! budget ([`Deadline`]), or only on an explicit
+//! [`tick_now`](ServeHandle::tick_now) ([`Manual`]) — and
+//! [`shutdown`](ServeHandle::shutdown) drains all admitted work and
+//! hands the warm [`Server`] back.
+//!
+//! **Embedding mode**: single-threaded callers (and the service thread
+//! itself) own the `&mut Server` and call
+//! [`enqueue`](Server::enqueue) / [`tick`](Server::tick) /
+//! [`drain_completions`](Server::drain_completions) directly.
+//!
+//! The load-bearing invariant, pinned by `tests/serve_streaming.rs`
+//! and `tests/serve_ingress.rs`: interleaving tenants — or clients, or
+//! pacing schedules — changes *throughput*, never *answers*. Each
+//! tenant's completion stream is bit-identical to a dedicated
+//! single-tenant session replaying its admission order, at any pool
+//! width, because admission order is channel order and the tick loop
+//! preserves per-tenant FIFO.
+//!
+//! [`Saturation`]: PacingPolicy::Saturation
+//! [`Deadline`]: PacingPolicy::Deadline
+//! [`Manual`]: PacingPolicy::Manual
 //!
 //! # Example
 //!
@@ -55,24 +83,37 @@
 //!     .register_fc(tenant, Tensor::randn(&[8, 4], &mut rng))
 //!     .unwrap();
 //!
-//! let id = server
-//!     .enqueue(tenant, layer, Tensor::randn(&[2, 8], &mut rng))
+//! // Service mode: the server runs on its own thread; this thread is
+//! // just a client.
+//! let handle = server.serve();
+//! let client = handle.client();
+//! let ticket = client
+//!     .submit(tenant, layer, Tensor::randn(&[2, 8], &mut rng))
 //!     .unwrap();
-//! let report = server.tick();
-//! assert_eq!(report.completions[0].id, id);
-//! assert!(report.completions[0].result.is_ok());
+//! let forward = ticket.wait().unwrap();
+//! assert_eq!(forward.output.shape(), &[2, 4]);
+//!
+//! // Shutdown drains in-flight work and returns the warm server.
+//! let server = handle.shutdown();
+//! assert_eq!(server.served(tenant), Some(1));
 //! ```
 
 #![warn(missing_docs)]
 
 mod budget;
+mod client;
 mod config;
 mod error;
+mod ingress;
 mod server;
 
 pub use budget::Eviction;
-pub use config::{EpochPolicy, RecoveryPolicy, ServeConfig, ServeConfigBuilder, ServeConfigError};
+pub use client::{ServeClient, Ticket};
+pub use config::{
+    EpochPolicy, PacingPolicy, RecoveryPolicy, ServeConfig, ServeConfigBuilder, ServeConfigError,
+};
 pub use error::ServeError;
+pub use ingress::ServeHandle;
 pub use server::{Completion, RequestId, Server, TenantId, TickReport};
 
 // Re-exported so downstream code can name the session types the server

@@ -43,6 +43,13 @@ pub struct RequestId {
 }
 
 impl fmt::Display for RequestId {
+    /// Renders as `tenant#<index>/req#<seq>`, e.g. `tenant#3/req#17`.
+    ///
+    /// This form is **stable**: log pipelines may parse it, so changing
+    /// it is a breaking change (pinned by a unit test). The server token
+    /// deliberately does not appear — within one process's logs the
+    /// tenant index disambiguates, and tokens are not meaningful across
+    /// restarts.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}/req#{}", self.tenant, self.seq)
     }
@@ -60,16 +67,33 @@ pub struct Completion {
     pub result: Result<LayerForward, MercuryError>,
 }
 
-/// What one [`Server::tick`] did: the requests it completed, the
+/// What one [`Server::tick`] did: how many requests it completed, the
 /// budget's evictions, and the layers auto-recovery re-entered into
 /// service.
+///
+/// The completions themselves live in the server's completion buffer —
+/// take them with [`Server::drain_completions`], the one retrieval path
+/// shared by the synchronous embedding mode and the channel-driven
+/// ingress thread.
+///
+/// Non-exhaustive: later PRs add observability fields without breaking
+/// downstream matches, so construct comparisons field-by-field.
 #[derive(Debug, Default)]
+#[non_exhaustive]
 pub struct TickReport {
-    /// The tick number (1-based; 0 means the server has never ticked).
+    /// The serving-tick number (1-based; `0` means the server has never
+    /// served). Idle ticks do not advance it — see [`idle`](Self::idle).
     pub tick: u64,
-    /// Served requests, grouped per tenant in registration order and in
-    /// FIFO order within each tenant.
-    pub completions: Vec<Completion>,
+    /// Requests this tick completed (buffered for
+    /// [`Server::drain_completions`]), grouped per tenant in
+    /// registration order and FIFO within each tenant.
+    pub completed: usize,
+    /// True when every ingress queue was empty: nothing was served, no
+    /// state moved, and the tick counter did **not** advance — so
+    /// eviction-log tick numbers keep counting *served work*, not
+    /// wall-clock polling. Idle pacing loops can spin `tick()` without
+    /// drifting the log.
+    pub idle: bool,
     /// Evictions this tick's budget enforcement performed.
     pub evictions: Vec<Eviction>,
     /// Layers auto-recovered under [`RecoveryPolicy::Immediate`] after
@@ -130,6 +154,9 @@ pub struct Server {
     tick: u64,
     clock: SecondChance,
     eviction_log: Vec<Eviction>,
+    /// Completions ticks have produced but nobody has drained yet (see
+    /// [`drain_completions`](Self::drain_completions)).
+    completions: Vec<Completion>,
 }
 
 impl Server {
@@ -152,6 +179,7 @@ impl Server {
             tick: 0,
             clock: SecondChance::default(),
             eviction_log: Vec::new(),
+            completions: Vec::new(),
         })
     }
 
@@ -315,7 +343,15 @@ impl Server {
     /// Runs one service round: for every tenant with queued requests, in
     /// registration order, drains up to the batching window into one
     /// `submit_batch_each` call on the shared pool; then applies epoch
-    /// policies, auto-recovery, and the memory budget.
+    /// policies, auto-recovery, and the memory budget. The completions
+    /// land in the server's buffer — take them with
+    /// [`drain_completions`](Self::drain_completions).
+    ///
+    /// A tick with every queue empty is an **idle tick**: it serves
+    /// nothing, moves no state, does not advance the tick counter, and
+    /// reports [`idle`](TickReport::idle) — so pacing loops that poll
+    /// `tick()` never drift the eviction log's tick numbers away from
+    /// served work.
     ///
     /// Three properties this method maintains (pinned by
     /// `tests/serve_streaming.rs`):
@@ -333,6 +369,13 @@ impl Server {
     ///   runs with no batch in flight, and the second-chance clock
     ///   prefers idle tenants over the ones served this tick.
     pub fn tick(&mut self) -> TickReport {
+        if !self.has_queued() {
+            return TickReport {
+                tick: self.tick,
+                idle: true,
+                ..TickReport::default()
+            };
+        }
         self.tick += 1;
         let tick = self.tick;
         let mut report = TickReport {
@@ -360,7 +403,8 @@ impl Server {
                 .submit_batch_each(&requests)
                 .expect("layer ids were validated against this session at admission");
             for (q, result) in batch.into_iter().zip(results) {
-                report.completions.push(Completion {
+                report.completed += 1;
+                self.completions.push(Completion {
                     id: RequestId {
                         tenant: tenant_id,
                         seq: q.seq,
@@ -368,6 +412,7 @@ impl Server {
                     result,
                 });
             }
+            let tenant = &mut self.tenants[index];
             tenant.served += take as u64;
             tenant.epoch_served += take as u64;
             tenant.last_served_tick = tick;
@@ -436,15 +481,47 @@ impl Server {
         evictions
     }
 
-    /// Ticks until every tenant's queue is empty, returning all
-    /// completions in tick order. Terminates because every tick with a
-    /// non-empty queue serves at least one request.
+    /// Takes every completion produced since the last drain, in tick
+    /// order (and per-tenant FIFO within a tick). The buffer is emptied;
+    /// draining twice in a row yields nothing the second time.
+    ///
+    /// This is the **single** completion-retrieval path: the synchronous
+    /// embedding loop calls it after [`tick`](Self::tick), and the
+    /// ingress service thread calls it to route results into client
+    /// mailboxes — so the two modes can never disagree about what was
+    /// served.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Completions produced but not yet drained.
+    pub fn pending_completions(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Whether any tenant has requests waiting in its ingress queue.
+    pub fn has_queued(&self) -> bool {
+        self.tenants.iter().any(|t| !t.queue.is_empty())
+    }
+
+    /// Whether some tenant has a full batching window queued — the
+    /// saturation/deadline pacing trigger: waiting longer cannot grow
+    /// that tenant's next batch.
+    pub(crate) fn window_filled(&self) -> bool {
+        self.tenants
+            .iter()
+            .any(|t| t.queue.len() >= self.config.batch_window)
+    }
+
+    /// Ticks until every tenant's queue is empty, then drains and
+    /// returns the completions (including any already buffered when the
+    /// call was made) in tick order. Terminates because every tick with
+    /// a non-empty queue serves at least one request.
     pub fn run_until_idle(&mut self) -> Vec<Completion> {
-        let mut completions = Vec::new();
-        while self.tenants.iter().any(|t| !t.queue.is_empty()) {
-            completions.extend(self.tick().completions);
+        while self.has_queued() {
+            self.tick();
         }
-        completions
+        self.drain_completions()
     }
 
     /// Advances one tenant's epoch explicitly (evicting its banked
@@ -549,7 +626,9 @@ impl Server {
         &self.eviction_log
     }
 
-    /// Number of ticks run so far.
+    /// Number of *serving* ticks run so far — idle ticks (every queue
+    /// empty) are not counted, so this is also the tick number the next
+    /// eviction-log entry would carry, plus one.
     pub fn ticks(&self) -> u64 {
         self.tick
     }
@@ -698,22 +777,99 @@ mod tests {
         for input in &inputs {
             s.enqueue(tenant, layer, input.clone()).unwrap();
         }
-        // Window 3: first tick serves 0..3, second 3..5.
+        // Window 3: first tick serves 0..3, second 3..5. Completions
+        // accumulate in the buffer until drained.
         let first = s.tick();
         assert_eq!(first.tick, 1);
-        let seqs: Vec<u64> = first.completions.iter().map(|c| c.id.seq).collect();
+        assert_eq!(first.completed, 3);
+        assert!(!first.idle);
+        let completions = s.drain_completions();
+        let seqs: Vec<u64> = completions.iter().map(|c| c.id.seq).collect();
         assert_eq!(seqs, vec![0, 1, 2]);
+        assert!(completions.iter().all(|c| c.result.is_ok()));
         let second = s.tick();
-        let seqs: Vec<u64> = second.completions.iter().map(|c| c.id.seq).collect();
+        assert_eq!(second.completed, 2);
+        let seqs: Vec<u64> = s.drain_completions().iter().map(|c| c.id.seq).collect();
         assert_eq!(seqs, vec![3, 4]);
         assert_eq!(s.served(tenant), Some(5));
         assert_eq!(s.last_served_tick(tenant), Some(2));
-        assert!(first.completions.iter().all(|c| c.result.is_ok()));
+        assert!(s.drain_completions().is_empty(), "drain empties the buffer");
 
-        // An idle tick serves nothing.
+        // An idle tick serves nothing and does not advance the counter.
         let idle = s.tick();
-        assert!(idle.completions.is_empty());
+        assert!(idle.idle);
+        assert_eq!(idle.completed, 0);
+        assert_eq!(idle.tick, 2, "idle reports the last serving tick");
+        assert_eq!(s.ticks(), 2);
         assert_eq!(s.last_served_tick(tenant), Some(2));
+    }
+
+    #[test]
+    fn undrained_completions_accumulate_across_ticks() {
+        let mut s = server(8, 2);
+        let (tenant, layer) = fc_tenant(&mut s, "t", 11);
+        for _ in 0..4 {
+            s.enqueue(tenant, layer, Tensor::zeros(&[1, 8])).unwrap();
+        }
+        s.tick();
+        s.tick();
+        assert_eq!(s.pending_completions(), 4);
+        let drained = s.drain_completions();
+        assert_eq!(drained.len(), 4);
+        let seqs: Vec<u64> = drained.iter().map(|c| c.id.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3], "tick order, FIFO within tenant");
+        assert_eq!(s.pending_completions(), 0);
+    }
+
+    #[test]
+    fn idle_ticks_do_not_drift_eviction_log_tick_numbers() {
+        // Serving tick, then a stretch of idle polling, then a serving
+        // tick that breaches the budget: the eviction must carry tick 2
+        // (the second *serving* tick), not 2 + the idle spins.
+        let mut s = Server::new(
+            ServeConfig::builder()
+                .queue_capacity(8)
+                .batch_window(8)
+                .memory_budget(Some(1))
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let (tenant, layer) = fc_tenant(&mut s, "t", 12);
+        let mut rng = Rng::new(12);
+        s.enqueue(tenant, layer, Tensor::randn(&[2, 8], &mut rng))
+            .unwrap();
+        s.tick();
+        assert_eq!(s.ticks(), 1);
+        for _ in 0..7 {
+            // An idle pacing loop polling the server.
+            let idle = s.tick();
+            assert!(idle.idle);
+            assert!(idle.evictions.is_empty(), "idle ticks move no state");
+        }
+        assert_eq!(s.ticks(), 1, "idle polling leaves the counter alone");
+        s.enqueue(tenant, layer, Tensor::randn(&[2, 8], &mut rng))
+            .unwrap();
+        let report = s.tick();
+        assert_eq!(report.tick, 2);
+        let last = s.eviction_log().last().expect("tight budget evicts");
+        assert_eq!(
+            last.tick, 2,
+            "eviction-log ticks count served work, not idle polls"
+        );
+    }
+
+    #[test]
+    fn request_id_display_is_stable() {
+        // The `tenant#<index>/req#<seq>` form is documented as stable
+        // for log pipelines; this test is the tripwire for changing it.
+        let mut s = server(4, 2);
+        let (tenant, layer) = fc_tenant(&mut s, "t", 13);
+        let id = s.enqueue(tenant, layer, Tensor::zeros(&[1, 8])).unwrap();
+        assert_eq!(id.to_string(), "tenant#0/req#0");
+        assert_eq!(tenant.to_string(), "tenant#0");
+        let next = s.enqueue(tenant, layer, Tensor::zeros(&[1, 8])).unwrap();
+        assert_eq!(format!("{next}"), "tenant#0/req#1");
     }
 
     #[test]
@@ -726,13 +882,14 @@ mod tests {
         s.enqueue(tenant, layer, bad).unwrap();
         s.enqueue(tenant, layer, good).unwrap();
         let report = s.tick();
-        assert_eq!(report.completions.len(), 3);
-        assert!(report.completions[0].result.is_ok());
+        assert_eq!(report.completed, 3);
+        let completions = s.drain_completions();
+        assert!(completions[0].result.is_ok());
         assert!(matches!(
-            report.completions[1].result,
+            completions[1].result,
             Err(MercuryError::ShapeMismatch { .. })
         ));
-        assert!(report.completions[2].result.is_ok());
+        assert!(completions[2].result.is_ok());
     }
 
     #[test]
@@ -758,10 +915,10 @@ mod tests {
             s.enqueue(tenant, layer, input.clone()).unwrap();
         }
         let first = s.tick();
-        assert_eq!(first.completions.len(), 3, "capped at the epoch boundary");
+        assert_eq!(first.completed, 3, "capped at the epoch boundary");
         assert_eq!(s.session(tenant).unwrap().epoch(), 1);
         let second = s.tick();
-        assert_eq!(second.completions.len(), 2);
+        assert_eq!(second.completed, 2);
         assert_eq!(
             s.session(tenant).unwrap().epoch(),
             1,
@@ -782,10 +939,9 @@ mod tests {
                 replay.advance_epoch();
             }
         }
-        let got: Vec<_> = first
-            .completions
+        let got: Vec<_> = s
+            .drain_completions()
             .into_iter()
-            .chain(second.completions)
             .map(|c| c.result.unwrap())
             .collect();
         for (g, w) in got.iter().zip(&want) {
@@ -941,15 +1097,9 @@ mod tests {
         let health = s.session(tenant).unwrap().layer_health(layer).unwrap();
         assert!(matches!(health, LayerHealth::Degraded { .. }));
         s.enqueue(tenant, layer, Tensor::zeros(&[1, 8])).unwrap();
-        let report = s.tick();
-        assert!(
-            report.completions[0]
-                .result
-                .as_ref()
-                .unwrap()
-                .report
-                .degraded
-        );
+        s.tick();
+        let completions = s.drain_completions();
+        assert!(completions[0].result.as_ref().unwrap().report.degraded);
     }
 
     #[test]

@@ -71,6 +71,16 @@ impl TenantMix {
             .collect()
     }
 
+    /// Generates every tenant's stream at once: `streams(n, r)[t]` is
+    /// exactly `tenant_stream(t, r)`. The shape threaded-client load
+    /// generators want — build all the streams up front, then move one
+    /// `Vec<Tensor>` into each submitting thread.
+    pub fn client_streams(&self, tenants: usize, requests: usize) -> Vec<Vec<Tensor>> {
+        (0..tenants)
+            .map(|t| self.tenant_stream(t, requests))
+            .collect()
+    }
+
     /// Zipf-like cluster choice: cluster `c` is roughly twice as popular
     /// as cluster `c + 1`, with a uniform floor so every cluster appears.
     fn pick_cluster(&self, rng: &mut Rng) -> usize {
@@ -104,6 +114,20 @@ mod tests {
         let long = mix.tenant_stream(0, 20);
         for (x, y) in a.iter().zip(&long) {
             assert_eq!(x.data(), y.data());
+        }
+    }
+
+    #[test]
+    fn client_streams_match_per_tenant_streams() {
+        let mix = TenantMix::new(16, 4, 0.05, 7);
+        let all = mix.client_streams(3, 6);
+        assert_eq!(all.len(), 3);
+        for (t, stream) in all.iter().enumerate() {
+            let want = mix.tenant_stream(t, 6);
+            assert_eq!(stream.len(), want.len());
+            for (x, y) in stream.iter().zip(&want) {
+                assert_eq!(x.data(), y.data());
+            }
         }
     }
 

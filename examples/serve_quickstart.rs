@@ -1,14 +1,16 @@
-//! Stand up a multi-tenant MERCURY serving endpoint: two tenants with
-//! different epoch policies stream cluster-structured requests through
-//! one shared worker pool under a global memory budget, then the
-//! per-tenant reuse hit rates and the budget's eviction log are printed.
+//! Stand up a multi-tenant MERCURY serving endpoint: the server runs on
+//! its own service thread, two tenant threads stream cluster-structured
+//! requests through cloned `ServeClient` handles into one shared worker
+//! pool under a global memory budget, then shutdown hands the warm
+//! server back and the per-tenant reuse hit rates and the budget's
+//! eviction log are printed.
 //!
 //! ```text
 //! cargo run --release --example serve_quickstart
 //! ```
 
 use mercury_core::MercuryConfig;
-use mercury_serve::{EpochPolicy, ServeConfig, Server};
+use mercury_serve::{EpochPolicy, PacingPolicy, ServeConfig, Server};
 use mercury_tensor::rng::Rng;
 use mercury_tensor::Tensor;
 use mercury_workloads::tenants::TenantMix;
@@ -17,12 +19,14 @@ const FEATURES: usize = 32;
 const REQUESTS: usize = 96;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // One pool, bounded queues, a batching window, and a memory budget
-    // small enough to show the eviction machinery working.
+    // One pool, bounded queues, a batching window, saturation pacing
+    // (tick as soon as a window fills), and a memory budget small
+    // enough to show the eviction machinery working.
     let config = ServeConfig::builder()
         .queue_capacity(32)
         .batch_window(8)
         .memory_budget(Some(256))
+        .pacing(PacingPolicy::Saturation)
         .build()?;
     let mut server = Server::new(config)?;
 
@@ -42,25 +46,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Cluster-structured traffic: each tenant's requests orbit its own
     // prototypes, which is exactly the similarity MERCURY banks on.
     let mix = TenantMix::new(FEATURES, 4, 0.03, 42);
-    let mut streams = [
-        mix.tenant_stream(0, REQUESTS).into_iter(),
-        mix.tenant_stream(1, REQUESTS).into_iter(),
-    ];
-    let handles = [(search, search_fc), (embed, embed_fc)];
 
-    // Interleave admission with service ticks, as an ingress loop would.
-    let mut served = 0usize;
-    while served < 2 * REQUESTS {
-        for (stream, &(tenant, layer)) in streams.iter_mut().zip(&handles) {
-            for input in stream.by_ref().take(8) {
-                server.enqueue(tenant, layer, input)?;
-            }
+    // Move the server onto its service thread; from here on this
+    // process only talks to it through client handles.
+    let handle = server.serve();
+    let client = handle.client();
+
+    // One submitting thread per tenant, each owning a clone of the
+    // client (clones are cheap and get their own completion mailbox).
+    std::thread::scope(|scope| {
+        for (stream_index, (tenant, layer)) in [(search, search_fc), (embed, embed_fc)]
+            .into_iter()
+            .enumerate()
+        {
+            let client = client.clone();
+            let inputs = mix.tenant_stream(stream_index, REQUESTS);
+            scope.spawn(move || {
+                for input in inputs {
+                    // submit() blocks for admission only; wait() blocks
+                    // until the service thread ticks the request through.
+                    let ticket = client.submit(tenant, layer, input).expect("admission");
+                    ticket.wait().expect("completion");
+                }
+            });
         }
-        served += server.tick().completions.len();
-    }
+    });
+
+    // Drain and take the warm server back for inspection.
+    let server = handle.shutdown();
 
     println!("tenant   requests  hit_rate  bank_bytes  epoch");
-    for &(tenant, layer) in &handles {
+    for &(tenant, layer) in &[(search, search_fc), (embed, embed_fc)] {
         let session = server.session(tenant).expect("registered tenant");
         let stats = session.layer_stats(layer).expect("registered layer");
         let lookups = stats.hits + stats.maus + stats.mnus;

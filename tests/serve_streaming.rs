@@ -161,7 +161,7 @@ fn serve_interleaved(pool: ExecutorKind, budget: Option<usize>) -> (Server, Vec<
             );
         }
         let drained = server.tenant_ids().all(|t| server.queued(t) == Some(0));
-        for completion in report.completions {
+        for completion in server.drain_completions() {
             let index = handles
                 .iter()
                 .position(|&(t, _)| t == completion.id.tenant)
@@ -246,7 +246,8 @@ fn manual_epoch_lever_mirrors_dedicated_replay() {
     let mut advanced_at = None;
     for input in &script.inputs {
         server.enqueue(tenant, layer, input.clone()).unwrap();
-        completions.extend(server.tick().completions);
+        server.tick();
+        completions.extend(server.drain_completions());
         // After roughly half the stream, pull the lever once.
         if advanced_at.is_none() && server.served(tenant).unwrap() >= 5 {
             server.advance_epoch(tenant).unwrap();
@@ -424,7 +425,8 @@ mod poisoned {
                 if let Some(c) = conv_stream.next() {
                     server.enqueue(pt, pl, c.clone()).unwrap();
                 }
-                for completion in server.tick().completions {
+                server.tick();
+                for completion in server.drain_completions() {
                     if completion.id.tenant == ht {
                         fc_completions.push(completion);
                     } else {
@@ -465,8 +467,9 @@ mod poisoned {
             // Explicit recovery restores service in degraded warm-up.
             server.recover(pt, pl).unwrap();
             server.enqueue(pt, pl, conv.inputs[0].clone()).unwrap();
-            let report = server.tick();
-            let recovered = report.completions[0].result.as_ref().unwrap();
+            server.tick();
+            let completions = server.drain_completions();
+            let recovered = completions[0].result.as_ref().unwrap();
             assert!(recovered.report.degraded, "{pool:?}");
         }
     }
@@ -501,7 +504,7 @@ mod poisoned {
             .unwrap();
         let report = server.tick();
         assert!(matches!(
-            report.completions[0].result,
+            server.drain_completions()[0].result,
             Err(MercuryError::EnginePanic { .. })
         ));
         assert_eq!(report.recovered, vec![(tenant, layer)]);
@@ -516,7 +519,8 @@ mod poisoned {
             .enqueue(tenant, layer, conv.inputs[0].clone())
             .unwrap();
         let next = server.tick();
-        let fwd = next.completions[0].result.as_ref().unwrap();
+        let completions = server.drain_completions();
+        let fwd = completions[0].result.as_ref().unwrap();
         assert!(fwd.report.degraded);
         assert!(next.recovered.is_empty());
     }
